@@ -1,0 +1,55 @@
+// Figure 14: worst-case sub-optimality (MSO) of the native optimizer (NAT),
+// the SEER robust-plan baseline, and the plan bouquet (BOU) across the ten
+// benchmark error spaces.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "bouquet/bounds.h"
+
+namespace bouquet {
+namespace {
+
+using benchutil::AllSpaceNames;
+using benchutil::BuildSpace;
+using benchutil::PrintHeader;
+
+void PrintReproduction() {
+  PrintHeader("MSO performance: NAT vs SEER vs BOU (log scale)", "Figure 14");
+  std::printf("\n  %-12s %-12s %-12s %-12s %-12s\n", "space", "NAT", "SEER",
+              "BOU", "BOU bound");
+  for (const auto& name : AllSpaceNames()) {
+    auto p = BuildSpace(name);
+    const RobustnessProfile nat = ComputeNativeProfile(*p->diagram,
+                                                       p->opt.get());
+    const SeerResult seer_red = SeerReduce(*p->diagram, p->opt.get(), 0.2);
+    const RobustnessProfile seer =
+        ComputeAssignmentProfile(*p->diagram, p->opt.get(), seer_red.plan_at);
+    BouquetSimulator sim(*p->bouquet, *p->diagram, p->opt.get());
+    const BouquetProfile bou = ComputeBouquetProfile(sim, false);
+    std::printf("  %-12s %-12.3g %-12.3g %-12.3g %-12.1f%s\n", name.c_str(),
+                nat.mso, seer.mso, bou.mso,
+                MultiDMsoBound(2.0, p->bouquet->rho(), 0.2),
+                bou.any_fallback ? "  [FALLBACK!]" : "");
+  }
+  std::printf("\n  Paper's shape: NAT and SEER in 1e3..1e7; BOU around 10 "
+              "(e.g. 5D_DS_Q19: 1e6 -> ~10).\n");
+}
+
+void BM_NativeProfile3D(benchmark::State& state) {
+  auto p = BuildSpace("3D_H_Q5");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeNativeProfile(*p->diagram, p->opt.get()));
+  }
+}
+BENCHMARK(BM_NativeProfile3D);
+
+}  // namespace
+}  // namespace bouquet
+
+int main(int argc, char** argv) {
+  bouquet::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 16: spatial distribution of the robustness enhancement
+// native_worst(q_a) / SubOpt_BOU(q_a) over the 5D_DS_Q19 error space,
+// bucketed by decades, for both BOU and SEER.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace bouquet {
+namespace {
+
+using benchutil::BuildSpace;
+using benchutil::PrintHeader;
+
+void PrintReproduction() {
+  PrintHeader("Spatial distribution of enhanced robustness (5D_DS_Q19)",
+              "Figure 16");
+  auto p = BuildSpace("5D_DS_Q19");
+  const RobustnessProfile nat =
+      ComputeNativeProfile(*p->diagram, p->opt.get());
+  BouquetSimulator sim(*p->bouquet, *p->diagram, p->opt.get());
+  const BouquetProfile bou = ComputeBouquetProfile(sim, false);
+  const SeerResult seer_red = SeerReduce(*p->diagram, p->opt.get(), 0.2);
+  const RobustnessProfile seer =
+      ComputeAssignmentProfile(*p->diagram, p->opt.get(), seer_red.plan_at);
+
+  const auto bou_dist = EnhancementDistribution(bou.subopt,
+                                                nat.subopt_worst, 6);
+  const auto seer_dist =
+      EnhancementDistribution(seer.subopt_worst, nat.subopt_worst, 6);
+  const char* labels[] = {"< 1x (harm)", "[1x, 10x)",    "[10x, 100x)",
+                          "[100x, 1e3x)", "[1e3x, 1e4x)", ">= 1e4x"};
+  std::printf("\n  %-14s %-10s %-10s\n", "enhancement", "BOU", "SEER");
+  for (int b = 0; b < 6; ++b) {
+    std::printf("  %-14s %8.1f%%  %8.1f%%\n", labels[b], bou_dist[b] * 100,
+                seer_dist[b] * 100);
+  }
+  double bou_1plus = 0, bou_2plus = 0;
+  for (int b = 2; b < 6; ++b) bou_1plus += bou_dist[b];
+  for (int b = 3; b < 6; ++b) bou_2plus += bou_dist[b];
+  std::printf("\n  BOU locations improved >= 1 order of magnitude: %.1f%%; "
+              ">= 2 orders: %.1f%%\n",
+              bou_1plus * 100, bou_2plus * 100);
+  std::printf("  Paper's shape: the vast majority of locations gain orders "
+              "of magnitude under BOU,\n  while SEER's enhancement stays "
+              "below 10x everywhere (our NAT is ~100x less pessimal than\n"
+              "  the paper's 100GB disk-resident setup, which shifts the "
+              "decade buckets down uniformly).\n");
+}
+
+void BM_RunOptimized5D(benchmark::State& state) {
+  static auto p = BuildSpace("5D_DS_Q19");
+  static BouquetSimulator sim(*p->bouquet, *p->diagram, p->opt.get());
+  uint64_t qa = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.RunOptimized(qa));
+    qa = (qa + 97) % p->grid->num_points();
+  }
+}
+BENCHMARK(BM_RunOptimized5D);
+
+}  // namespace
+}  // namespace bouquet
+
+int main(int argc, char** argv) {
+  bouquet::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 19 / Section 6.8: the commercial engine ("COM") evaluation.
+// Selection-dimension queries 3D_H_Q5b and 4D_H_Q8b are run under the
+// Commercial cost-model configuration — selectivities on base-relation
+// predicates can be dialed purely through query constants, which is how the
+// paper sidestepped COM's lack of a selectivity-injection API.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace bouquet {
+namespace {
+
+using benchutil::BuildSpace;
+using benchutil::PrintHeader;
+
+void PrintOneSpace(const QuerySpec& query, const Catalog& catalog) {
+  auto p = BuildSpace(query.name, 0, CostParams::Commercial(), &query,
+                      &catalog);
+  const RobustnessProfile nat =
+      ComputeNativeProfile(*p->diagram, p->opt.get());
+  const SeerResult seer_red = SeerReduce(*p->diagram, p->opt.get(), 0.2);
+  const RobustnessProfile seer =
+      ComputeAssignmentProfile(*p->diagram, p->opt.get(), seer_red.plan_at);
+  BouquetSimulator sim(*p->bouquet, *p->diagram, p->opt.get());
+  const BouquetProfile bou = ComputeBouquetProfile(sim, false);
+  const auto dist = EnhancementDistribution(bou.subopt, nat.subopt_worst, 3);
+
+  std::printf("\n  -- %s on COM --\n", query.name.c_str());
+  std::printf("  %-10s %-12s %-12s %-12s\n", "", "NAT", "SEER", "BOU");
+  std::printf("  %-10s %-12.3g %-12.3g %-12.3g\n", "MSO", nat.mso, seer.mso,
+              bou.mso);
+  std::printf("  %-10s %-12.3g %-12.3g %-12.3g\n", "ASO", nat.aso, seer.aso,
+              bou.aso);
+  std::printf("  %-10s %-12d %-12d %-12d\n", "plans", nat.num_plans,
+              seer_red.plans_after, p->bouquet->cardinality());
+  std::printf("  BOU MaxHarm: %.2f  |  locations improved >= 10x: %.1f%%\n",
+              MaxHarm(bou.subopt, nat.subopt_worst),
+              (dist[2]) * 100);
+}
+
+void PrintReproduction() {
+  PrintHeader("Commercial engine performance (COM cost model)",
+              "Figure 19 / Section 6.8");
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  PrintOneSpace(Make3DHQ5b(tpch), tpch);
+  PrintOneSpace(Make4DHQ8b(tpch), tpch);
+  std::printf("\n  Paper's shape: COM shows the same story as PostgreSQL — "
+              "large NAT/SEER MSO, small BOU MSO,\n  robustness enhancement "
+              ">= 10x for >90%% of locations. The result is not an engine "
+              "artifact.\n");
+}
+
+void BM_OptimizeCommercial(benchmark::State& state) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec q = Make3DHQ5b(tpch);
+  QueryOptimizer opt(q, tpch, CostParams::Commercial());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.OptimizeAt({0.1, 0.1, 0.1}));
+  }
+}
+BENCHMARK(BM_OptimizeCommercial);
+
+}  // namespace
+}  // namespace bouquet
+
+int main(int argc, char** argv) {
+  bouquet::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figures 2 & 3: the 1D example query EQ — POSP plans with their optimality
+// ranges, the PIC on a log-log grid, the geometric isocost ladder, and the
+// plan-bouquet identification at the IC/PIC intersections.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench_util.h"
+#include "bouquet/contours.h"
+#include "common/str_util.h"
+#include "ess/pic.h"
+
+namespace bouquet {
+namespace {
+
+using benchutil::BuildSpace;
+using benchutil::PrintHeader;
+
+std::unique_ptr<benchutil::SpacePipeline> BuildEq() {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec eq = MakeEqQuery(tpch);
+  return BuildSpace("EQ", /*resolution=*/100, CostParams::Postgres(), &eq,
+                    &tpch);
+}
+
+void PrintReproduction() {
+  auto p = BuildEq();
+  const EssGrid& grid = *p->grid;
+  const PlanDiagram& d = *p->diagram;
+
+  PrintHeader("1D POSP, PIC and isocost discretization for query EQ",
+              "Figures 2 and 3");
+
+  // Figure 2: POSP plans and the selectivity range where each is optimal.
+  std::printf("\n-- POSP plans on the p_retailprice dimension (Figure 2) --\n");
+  int current = d.plan_at(0);
+  double range_start = grid.axis(0).front();
+  for (uint64_t i = 1; i <= grid.num_points(); ++i) {
+    if (i == grid.num_points() || d.plan_at(i) != current) {
+      const double range_end = grid.axis(0)[i - 1];
+      std::printf("  P%-2d optimal in (%s, %s]  :  %s\n", current + 1,
+                  FormatPct(range_start).c_str(), FormatPct(range_end).c_str(),
+                  d.plan(current).signature.c_str());
+      if (i < grid.num_points()) {
+        current = d.plan_at(i);
+        range_start = grid.axis(0)[i];
+      }
+    }
+  }
+  std::printf("  POSP cardinality: %d\n", d.num_plans());
+
+  // Figure 3: the PIC with the isocost ladder and intersections.
+  const ContourSet cs = IdentifyContours(d, 2.0);
+  std::printf("\n-- PIC profile (log-log; %llu samples) --\n",
+              static_cast<unsigned long long>(grid.num_points()));
+  std::printf("  %-12s %-12s %s\n", "selectivity", "PIC cost", "optimal plan");
+  for (uint64_t i = 0; i < grid.num_points(); i += 9) {
+    std::printf("  %-12s %-12s P%d\n", FormatPct(grid.axis(0)[i]).c_str(),
+                FormatSci(d.cost_at(i)).c_str(), d.plan_at(i) + 1);
+  }
+  std::printf("  Cmin = %s   Cmax = %s   Cmax/Cmin = %.1f\n",
+              FormatSci(d.Cmin()).c_str(), FormatSci(d.Cmax()).c_str(),
+              d.Cmax() / d.Cmin());
+
+  std::printf("\n-- Isocost steps (geometric, r = 2) and intersections --\n");
+  std::printf("  %-5s %-12s %-14s %s\n", "IC", "cost", "selectivity",
+              "bouquet plan");
+  std::set<int> bouquet_plans;
+  for (size_t k = 0; k < cs.step_costs.size(); ++k) {
+    const uint64_t q = cs.points[k][0];
+    const int plan = d.plan_at(q);
+    bouquet_plans.insert(plan);
+    std::printf("  IC%-3zu %-12s %-14s P%d\n", k + 1,
+                FormatSci(cs.step_costs[k]).c_str(),
+                FormatPct(grid.SelectivityAt(q)[0]).c_str(), plan + 1);
+  }
+  std::printf("\n  Plan bouquet (before anorexic reduction): {");
+  bool first = true;
+  for (int pl : bouquet_plans) {
+    std::printf("%sP%d", first ? "" : ", ", pl + 1);
+    first = false;
+  }
+  std::printf("}  (cardinality %zu of %d POSP plans)\n", bouquet_plans.size(),
+              d.num_plans());
+  std::printf("  After anorexic reduction (lambda=20%%): cardinality %d, "
+              "%zu contours\n",
+              p->bouquet->cardinality(), p->bouquet->contours.size());
+}
+
+void BM_Optimize1DPoint(benchmark::State& state) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec eq = MakeEqQuery(tpch);
+  QueryOptimizer opt(eq, tpch, CostParams::Postgres());
+  double s = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.OptimizeAt({s}));
+    s = s >= 1.0 ? 1e-4 : s * 1.3;
+  }
+}
+BENCHMARK(BM_Optimize1DPoint);
+
+void BM_GeneratePosp1D(benchmark::State& state) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec eq = MakeEqQuery(tpch);
+  const EssGrid grid(eq, {100});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GeneratePosp(eq, tpch, CostParams::Postgres(), grid));
+  }
+}
+BENCHMARK(BM_GeneratePosp1D);
+
+}  // namespace
+}  // namespace bouquet
+
+int main(int argc, char** argv) {
+  bouquet::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 2: query workload specifications — join-graph geometry, relation
+// count, and the cost spread Cmax/Cmin of each error space.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "query/join_graph.h"
+
+namespace bouquet {
+namespace {
+
+using benchutil::AllSpaceNames;
+using benchutil::BuildSpace;
+using benchutil::PrintHeader;
+
+void PrintReproduction() {
+  PrintHeader("Query workload specifications", "Table 2");
+  std::printf("\n  %-12s %-18s %-6s %-12s %-10s\n", "space", "join-graph",
+              "dims", "Cmax/Cmin", "contours");
+  for (const auto& name : AllSpaceNames()) {
+    auto p = BuildSpace(name);
+    const JoinGraph graph(p->query);
+    std::printf("  %-12s %-7s(%zu)%8s %-6d %-12.0f %-10zu\n", name.c_str(),
+                graph.Geometry().c_str(), p->query.tables.size(), "",
+                p->query.NumDims(), p->diagram->Cmax() / p->diagram->Cmin(),
+                p->bouquet->contours.size());
+  }
+  std::printf("\n  Paper's Table 2 reports Cmax/Cmin between 5 and 668 and "
+              "<= 10 contours per space.\n");
+}
+
+void BM_ValidateSpaces(benchmark::State& state) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  for (auto _ : state) {
+    for (const auto& s : BenchmarkSpaces(tpch, tpcds)) {
+      benchmark::DoNotOptimize(
+          s.query.Validate(s.benchmark == "H" ? tpch : tpcds));
+    }
+  }
+}
+BENCHMARK(BM_ValidateSpaces);
+
+}  // namespace
+}  // namespace bouquet
+
+int main(int argc, char** argv) {
+  bouquet::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

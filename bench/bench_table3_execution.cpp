@@ -1,0 +1,149 @@
+// Table 3 / Section 6.7: real-data execution of the 2D_H_Q8a query.
+// The native optimizer mis-estimates q_a via AVI-style errors and picks a
+// disastrous plan; the bouquet discovers the true location through
+// cost-limited partial executions. Reports the contour-wise breakup for
+// basic and optimized BOU, and the NAT / BOU / optimal wall-clock summary.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "bouquet/driver.h"
+#include "common/str_util.h"
+
+namespace bouquet {
+namespace {
+
+using benchutil::PrintHeader;
+
+struct RealSetup {
+  Database db;
+  Catalog catalog;
+  QuerySpec query;
+  std::vector<double> qa;
+  std::unique_ptr<QueryOptimizer> opt;
+  std::unique_ptr<EssGrid> grid;
+  std::unique_ptr<PlanDiagram> diagram;
+  std::unique_ptr<PlanBouquet> bouquet;
+};
+
+std::unique_ptr<RealSetup> Build() {
+  auto s = std::make_unique<RealSetup>();
+  TpchDataOptions opts;
+  opts.mini_scale = 2.0;  // lineitem = 120k rows: seconds-scale executions
+  MakeTpchDatabase(&s->db, opts);
+  SyncTpchCatalog(s->db, &s->catalog);
+  s->query = Make2DHQ8a(s->catalog);
+  // The paper's q_a = (33.7%, 45.6%); NAT's estimate will be the magic 1/3
+  // per dimension *after AVI-style compounding* — we model the paper's
+  // scenario by giving NAT a badly underestimated location.
+  s->qa = BindSelectionConstants(&s->query, s->catalog, {0.337, 0.456});
+  s->opt = std::make_unique<QueryOptimizer>(s->query, s->catalog,
+                                            CostParams::Postgres());
+  s->grid = std::make_unique<EssGrid>(s->query, std::vector<int>{24, 24});
+  s->diagram = std::make_unique<PlanDiagram>(GeneratePosp(
+      s->query, s->catalog, CostParams::Postgres(), *s->grid,
+      PospOptions{8}));
+  s->bouquet = std::make_unique<PlanBouquet>(
+      BuildBouquet(*s->diagram, s->opt.get()));
+  return s;
+}
+
+void PrintContourBreakup(const char* label, const DriverResult& res) {
+  std::printf("\n  -- %s: %d partial executions, %d contours crossed --\n",
+              label, res.num_executions, res.contours_crossed);
+  std::printf("  %-8s %-7s %-12s %-12s %-9s %s\n", "contour", "#exec",
+              "cost units", "time (s)", "spilled", "outcome");
+  std::map<int, std::tuple<int, double, double, int>> by_contour;
+  for (const auto& step : res.steps) {
+    auto& [execs, units, secs, spills] = by_contour[step.contour];
+    execs += 1;
+    units += step.charged;
+    secs += step.wall_seconds;
+    spills += step.spilled ? 1 : 0;
+  }
+  for (const auto& [contour, agg] : by_contour) {
+    const auto& [execs, units, secs, spills] = agg;
+    std::printf("  %-8d %-7d %-12s %-12.3f %-9d %s\n", contour + 1, execs,
+                FormatSci(units).c_str(), secs, spills,
+                contour == res.steps.back().contour && res.completed
+                    ? "completed"
+                    : "exhausted");
+  }
+  std::printf("  total: %s cost units, %.3f s\n",
+              FormatSci(res.total_cost_units).c_str(), res.wall_seconds);
+}
+
+void PrintReproduction() {
+  PrintHeader("Real execution of 2D_H_Q8a: NAT vs basic/optimized BOU",
+              "Table 3 / Section 6.7");
+  auto s = Build();
+  std::printf("\n  data: lineitem=%lld orders=%lld part=%lld rows "
+              "(scaled-down TPC-H)\n",
+              static_cast<long long>(s->db.table("lineitem").num_rows()),
+              static_cast<long long>(s->db.table("orders").num_rows()),
+              static_cast<long long>(s->db.table("part").num_rows()));
+  std::printf("  actual location q_a = (%.1f%%, %.1f%%)\n",
+              s->qa[0] * 100, s->qa[1] * 100);
+  std::printf("  bouquet: %d plans across %zu contours (rho=%d)\n",
+              s->bouquet->cardinality(), s->bouquet->contours.size(),
+              s->bouquet->rho());
+
+  BouquetDriver driver(*s->bouquet, *s->diagram, s->opt.get(), &s->db);
+
+  // NAT: plan chosen at the erroneous estimate, executed at the truth.
+  const DimVector qe = {1e-3, 1e-3};
+  const Plan nat_plan = s->opt->OptimizeAt(qe);
+  const DriverResult nat = driver.RunSinglePlan(*nat_plan.root);
+
+  // Oracle: the plan optimal at the actual location.
+  const Plan oracle_plan = s->opt->OptimizeAt(s->qa);
+  const DriverResult oracle = driver.RunSinglePlan(*oracle_plan.root);
+
+  const DriverResult basic = driver.RunBasic();
+  const DriverResult optimized = driver.RunOptimized();
+
+  PrintContourBreakup("Basic BOU", basic);
+  PrintContourBreakup("Optimized BOU", optimized);
+
+  std::printf("\n  -- Performance summary --\n");
+  std::printf("  %-22s %-12s %-14s %-10s\n", "strategy", "time (s)",
+              "cost units", "sub-opt");
+  auto row = [&](const char* name, const DriverResult& r) {
+    std::printf("  %-22s %-12.3f %-14s %-10.2f\n", name, r.wall_seconds,
+                FormatSci(r.total_cost_units).c_str(),
+                r.total_cost_units / oracle.total_cost_units);
+  };
+  row("NAT (qe wrong)", nat);
+  row("Basic BOU", basic);
+  row("Optimized BOU", optimized);
+  row("Optimal (oracle)", oracle);
+  std::printf("\n  result rows: NAT=%zu basic=%zu optimized=%zu oracle=%zu "
+              "(must all match)\n",
+              nat.rows.size(), basic.rows.size(), optimized.rows.size(),
+              oracle.rows.size());
+  std::printf("  Paper's shape: NAT ~36x optimal; basic BOU ~7x; optimized "
+              "BOU ~4x with fewer partial executions.\n");
+}
+
+void BM_OraclePlanExecution(benchmark::State& state) {
+  static auto s = Build();
+  static BouquetDriver driver(*s->bouquet, *s->diagram, s->opt.get(),
+                              &s->db);
+  const Plan plan = s->opt->OptimizeAt(s->qa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver.RunSinglePlan(*plan.root));
+  }
+}
+BENCHMARK(BM_OraclePlanExecution)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bouquet
+
+int main(int argc, char** argv) {
+  bouquet::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

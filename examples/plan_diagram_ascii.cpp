@@ -1,0 +1,114 @@
+// Visualizing a 2D plan diagram, its isocost contours, and a bouquet
+// discovery trajectory as ASCII art — the textual analogue of the paper's
+// Figures 6 and 9.
+//
+// Letters = optimal plan regions (the plan diagram). '#' overlays the
+// frontier points of the isocost contours. The second map shows one
+// optimized-bouquet run: '*' marks the q_run trajectory climbing from the
+// origin (bottom-left) toward the actual location '@'.
+//
+// Build & run:  ./build/examples/plan_diagram_ascii [sel1 sel2]
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "bouquet/bouquet.h"
+#include "bouquet/simulator.h"
+#include "common/str_util.h"
+#include "ess/posp_generator.h"
+#include "workloads/spaces.h"
+#include "workloads/tpch.h"
+
+int main(int argc, char** argv) {
+  using namespace bouquet;
+  double s1 = 0.3, s2 = 0.5;
+  if (argc == 3) {
+    s1 = std::atof(argv[1]);
+    s2 = std::atof(argv[2]);
+  }
+
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec query = Make2DHQ8a(tpch);
+  const EssGrid grid(query, {48, 48});
+  QueryOptimizer opt(query, tpch, CostParams::Postgres());
+  const PlanDiagram diagram =
+      GeneratePosp(query, tpch, CostParams::Postgres(), grid);
+  const PlanBouquet bouquet = BuildBouquet(diagram, &opt);
+
+  std::printf("2D plan diagram for %s (x = %s, y = %s), %d POSP plans\n\n",
+              query.name.c_str(), query.error_dims[0].label.c_str(),
+              query.error_dims[1].label.c_str(), diagram.num_plans());
+
+  // Contour membership lookup.
+  std::set<uint64_t> frontier;
+  for (const auto& c : bouquet.contours) {
+    frontier.insert(c.points.begin(), c.points.end());
+  }
+
+  // Map plan ids to letters by region size (largest = 'A').
+  const auto fractions = diagram.RegionFractions();
+  std::vector<int> order(diagram.num_plans());
+  for (int i = 0; i < diagram.num_plans(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return fractions[a] > fractions[b];
+  });
+  std::vector<char> letter(diagram.num_plans(), '?');
+  for (size_t i = 0; i < order.size(); ++i) {
+    letter[order[i]] =
+        i < 26 ? static_cast<char>('A' + i)
+               : static_cast<char>('a' + std::min<size_t>(i - 26, 25));
+  }
+
+  // Panel 1: plan regions + contour frontier.
+  for (int y = grid.resolution(1) - 1; y >= 0; --y) {
+    std::printf("  ");
+    for (int x = 0; x < grid.resolution(0); ++x) {
+      const uint64_t linear = grid.LinearIndex({x, y});
+      const char c = frontier.count(linear) ? '#'
+                                            : letter[diagram.plan_at(linear)];
+      std::putchar(c);
+    }
+    std::putchar('\n');
+  }
+  std::printf("  (x: %s .. %s, y likewise; '#' = isocost contour "
+              "frontiers)\n\n",
+              FormatPct(grid.axis(0).front()).c_str(),
+              FormatPct(grid.axis(0).back()).c_str());
+
+  std::printf("  Plans by region share:");
+  for (size_t i = 0; i < order.size() && i < 8; ++i) {
+    std::printf("  %c=%.0f%%", letter[order[i]], fractions[order[i]] * 100);
+  }
+  std::printf("\n\n");
+
+  // Panel 2: a discovery trajectory.
+  const GridPoint qa_pt = {grid.AxisFloor(0, s1), grid.AxisFloor(1, s2)};
+  const uint64_t qa = grid.LinearIndex(qa_pt);
+  BouquetSimulator sim(bouquet, diagram, &opt);
+  const SimResult run = sim.RunOptimized(qa);
+  std::set<uint64_t> trajectory;
+  for (const GridPoint& p : run.qrun_trace) {
+    trajectory.insert(grid.LinearIndex(p));
+  }
+  std::printf("Optimized bouquet discovery toward q_a = (%s, %s): %d "
+              "executions, sub-optimality %.2f\n\n",
+              FormatPct(grid.axis(0)[qa_pt[0]]).c_str(),
+              FormatPct(grid.axis(1)[qa_pt[1]]).c_str(), run.num_executions,
+              sim.SubOpt(run, qa));
+  for (int y = grid.resolution(1) - 1; y >= 0; --y) {
+    std::printf("  ");
+    for (int x = 0; x < grid.resolution(0); ++x) {
+      const uint64_t linear = grid.LinearIndex({x, y});
+      char c = '.';
+      if (frontier.count(linear)) c = '#';
+      if (trajectory.count(linear)) c = '*';
+      if (linear == qa) c = '@';
+      std::putchar(c);
+    }
+    std::putchar('\n');
+  }
+  std::printf("  ('*' = q_run trajectory from the origin, '@' = actual "
+              "location, '#' = contours)\n");
+  return 0;
+}

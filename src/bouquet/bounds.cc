@@ -1,0 +1,36 @@
+#include "bouquet/bounds.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace bouquet {
+
+double TheoremOneMso(double ratio) { return TheoremOneBound(ratio); }
+
+double MultiDMsoBound(double ratio, int rho, double lambda) {
+  return static_cast<double>(rho) * (1.0 + lambda) * TheoremOneBound(ratio);
+}
+
+double EquationEightBound(const PlanBouquet& bouquet) {
+  double worst = 0.0;
+  double cumulative = 0.0;
+  for (size_t k = 0; k < bouquet.contours.size(); ++k) {
+    const auto& c = bouquet.contours[k];
+    cumulative += static_cast<double>(c.plan_ids.size()) * c.budget;
+    // Oracle lower bound for q_a in band k: the optimal plan costs at least
+    // IC_{k-1} (PCM); for the first band, at least Cmin.
+    const double oracle =
+        k == 0 ? bouquet.cmin : bouquet.contours[k - 1].step_cost;
+    assert(oracle > 0.0);
+    worst = std::max(worst, cumulative / oracle);
+  }
+  return worst;
+}
+
+double ModelErrorInflation(double delta) {
+  return (1.0 + delta) * (1.0 + delta);
+}
+
+}  // namespace bouquet

@@ -1,0 +1,28 @@
+// Theoretical robustness bounds (Section 3 of the paper).
+
+#ifndef BOUQUET_BOUQUET_BOUNDS_H_
+#define BOUQUET_BOUQUET_BOUNDS_H_
+
+#include "bouquet/bouquet.h"
+
+namespace bouquet {
+
+/// Theorem 1: MSO <= r^2/(r-1) in 1D (== 4 at the optimal r = 2).
+double TheoremOneMso(double ratio);
+
+/// Theorem 3 with anorexic inflation: MSO <= rho * (1+lambda) * r^2/(r-1).
+double MultiDMsoBound(double ratio, int rho, double lambda);
+
+/// The tighter Equation-8 bound used for Table 1: actual per-contour plan
+/// counts n_i and budgets, against the oracle lower bound IC_{k-1}
+/// (Cmin for the first band):
+///   max_k  [ sum_{i<=k} n_i * budget_i ] / oracle_k.
+double EquationEightBound(const PlanBouquet& bouquet);
+
+/// Section 3.4: multiplicative MSO inflation under delta-bounded cost
+/// modeling errors: (1+delta)^2.
+double ModelErrorInflation(double delta);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_BOUQUET_BOUNDS_H_

@@ -1,0 +1,78 @@
+#include "bouquet/bouquet.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ess/anorexic.h"
+
+namespace bouquet {
+
+int PlanBouquet::rho() const {
+  int r = 0;
+  for (const auto& c : contours) {
+    r = std::max(r, static_cast<int>(c.plan_ids.size()));
+  }
+  return r;
+}
+
+PlanBouquet BuildBouquet(const PlanDiagram& diagram, QueryOptimizer* opt,
+                         const BouquetParams& params) {
+  const ContourSet contours = IdentifyContours(diagram, params.ratio);
+
+  // Union of contour points (deduplicated), for a single reduction pass.
+  std::vector<uint64_t> union_points;
+  for (const auto& pts : contours.points) {
+    union_points.insert(union_points.end(), pts.begin(), pts.end());
+  }
+  std::sort(union_points.begin(), union_points.end());
+  union_points.erase(
+      std::unique(union_points.begin(), union_points.end()),
+      union_points.end());
+
+  // Plan assignment on the contour points: reduced or native.
+  std::vector<int> assignment(union_points.size());
+  if (params.anorexic && !union_points.empty()) {
+    AnorexicResult red =
+        AnorexicReduce(diagram, opt, params.lambda, &union_points);
+    assignment = std::move(red.plan_at);
+  } else {
+    for (size_t i = 0; i < union_points.size(); ++i) {
+      assignment[i] = diagram.plan_at(union_points[i]);
+    }
+  }
+  auto assigned_plan = [&](uint64_t point) {
+    const auto it = std::lower_bound(union_points.begin(),
+                                     union_points.end(), point);
+    return assignment[it - union_points.begin()];
+  };
+
+  PlanBouquet bouquet;
+  bouquet.params = params;
+  bouquet.cmin = contours.cmin;
+  bouquet.cmax = contours.cmax;
+  // The anorexic reduction licenses plans that are up to (1+lambda) above
+  // optimal, so contour budgets are inflated accordingly (Section 4.3).
+  const double inflation = params.anorexic ? (1.0 + params.lambda) : 1.0;
+
+  std::set<int> union_plans;
+  for (size_t k = 0; k < contours.step_costs.size(); ++k) {
+    BouquetContour bc;
+    bc.step_cost = contours.step_costs[k];
+    bc.budget = bc.step_cost * inflation;
+    bc.points = contours.points[k];
+    bc.plan_at.reserve(bc.points.size());
+    std::set<int> distinct;
+    for (uint64_t p : bc.points) {
+      const int plan = assigned_plan(p);
+      bc.plan_at.push_back(plan);
+      distinct.insert(plan);
+      union_plans.insert(plan);
+    }
+    bc.plan_ids.assign(distinct.begin(), distinct.end());
+    bouquet.contours.push_back(std::move(bc));
+  }
+  bouquet.plan_ids.assign(union_plans.begin(), union_plans.end());
+  return bouquet;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,55 @@
+// Plan bouquet identification (compile-time phase, Section 4).
+//
+// Pipeline: isocost contours on the PIC -> anorexic reduction of the plans
+// lying on the contours (lambda-swallowing) -> per-contour plan sets, with
+// contour budgets inflated by (1+lambda) to account for the reduction.
+
+#ifndef BOUQUET_BOUQUET_BOUQUET_H_
+#define BOUQUET_BOUQUET_BOUQUET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bouquet/contours.h"
+#include "ess/plan_diagram.h"
+#include "optimizer/optimizer.h"
+
+namespace bouquet {
+
+struct BouquetParams {
+  double ratio = 2.0;    ///< isocost common ratio (r = 2 is optimal, Thm 1/2)
+  double lambda = 0.2;   ///< anorexic reduction threshold (20% in the paper)
+  bool anorexic = true;  ///< disable to study the raw-POSP configuration
+};
+
+/// One isocost contour with its assigned (possibly reduced) plans.
+struct BouquetContour {
+  double step_cost = 0.0;          ///< IC_k
+  double budget = 0.0;             ///< (1+lambda) * IC_k
+  std::vector<uint64_t> points;    ///< frontier grid points
+  std::vector<int> plan_at;        ///< plan id per point (aligned with points)
+  std::vector<int> plan_ids;       ///< distinct plans on this contour
+};
+
+/// The complete bouquet.
+struct PlanBouquet {
+  BouquetParams params;
+  double cmin = 0.0;
+  double cmax = 0.0;
+  std::vector<BouquetContour> contours;
+  std::vector<int> plan_ids;  ///< union over contours (diagram plan ids)
+
+  /// Plan density of the densest contour (the rho of Theorem 3).
+  int rho() const;
+  /// Total number of distinct plans in the bouquet.
+  int cardinality() const { return static_cast<int>(plan_ids.size()); }
+};
+
+/// Builds the bouquet from an exhaustive plan diagram. `opt` is used for
+/// abstract plan costing during the anorexic reduction.
+PlanBouquet BuildBouquet(const PlanDiagram& diagram, QueryOptimizer* opt,
+                         const BouquetParams& params = {});
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_BOUQUET_BOUQUET_H_

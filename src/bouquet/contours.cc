@@ -1,0 +1,48 @@
+#include "bouquet/contours.h"
+
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace bouquet {
+
+ContourSet IdentifyContours(const PlanDiagram& diagram, double ratio) {
+  const EssGrid& grid = diagram.grid();
+  ContourSet out;
+  out.cmin = diagram.Cmin();
+  out.cmax = diagram.Cmax();
+  out.step_costs = GeometricSteps(out.cmin, out.cmax, ratio);
+  const int m = static_cast<int>(out.step_costs.size());
+  out.points.resize(m);
+
+  // Small relative slack so points exactly on a step stay inside it.
+  constexpr double kEps = 1e-12;
+  grid.ForEach([&](uint64_t linear, const GridPoint& p) {
+    const double c = diagram.cost_at(linear);
+    for (int k = 0; k < m; ++k) {
+      const double step = out.step_costs[k];
+      if (c > step * (1.0 + kEps)) continue;  // outside region k
+      // Frontier test: every +1 successor must cost more than the step.
+      bool frontier = true;
+      for (int d = 0; d < grid.dims() && frontier; ++d) {
+        if (p[d] + 1 >= grid.resolution(d)) continue;  // grid boundary
+        const uint64_t succ = grid.LinearWithDim(linear, d, p[d] + 1);
+        if (diagram.cost_at(succ) <= step * (1.0 + kEps)) frontier = false;
+      }
+      if (frontier) out.points[k].push_back(linear);
+    }
+  });
+  return out;
+}
+
+int BandOf(const ContourSet& contours, double pic_cost) {
+  constexpr double kEps = 1e-12;
+  for (size_t k = 0; k < contours.step_costs.size(); ++k) {
+    if (pic_cost <= contours.step_costs[k] * (1.0 + kEps)) {
+      return static_cast<int>(k);
+    }
+  }
+  return static_cast<int>(contours.step_costs.size()) - 1;
+}
+
+}  // namespace bouquet

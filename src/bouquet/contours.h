@@ -1,0 +1,37 @@
+// Isocost contour identification on the discretized PIC.
+//
+// The isocost ladder IC_1..IC_m is a geometric progression (ratio r) anchored
+// at IC_m = Cmax with IC_1/r < Cmin <= IC_1 (Section 3.1). On the discrete
+// grid, the contour of IC_k is the componentwise-maximal frontier of the
+// downward-closed region {q : PIC(q) <= IC_k}: exactly the points all of
+// whose +1 grid successors cost more than IC_k. Every query location inside
+// the region is dominated by some frontier point, which is what makes the
+// per-contour execution guarantee work.
+
+#ifndef BOUQUET_BOUQUET_CONTOURS_H_
+#define BOUQUET_BOUQUET_CONTOURS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ess/plan_diagram.h"
+
+namespace bouquet {
+
+/// The isocost steps and the frontier point set of each step.
+struct ContourSet {
+  std::vector<double> step_costs;               ///< IC_1..IC_m
+  std::vector<std::vector<uint64_t>> points;    ///< per step, frontier points
+  double cmin = 0.0;
+  double cmax = 0.0;
+};
+
+/// Identifies contours on the diagram's PIC with the given cost ratio.
+ContourSet IdentifyContours(const PlanDiagram& diagram, double ratio);
+
+/// The band index of a query location: smallest k with PIC(q) <= IC_k.
+int BandOf(const ContourSet& contours, double pic_cost);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_BOUQUET_CONTOURS_H_

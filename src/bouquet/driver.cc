@@ -1,0 +1,450 @@
+#include "bouquet/driver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+namespace bouquet {
+
+namespace {
+
+constexpr double kRelEps = 1e-9;
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Does the subtree evaluate any error dimension that is not yet learned,
+// other than `exclude_dim`?
+bool SubtreeHasUnlearnedDim(const PlanNode& node, const QuerySpec& q,
+                            const std::vector<bool>& learned,
+                            int exclude_dim) {
+  for (size_t d = 0; d < q.error_dims.size(); ++d) {
+    if (static_cast<int>(d) == exclude_dim || learned[d]) continue;
+    const ErrorDimension& ed = q.error_dims[d];
+    if (FindPredicateNode(node, ed.kind == DimKind::kJoin,
+                          ed.predicate_index) != nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+BouquetDriver::BouquetDriver(const PlanBouquet& bouquet,
+                             const PlanDiagram& diagram, QueryOptimizer* opt,
+                             Database* db)
+    : bouquet_(&bouquet), diagram_(&diagram), opt_(opt), db_(db) {}
+
+ExecContext BouquetDriver::MakeContext() {
+  ExecContext ctx;
+  ctx.query = &opt_->query();
+  ctx.catalog = &opt_->catalog();
+  ctx.db = db_;
+  ctx.cost_model = &opt_->cost_model();
+  return ctx;
+}
+
+DriverResult BouquetDriver::RunBasic() {
+  DriverResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (size_t k = 0; k < bouquet_->contours.size(); ++k) {
+    const BouquetContour& contour = bouquet_->contours[k];
+    res.contours_crossed = static_cast<int>(k);
+    for (int plan_id : contour.plan_ids) {
+      const Plan& plan = diagram_->plan(plan_id);
+      ExecContext ctx = MakeContext();
+      std::vector<Row> rows;
+      const auto t1 = std::chrono::steady_clock::now();
+      const ExecutionOutcome out =
+          ExecutePlan(*plan.root, &ctx, contour.budget, &rows);
+      const auto t2 = std::chrono::steady_clock::now();
+
+      DriverStep step;
+      step.contour = static_cast<int>(k);
+      step.plan_id = plan_id;
+      step.plan_signature = plan.signature;
+      step.budget = contour.budget;
+      step.charged = out.cost_charged;
+      step.wall_seconds = Seconds(t1, t2);
+      step.completed = out.status == ExecResult::kDone;
+      res.total_cost_units += out.cost_charged;
+      ++res.num_executions;
+      res.steps.push_back(step);
+
+      if (out.status == ExecResult::kDone) {
+        res.completed = true;
+        res.final_plan = plan_id;
+        res.rows = std::move(rows);
+        res.wall_seconds = Seconds(t0, t2);
+        return res;
+      }
+      // Aborted: intermediate results jettisoned (rows discarded).
+    }
+  }
+
+  // Safety net: unbounded execution of the plan covering the ESS max corner
+  // on the last contour (the plan guaranteed to handle the largest q_a).
+  const BouquetContour& last = bouquet_->contours.back();
+  const uint64_t corner = diagram_->grid().LinearIndex(
+      diagram_->grid().MaxCorner());
+  int fallback = last.plan_ids.front();
+  for (size_t i = 0; i < last.points.size(); ++i) {
+    if (last.points[i] == corner) {
+      fallback = last.plan_at[i];
+      break;
+    }
+  }
+  const Plan& plan = diagram_->plan(fallback);
+  ExecContext ctx = MakeContext();
+  std::vector<Row> rows;
+  const auto t1 = std::chrono::steady_clock::now();
+  const ExecutionOutcome out = ExecutePlan(
+      *plan.root, &ctx, std::numeric_limits<double>::infinity(), &rows);
+  const auto t2 = std::chrono::steady_clock::now();
+  DriverStep step;
+  step.contour = static_cast<int>(bouquet_->contours.size()) - 1;
+  step.plan_id = fallback;
+  step.plan_signature = plan.signature;
+  step.budget = std::numeric_limits<double>::infinity();
+  step.charged = out.cost_charged;
+  step.wall_seconds = Seconds(t1, t2);
+  step.completed = out.status == ExecResult::kDone;
+  res.steps.push_back(step);
+  ++res.num_executions;
+  res.total_cost_units += out.cost_charged;
+  // A build failure (e.g. abstract predicates without constants) must not
+  // masquerade as a successful empty result.
+  res.completed = out.status == ExecResult::kDone;
+  res.final_plan = fallback;
+  res.rows = std::move(rows);
+  res.wall_seconds = Seconds(t0, t2);
+  return res;
+}
+
+bool BouquetDriver::HarvestSelectivities(const PlanNode& plan_root,
+                                         ExecContext* ctx, DimVector* qrun,
+                                         std::vector<bool>* learned) {
+  const QuerySpec& q = opt_->query();
+  bool moved = false;
+
+  const std::vector<const PlanNode*> nodes = CollectNodes(plan_root);
+
+  // Resolver with the current q_run injected: learned dims resolve to their
+  // discovered (exact) selectivities, error-free predicates to their
+  // accurate catalog estimates. Unlearned dims resolve to lower bounds, but
+  // those block learning below anyway.
+  SelectivityResolver accurate(q, opt_->catalog());
+
+  for (size_t d = 0; d < q.error_dims.size(); ++d) {
+    if ((*learned)[d]) continue;
+    // Refresh with the current q_run so updates made earlier in this pass
+    // are visible (Inject only rewrites the error-dim slots; cheap).
+    accurate.Inject(*qrun);
+    const ErrorDimension& ed = q.error_dims[d];
+    const bool is_join = ed.kind == DimKind::kJoin;
+    const PlanNode* node =
+        FindPredicateNode(plan_root, is_join, ed.predicate_index);
+    if (node == nullptr) continue;
+    const NodeCounters* counters = ctx->instr.Find(node);
+    if (counters == nullptr) continue;
+
+    double denom = 0.0;
+    if (!is_join) {
+      // Selection: output = raw_rows * s_d * (other known filter sels).
+      const TableInfo& t =
+          opt_->catalog().GetTable(q.tables[node->table_idx]);
+      denom = t.stats.row_count;
+      for (int f : node->filter_idxs) {
+        if (f == ed.predicate_index) continue;
+        // Another unlearned error dimension on the same node blocks learning.
+        bool is_error_dim = false;
+        for (size_t e = 0; e < q.error_dims.size(); ++e) {
+          if (q.error_dims[e].kind == DimKind::kSelection &&
+              q.error_dims[e].predicate_index == f && !(*learned)[e]) {
+            is_error_dim = true;
+          }
+        }
+        if (is_error_dim) {
+          denom = 0.0;
+          break;
+        }
+        denom *= accurate.FilterSelectivity(f);
+      }
+    } else {
+      // Join: output = |L| * |R| * s_d * (other sels at the node). Inputs
+      // must be free of unlearned error dims.
+      if (node->left == nullptr || node->right == nullptr) continue;
+      if (SubtreeHasUnlearnedDim(*node->left, q, *learned, -1) ||
+          SubtreeHasUnlearnedDim(*node->right, q, *learned, -1)) {
+        continue;
+      }
+      // Recost at the *current* q_run — including any updates made earlier
+      // in this very pass — so the input cardinalities reflect every
+      // already-learned dimension (a stale snapshot would underestimate the
+      // denominator and overshoot s_hat, breaching the first-quadrant
+      // invariant). Inputs are error-free or fully learned here, so the
+      // recosted child cardinalities are exact.
+      const PlanCostDetail detail = opt_->RecostPlanAt(plan_root, *qrun);
+      double lrows = -1.0, rrows = -1.0;
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i] == node->left.get()) lrows = detail.nodes[i].rows;
+        if (nodes[i] == node->right.get()) rrows = detail.nodes[i].rows;
+      }
+      if (lrows < 0.0 || rrows < 0.0) continue;
+      denom = lrows * rrows;
+      for (int j : node->join_idxs) {
+        if (j == ed.predicate_index) continue;
+        bool is_error_dim = false;
+        for (size_t e = 0; e < q.error_dims.size(); ++e) {
+          if (q.error_dims[e].kind == DimKind::kJoin &&
+              q.error_dims[e].predicate_index == j && !(*learned)[e]) {
+            is_error_dim = true;
+          }
+        }
+        if (is_error_dim) {
+          denom = 0.0;
+          break;
+        }
+        denom *= accurate.JoinSelectivity(j);
+      }
+    }
+    if (denom <= 0.0) continue;
+
+    const double s_hat = static_cast<double>(counters->tuples_out) / denom;
+    const double clamped = std::clamp(s_hat, ed.lo, ed.hi);
+    if (clamped > (*qrun)[d] * (1.0 + kRelEps)) {
+      (*qrun)[d] = clamped;
+      moved = true;
+    }
+    if (counters->finished) {
+      (*learned)[d] = true;
+      moved = true;
+    }
+  }
+  return moved;
+}
+
+DriverResult BouquetDriver::RunOptimized() {
+  DriverResult res;
+  const QuerySpec& q = opt_->query();
+  const EssGrid& grid = diagram_->grid();
+  const int dims = q.NumDims();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  DimVector qrun(dims);
+  std::vector<bool> learned(dims, false);
+  for (int d = 0; d < dims; ++d) qrun[d] = q.error_dims[d].lo;
+
+  auto all_learned = [&]() {
+    return std::all_of(learned.begin(), learned.end(),
+                       [](bool b) { return b; });
+  };
+
+  auto final_execution = [&](std::chrono::steady_clock::time_point t_begin) {
+    const Plan plan = opt_->OptimizeAt(qrun);
+    ExecContext ctx = MakeContext();
+    std::vector<Row> rows;
+    const auto t1 = std::chrono::steady_clock::now();
+    const ExecutionOutcome out = ExecutePlan(
+        *plan.root, &ctx, std::numeric_limits<double>::infinity(), &rows);
+    const auto t2 = std::chrono::steady_clock::now();
+    DriverStep step;
+    step.contour = res.contours_crossed;
+    step.plan_id = diagram_->FindPlan(plan.signature);
+    step.plan_signature = plan.signature;
+    step.budget = std::numeric_limits<double>::infinity();
+    step.charged = out.cost_charged;
+    step.wall_seconds = Seconds(t1, t2);
+    step.completed = out.status == ExecResult::kDone;
+    res.steps.push_back(step);
+    ++res.num_executions;
+    res.total_cost_units += out.cost_charged;
+    res.completed = out.status == ExecResult::kDone;
+    res.final_plan = step.plan_id;
+    res.rows = std::move(rows);
+    res.wall_seconds = Seconds(t_begin, t2);
+    HarvestSelectivities(*plan.root, &ctx, &qrun, &learned);
+    res.discovered_selectivities = qrun;
+  };
+
+  size_t k = 0;
+  while (k < bouquet_->contours.size()) {
+    const BouquetContour& contour = bouquet_->contours[k];
+    const double budget = contour.budget;
+    res.contours_crossed = static_cast<int>(k);
+
+    if (all_learned()) {
+      final_execution(t0);
+      return res;
+    }
+    // Early skip: optimal cost at the lower-bound location already exceeds
+    // this contour's budget.
+    if (opt_->OptimizeAt(qrun).cost > budget * (1.0 + kRelEps)) {
+      ++k;
+      continue;
+    }
+
+    std::vector<int> executed;
+    bool advanced = false;
+    while (!advanced) {
+      if (all_learned()) {
+        final_execution(t0);
+        return res;
+      }
+      // Candidate plans: contour points in the first quadrant of q_run.
+      std::vector<int> remaining;
+      for (size_t i = 0; i < contour.points.size(); ++i) {
+        const DimVector p = grid.SelectivityAt(contour.points[i]);
+        bool quadrant = true;
+        for (int d = 0; d < dims; ++d) {
+          if (p[d] < qrun[d] * (1.0 - kRelEps)) {
+            quadrant = false;
+            break;
+          }
+        }
+        if (!quadrant) continue;
+        const int plan = contour.plan_at[i];
+        if (std::find(executed.begin(), executed.end(), plan) !=
+                executed.end() ||
+            std::find(remaining.begin(), remaining.end(), plan) !=
+                remaining.end()) {
+          continue;
+        }
+        remaining.push_back(plan);
+      }
+      if (remaining.empty()) {
+        ++k;
+        break;
+      }
+
+      // Pick: cheapest at q_run within a 20% group, deepest unlearned
+      // error node.
+      int chosen = remaining.front();
+      {
+        double min_cost = std::numeric_limits<double>::infinity();
+        std::vector<double> costs(remaining.size());
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          costs[i] =
+              opt_->CostPlanAt(*diagram_->plan(remaining[i]).root, qrun);
+          min_cost = std::min(min_cost, costs[i]);
+        }
+        int best_depth = -2;
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          if (costs[i] > min_cost * 1.2) continue;
+          const PlanNode& root = *diagram_->plan(remaining[i]).root;
+          int depth = -1;
+          for (int d = 0; d < dims; ++d) {
+            if (learned[d]) continue;
+            const ErrorDimension& ed = q.error_dims[d];
+            depth = std::max(depth, ErrorNodeMaxDepth(
+                                        root, ed.kind == DimKind::kJoin,
+                                        ed.predicate_index));
+          }
+          if (depth > best_depth) {
+            best_depth = depth;
+            chosen = remaining[i];
+          }
+        }
+      }
+
+      // Learning dimension (deepest unlearned) and its spill subtree.
+      const Plan& plan = diagram_->plan(chosen);
+      int learn_dim = -1;
+      int learn_depth = -1;
+      for (int d = 0; d < dims; ++d) {
+        if (learned[d]) continue;
+        const ErrorDimension& ed = q.error_dims[d];
+        const int depth = ErrorNodeMaxDepth(
+            *plan.root, ed.kind == DimKind::kJoin, ed.predicate_index);
+        if (depth > learn_depth) {
+          learn_depth = depth;
+          learn_dim = d;
+        }
+      }
+      const PlanNode* spill_root = nullptr;
+      if (learn_dim >= 0) {
+        const ErrorDimension& ed = q.error_dims[learn_dim];
+        spill_root = FindPredicateNode(
+            *plan.root, ed.kind == DimKind::kJoin, ed.predicate_index);
+      }
+      const bool spill_is_full = spill_root == plan.root.get();
+
+      ExecContext ctx = MakeContext();
+      std::vector<Row> rows;
+      const auto t1 = std::chrono::steady_clock::now();
+      ExecutionOutcome out;
+      if (spill_root != nullptr && !spill_is_full) {
+        out = ExecuteSpilled(*spill_root, &ctx, budget);
+      } else {
+        out = ExecutePlan(*plan.root, &ctx, budget, &rows);
+      }
+      const auto t2 = std::chrono::steady_clock::now();
+
+      DriverStep step;
+      step.contour = static_cast<int>(k);
+      step.plan_id = chosen;
+      step.plan_signature = plan.signature;
+      step.budget = budget;
+      step.charged = out.cost_charged;
+      step.wall_seconds = Seconds(t1, t2);
+      step.spilled = spill_root != nullptr && !spill_is_full;
+      step.learned_dim = learn_dim;
+      step.completed =
+          out.status == ExecResult::kDone && !step.spilled;
+      res.steps.push_back(step);
+      ++res.num_executions;
+      res.total_cost_units += out.cost_charged;
+
+      if (out.status == ExecResult::kDone && !step.spilled) {
+        // A generic execution finished: this is the query result. Harvest
+        // the completed run's counters first — they pin down the actual
+        // selectivities exactly (useful for workload error logs).
+        HarvestSelectivities(*plan.root, &ctx, &qrun, &learned);
+        res.completed = true;
+        res.final_plan = chosen;
+        res.rows = std::move(rows);
+        res.wall_seconds = Seconds(t0, t2);
+        res.discovered_selectivities = qrun;
+        return res;
+      }
+
+      const PlanNode& harvest_root =
+          step.spilled ? *spill_root : *plan.root;
+      HarvestSelectivities(harvest_root, &ctx, &qrun, &learned);
+      executed.push_back(chosen);
+
+      // Early contour change once the optimal cost at q_run exceeds the
+      // budget.
+      if (opt_->OptimizeAt(qrun).cost > budget * (1.0 + kRelEps)) {
+        ++k;
+        advanced = true;
+      }
+    }
+  }
+
+  // All contours exhausted: execute the optimal plan at the discovered
+  // location to completion.
+  final_execution(t0);
+  return res;
+}
+
+DriverResult BouquetDriver::RunSinglePlan(const PlanNode& root) {
+  DriverResult res;
+  ExecContext ctx = MakeContext();
+  const auto t1 = std::chrono::steady_clock::now();
+  const ExecutionOutcome out = ExecutePlan(
+      root, &ctx, std::numeric_limits<double>::infinity(), &res.rows);
+  const auto t2 = std::chrono::steady_clock::now();
+  res.completed = out.status == ExecResult::kDone;
+  res.total_cost_units = out.cost_charged;
+  res.wall_seconds = Seconds(t1, t2);
+  res.num_executions = 1;
+  return res;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,126 @@
+#include "bouquet/maintenance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace bouquet {
+
+PlanDiagram MaintainDiagram(const PlanDiagram& old_diagram,
+                            const QuerySpec& query,
+                            const Catalog& new_catalog, CostParams params,
+                            int validation_stride, MaintenanceStats* stats) {
+  const EssGrid& grid = old_diagram.grid();
+  const uint64_t n = grid.num_points();
+  QueryOptimizer opt(query, new_catalog, params);
+  MaintenanceStats local;
+
+  PlanDiagram fresh(&grid);
+  // Intern the old plan set up front so ids are stable.
+  std::vector<int> old_to_fresh(old_diagram.num_plans());
+  for (int pid = 0; pid < old_diagram.num_plans(); ++pid) {
+    old_to_fresh[pid] = fresh.InternPlan(old_diagram.plan(pid));
+  }
+
+  // Pass 1: per point, recost only the *local* candidates — the point's own
+  // old plan and the old plans of its +-1 grid neighbors. Catalog changes
+  // shift plan-region boundaries locally, so the local candidate set covers
+  // the new optimum except where genuinely new plans appear (pass 2).
+  std::vector<double> best_cost(n, std::numeric_limits<double>::infinity());
+  std::vector<int> best_plan(n, -1);
+  const int dims = grid.dims();
+  assert(dims <= 16 && "local candidate buffer sized for <= 16 dims");
+  grid.ForEach([&](uint64_t linear, const GridPoint& p) {
+    const DimVector sel = grid.SelectivityAt(linear);
+    int candidates[1 + 2 * 16];
+    int num_candidates = 0;
+    candidates[num_candidates++] = old_diagram.plan_at(linear);
+    for (int d = 0; d < dims; ++d) {
+      for (int delta : {-1, +1}) {
+        const int ni = p[d] + delta;
+        if (ni < 0 || ni >= grid.resolution(d)) continue;
+        const int cand =
+            old_diagram.plan_at(grid.LinearWithDim(linear, d, ni));
+        bool dup = false;
+        for (int k = 0; k < num_candidates; ++k) {
+          if (candidates[k] == cand) dup = true;
+        }
+        if (!dup) candidates[num_candidates++] = cand;
+      }
+    }
+    for (int k = 0; k < num_candidates; ++k) {
+      const int fresh_id = old_to_fresh[candidates[k]];
+      const double c = opt.CostPlanAt(*fresh.plan(fresh_id).root, sel);
+      ++local.recost_evaluations;
+      if (c < best_cost[linear]) {
+        best_cost[linear] = c;
+        best_plan[linear] = fresh_id;
+      }
+    }
+  });
+
+
+  // Pass 2: sparse validation with fresh optimizations; adopt new plans and
+  // fold them into the infimum.
+  const int stride = std::max(1, validation_stride);
+  std::vector<std::pair<uint64_t, double>> validated;
+  for (uint64_t i = 0; i < n; i += stride) {
+    const Plan optimal = opt.OptimizeAt(grid.SelectivityAt(i));
+    ++local.optimizer_calls;
+    assert(optimal.cost > 0.0);
+    validated.emplace_back(i, optimal.cost);
+    if (fresh.FindPlan(optimal.signature) < 0) {
+      // Seed the newly-discovered plan at its validation point only; the
+      // relaxation sweeps below spread it across its (connected) region.
+      const int id = fresh.InternPlan(optimal);
+      ++local.new_plans_adopted;
+      if (optimal.cost < best_cost[i]) {
+        best_cost[i] = optimal.cost;
+        best_plan[i] = id;
+      }
+    } else if (optimal.cost < best_cost[i]) {
+      best_cost[i] = optimal.cost;
+      best_plan[i] = fresh.FindPlan(optimal.signature);
+    }
+  }
+
+  // Pass 3: relaxation — plan regions tile the space, so propagating each
+  // point's best plan to its neighbors until fixpoint recovers boundary
+  // shifts larger than one cell. Converges in a few sweeps.
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    bool changed = false;
+    grid.ForEach([&](uint64_t linear, const GridPoint& p) {
+      const DimVector sel = grid.SelectivityAt(linear);
+      for (int d = 0; d < dims; ++d) {
+        for (int delta : {-1, +1}) {
+          const int ni = p[d] + delta;
+          if (ni < 0 || ni >= grid.resolution(d)) continue;
+          const int cand = best_plan[grid.LinearWithDim(linear, d, ni)];
+          if (cand == best_plan[linear]) continue;
+          const double c = opt.CostPlanAt(*fresh.plan(cand).root, sel);
+          ++local.recost_evaluations;
+          if (c < best_cost[linear] * (1 - 1e-12)) {
+            best_cost[linear] = c;
+            best_plan[linear] = cand;
+            changed = true;
+          }
+        }
+      }
+    });
+    if (!changed) break;
+  }
+
+  // Final validation-ratio report against the fresh optima sampled above.
+  for (const auto& [i, optimal_cost] : validated) {
+    local.worst_validation_ratio = std::max(
+        local.worst_validation_ratio, best_cost[i] / optimal_cost);
+  }
+
+  for (uint64_t i = 0; i < n; ++i) {
+    fresh.Set(i, best_plan[i], best_cost[i]);
+  }
+  if (stats != nullptr) *stats = local;
+  return fresh;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,49 @@
+// Incremental bouquet maintenance under database scale-up.
+//
+// Section 8 of the paper flags this as an open problem: when the database
+// grows, the old ESS/bouquet is stale, but recomputing from scratch wastes
+// work because the POSP plan *set* tends to be stable even when the cost
+// surfaces shift. This module implements the candidate-recosting strategy:
+//
+//   1. keep the old diagram's plan set as candidates,
+//   2. recost every candidate at every grid point against the new catalog
+//      (recosting is 10-100x cheaper than a fresh optimizer call),
+//   3. validate the recosted infimum on a sparse lattice with fresh
+//      optimizations, adopting any newly-discovered plans and repeating the
+//      recosting for them,
+//   4. report the worst observed deviation so the caller can widen contour
+//      budgets by that factor (preserving the completion guarantee).
+
+#ifndef BOUQUET_BOUQUET_MAINTENANCE_H_
+#define BOUQUET_BOUQUET_MAINTENANCE_H_
+
+#include <memory>
+
+#include "ess/plan_diagram.h"
+#include "optimizer/optimizer.h"
+
+namespace bouquet {
+
+/// Outcome of an incremental diagram refresh.
+struct MaintenanceStats {
+  long long recost_evaluations = 0;  ///< candidate recosting work
+  long long optimizer_calls = 0;     ///< fresh optimizations (sparse lattice)
+  int new_plans_adopted = 0;         ///< plans the validation pass surfaced
+  /// max over validated points of  recosted_infimum / fresh_optimal; 1.0
+  /// means the candidate set stayed optimal everywhere sampled.
+  double worst_validation_ratio = 1.0;
+};
+
+/// Refreshes `old_diagram` for a changed catalog without exhaustively
+/// re-optimizing the grid. `validation_stride` controls the sparse lattice:
+/// every stride-th grid point is verified with a fresh optimizer call.
+/// The returned diagram indexes the same grid object as the old one.
+PlanDiagram MaintainDiagram(const PlanDiagram& old_diagram,
+                            const QuerySpec& query,
+                            const Catalog& new_catalog, CostParams params,
+                            int validation_stride = 16,
+                            MaintenanceStats* stats = nullptr);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_BOUQUET_MAINTENANCE_H_

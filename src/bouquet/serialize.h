@@ -1,0 +1,52 @@
+// Persistence for compiled bouquets.
+//
+// The paper's deployment story (Section 4.2) is "canned", form-based
+// queries whose POSP exploration is precomputed offline. That only works if
+// the compile-time artifacts survive process restarts, so this module
+// serializes plan diagrams and bouquets to a line-oriented text format and
+// loads them back. Plans round-trip structurally (operator tree, predicate
+// indexes, presorted flags); costs and grid geometry are restored exactly
+// (hex float encoding).
+//
+// The format is versioned and self-describing enough for forward debugging
+// (one record per line, space-separated fields, '#' comments ignored).
+
+#ifndef BOUQUET_BOUQUET_SERIALIZE_H_
+#define BOUQUET_BOUQUET_SERIALIZE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "bouquet/bouquet.h"
+#include "common/status.h"
+#include "ess/plan_diagram.h"
+
+namespace bouquet {
+
+/// A loaded compile-time bundle: the grid is owned here because the
+/// serialized diagram references it.
+struct LoadedBouquet {
+  std::unique_ptr<EssGrid> grid;
+  std::unique_ptr<PlanDiagram> diagram;
+  std::unique_ptr<PlanBouquet> bouquet;
+};
+
+/// Writes the diagram + bouquet (which must index the same grid) to a
+/// stream / file.
+Status SaveBouquet(const PlanDiagram& diagram, const PlanBouquet& bouquet,
+                   std::ostream& out);
+Status SaveBouquetToFile(const PlanDiagram& diagram,
+                         const PlanBouquet& bouquet,
+                         const std::string& path);
+
+/// Loads a bundle previously written by SaveBouquet. `query` must be the
+/// same query the bundle was compiled for (dimension count is validated;
+/// predicate indexes are trusted).
+Result<LoadedBouquet> LoadBouquet(const QuerySpec& query, std::istream& in);
+Result<LoadedBouquet> LoadBouquetFromFile(const QuerySpec& query,
+                                          const std::string& path);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_BOUQUET_SERIALIZE_H_

@@ -1,0 +1,348 @@
+#include "bouquet/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bouquet {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// SplitMix-style mix for the deterministic modeling-error factor.
+uint64_t MixHash(uint64_t a, uint64_t b) {
+  uint64_t z = a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+BouquetSimulator::BouquetSimulator(const PlanBouquet& bouquet,
+                                   const PlanDiagram& diagram,
+                                   QueryOptimizer* opt, Options options)
+    : bouquet_(&bouquet), diagram_(&diagram), options_(options) {
+  dense_of_plan_.assign(diagram.num_plans(), -1);
+  for (int pid : bouquet.plan_ids) {
+    dense_of_plan_[pid] = static_cast<int>(plan_of_dense_.size());
+    plan_of_dense_.push_back(pid);
+  }
+  const EssGrid& grid = diagram.grid();
+  const uint64_t n = grid.num_points();
+  est_cost_.resize(plan_of_dense_.size());
+  for (size_t d = 0; d < plan_of_dense_.size(); ++d) {
+    est_cost_[d].resize(n);
+    const PlanNode& root = *diagram.plan(plan_of_dense_[d]).root;
+    for (uint64_t i = 0; i < n; ++i) {
+      est_cost_[d][i] = opt->CostPlanAt(root, grid.SelectivityAt(i));
+    }
+  }
+  // Error-node depths per plan and dimension (Section 5.1 heuristic).
+  const QuerySpec& q = opt->query();
+  dim_depth_.resize(plan_of_dense_.size());
+  for (size_t d = 0; d < plan_of_dense_.size(); ++d) {
+    dim_depth_[d].resize(q.error_dims.size());
+    const PlanNode& root = *diagram.plan(plan_of_dense_[d]).root;
+    for (size_t dim = 0; dim < q.error_dims.size(); ++dim) {
+      const ErrorDimension& ed = q.error_dims[dim];
+      dim_depth_[d][dim] = ErrorNodeMaxDepth(
+          root, ed.kind == DimKind::kJoin, ed.predicate_index);
+    }
+  }
+}
+
+int BouquetSimulator::DenseIndex(int plan_id) const {
+  const int d = dense_of_plan_[plan_id];
+  assert(d >= 0 && "plan not in bouquet");
+  return d;
+}
+
+double BouquetSimulator::EstimatedCost(int plan_id, uint64_t point) const {
+  return est_cost_[DenseIndex(plan_id)][point];
+}
+
+double BouquetSimulator::ModelErrorFactor(int plan_id, uint64_t point) const {
+  if (options_.model_error_delta <= 0.0) return 1.0;
+  // Deterministic uniform draw in [-1, 1], mapped to (1+delta)^u.
+  const uint64_t h = MixHash(static_cast<uint64_t>(plan_id) + 1, point);
+  const double u = 2.0 * (static_cast<double>(h >> 11) * 0x1.0p-53) - 1.0;
+  return std::pow(1.0 + options_.model_error_delta, u);
+}
+
+double BouquetSimulator::ActualCost(int plan_id, uint64_t point) const {
+  return EstimatedCost(plan_id, point) * ModelErrorFactor(plan_id, point);
+}
+
+double BouquetSimulator::ActualOptimal(uint64_t point) const {
+  const double pic = diagram_->cost_at(point);
+  if (options_.model_error_delta <= 0.0) return pic;
+  return pic * ModelErrorFactor(diagram_->plan_at(point), point);
+}
+
+SimResult BouquetSimulator::RunBasic(uint64_t qa) const {
+  SimResult res;
+  int last_plan = -1;
+  double last_progress = 0.0;
+
+  for (size_t k = 0; k < bouquet_->contours.size(); ++k) {
+    const BouquetContour& contour = bouquet_->contours[k];
+    // Order: resume the previously-running plan first when present.
+    std::vector<int> order = contour.plan_ids;
+    if (last_plan >= 0) {
+      auto it = std::find(order.begin(), order.end(), last_plan);
+      if (it != order.end()) std::rotate(order.begin(), it, it + 1);
+    }
+    for (int plan : order) {
+      const double c = ActualCost(plan, qa);
+      const double prior =
+          (options_.continue_same_plan && plan == last_plan) ? last_progress
+                                                             : 0.0;
+      ++res.num_executions;
+      SimStep step;
+      step.contour = static_cast<int>(k);
+      step.plan_id = plan;
+      step.budget = contour.budget;
+      if (c <= contour.budget * (1.0 + kEps)) {
+        step.charged = c - prior;
+        step.completed = true;
+        res.total_cost += step.charged;
+        res.steps.push_back(step);
+        res.completed = true;
+        res.final_plan = plan;
+        res.final_contour = static_cast<int>(k);
+        return res;
+      }
+      step.charged = contour.budget - prior;
+      res.total_cost += step.charged;
+      res.steps.push_back(step);
+      last_plan = plan;
+      last_progress = contour.budget;
+    }
+  }
+
+  // Guarantee violated (should not happen): fall back to the optimal plan.
+  res.fallback_used = true;
+  res.total_cost += ActualOptimal(qa);
+  res.completed = true;
+  res.final_plan = diagram_->plan_at(qa);
+  res.final_contour = static_cast<int>(bouquet_->contours.size()) - 1;
+  return res;
+}
+
+int BouquetSimulator::PickPlan(const BouquetContour& contour,
+                               const GridPoint& qrun,
+                               const std::vector<int>& remaining,
+                               const std::vector<bool>& dim_learned) const {
+  assert(!remaining.empty());
+  const EssGrid& grid = diagram_->grid();
+  const uint64_t qrun_linear = grid.LinearIndex(qrun);
+
+  // AxisPlans: plans whose contour points lie on an axis through q_run
+  // (equal to q_run in every dimension but one).
+  std::vector<int> axis_plans;
+  for (size_t i = 0; i < contour.points.size(); ++i) {
+    const GridPoint p = grid.PointAt(contour.points[i]);
+    int diffs = 0;
+    bool quadrant = true;
+    for (size_t d = 0; d < p.size(); ++d) {
+      if (p[d] < qrun[d]) {
+        quadrant = false;
+        break;
+      }
+      if (p[d] > qrun[d]) ++diffs;
+    }
+    if (!quadrant || diffs > 1) continue;
+    const int plan = contour.plan_at[i];
+    if (std::find(remaining.begin(), remaining.end(), plan) ==
+        remaining.end()) {
+      continue;
+    }
+    if (std::find(axis_plans.begin(), axis_plans.end(), plan) ==
+        axis_plans.end()) {
+      axis_plans.push_back(plan);
+    }
+  }
+  const std::vector<int>& pool = axis_plans.empty() ? remaining : axis_plans;
+
+  // Cheapest cost-equivalence group at q_run, then deepest error node among
+  // not-yet-learned dimensions.
+  double min_cost = std::numeric_limits<double>::infinity();
+  for (int plan : pool) {
+    min_cost = std::min(min_cost, EstimatedCost(plan, qrun_linear));
+  }
+  const double cutoff = min_cost * (1.0 + options_.cost_group_width);
+  int best_plan = pool.front();
+  int best_depth = -2;
+  for (int plan : pool) {
+    if (EstimatedCost(plan, qrun_linear) > cutoff) continue;
+    int depth = -1;
+    const auto& depths = dim_depth_[DenseIndex(plan)];
+    for (size_t dim = 0; dim < depths.size(); ++dim) {
+      if (!dim_learned[dim]) depth = std::max(depth, depths[dim]);
+    }
+    if (depth > best_depth) {
+      best_depth = depth;
+      best_plan = plan;
+    }
+  }
+  return best_plan;
+}
+
+SimResult BouquetSimulator::RunOptimized(uint64_t qa) const {
+  return RunOptimizedFrom(qa, GridPoint(diagram_->grid().dims(), 0));
+}
+
+SimResult BouquetSimulator::RunOptimizedSeeded(uint64_t qa,
+                                               const GridPoint& seed) const {
+  // Clamp the seed into the first quadrant of q_a so a (contract-violating)
+  // over-estimate degrades to partial seeding instead of losing the
+  // completion guarantee.
+  const EssGrid& grid = diagram_->grid();
+  const GridPoint qa_pt = grid.PointAt(qa);
+  GridPoint start = seed;
+  for (size_t d = 0; d < start.size(); ++d) {
+    start[d] = std::min(start[d], qa_pt[d]);
+  }
+  return RunOptimizedFrom(qa, std::move(start));
+}
+
+SimResult BouquetSimulator::RunOptimizedFrom(uint64_t qa,
+                                             GridPoint qrun) const {
+  SimResult res;
+  const EssGrid& grid = diagram_->grid();
+  const GridPoint qa_pt = grid.PointAt(qa);
+  const int dims = grid.dims();
+
+  std::vector<bool> dim_learned(dims, false);
+  for (int d = 0; d < dims; ++d) dim_learned[d] = (qa_pt[d] == qrun[d]);
+
+  int last_plan = -1;
+  double last_progress = 0.0;
+
+  size_t k = 0;
+  while (k < bouquet_->contours.size()) {
+    const BouquetContour& contour = bouquet_->contours[k];
+    const double budget = contour.budget;
+
+    // Early skip: even the optimal plan at the (lower-bound) q_run exceeds
+    // this contour's budget, so nothing here can complete.
+    if (diagram_->cost_at(grid.LinearIndex(qrun)) > budget * (1.0 + kEps)) {
+      ++k;
+      continue;
+    }
+
+    std::vector<int> executed;
+    bool advanced = false;
+    while (!advanced) {
+      // Candidates: plans with at least one contour point in the first
+      // quadrant of q_run, not yet executed on this contour.
+      std::vector<int> remaining;
+      for (size_t i = 0; i < contour.points.size(); ++i) {
+        const GridPoint p = grid.PointAt(contour.points[i]);
+        bool quadrant = true;
+        for (int d = 0; d < dims; ++d) {
+          if (p[d] < qrun[d]) {
+            quadrant = false;
+            break;
+          }
+        }
+        if (!quadrant) continue;
+        const int plan = contour.plan_at[i];
+        if (std::find(executed.begin(), executed.end(), plan) !=
+                executed.end() ||
+            std::find(remaining.begin(), remaining.end(), plan) !=
+                remaining.end()) {
+          continue;
+        }
+        remaining.push_back(plan);
+      }
+      if (remaining.empty()) {
+        ++k;
+        break;
+      }
+
+      const int plan = PickPlan(contour, qrun, remaining, dim_learned);
+      // Learning dimension: deepest error node among unlearned dims.
+      int learn_dim = -1;
+      int learn_depth = -1;
+      const auto& depths = dim_depth_[DenseIndex(plan)];
+      for (int d = 0; d < dims; ++d) {
+        if (dim_learned[d]) continue;
+        if (depths[d] > learn_depth) {
+          learn_depth = depths[d];
+          learn_dim = d;
+        }
+      }
+
+      const double c = ActualCost(plan, qa);
+      const double prior =
+          (options_.continue_same_plan && plan == last_plan) ? last_progress
+                                                             : 0.0;
+      ++res.num_executions;
+      SimStep step;
+      step.contour = static_cast<int>(k);
+      step.plan_id = plan;
+      step.budget = budget;
+      step.learned_dim = learn_dim;
+      if (c <= budget * (1.0 + kEps)) {
+        step.charged = c - prior;
+        step.completed = true;
+        res.total_cost += step.charged;
+        res.steps.push_back(step);
+        res.qrun_trace.push_back(qrun);
+        res.completed = true;
+        res.final_plan = plan;
+        res.final_contour = static_cast<int>(k);
+        return res;
+      }
+      step.charged = budget - prior;
+      res.total_cost += step.charged;
+      res.steps.push_back(step);
+      last_plan = plan;
+      last_progress = budget;
+      executed.push_back(plan);
+
+      // Spill-based learning: move q_run along the learning dimension to the
+      // furthest grid index still within budget (capped at the truth).
+      if (learn_dim >= 0) {
+        const int dense = DenseIndex(plan);
+        int idx = qrun[learn_dim];
+        const uint64_t base = grid.LinearIndex(qrun);
+        for (int trial = idx + 1; trial <= qa_pt[learn_dim]; ++trial) {
+          const uint64_t pt = grid.LinearWithDim(base, learn_dim, trial);
+          if (est_cost_[dense][pt] > budget * (1.0 + kEps)) break;
+          idx = trial;
+        }
+        qrun[learn_dim] = idx;
+        if (idx == qa_pt[learn_dim]) dim_learned[learn_dim] = true;
+      }
+      res.qrun_trace.push_back(qrun);
+
+      // Early contour change: optimal cost at q_run already exceeds the
+      // current budget.
+      if (diagram_->cost_at(grid.LinearIndex(qrun)) >
+          budget * (1.0 + kEps)) {
+        ++k;
+        advanced = true;
+      }
+    }
+  }
+
+  // Guarantee violated (should not happen): fall back to the optimal plan.
+  res.fallback_used = true;
+  res.total_cost += ActualOptimal(qa);
+  res.completed = true;
+  res.final_plan = diagram_->plan_at(qa);
+  res.final_contour = static_cast<int>(bouquet_->contours.size()) - 1;
+  return res;
+}
+
+double BouquetSimulator::SubOpt(const SimResult& result, uint64_t qa) const {
+  const double optimal = ActualOptimal(qa);
+  assert(optimal > 0.0);
+  return result.total_cost / optimal;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,122 @@
+// Cost-model-driven simulation of bouquet execution (run-time phase).
+//
+// The paper's headline metrics (MSO/ASO/MH, Figures 14-17) are computed over
+// optimizer cost surfaces, exactly as done here: a partial execution of plan
+// P with budget b at true location q_a completes iff cost_P(q_a) <= b, and
+// otherwise consumes the full budget. The optimized variant additionally
+// tracks the running location q_run, prunes plans outside its first quadrant,
+// selects executions via the AxisPlans heuristic, models spill-based
+// selectivity learning, and jumps contours early (Sections 5.1-5.3).
+//
+// Consecutive re-executions of the same plan resume rather than restart
+// (matching the paper's 1D walkthrough where P1 runs continuously through
+// IC1..IC4); disable via Options::continue_same_plan for the strictly
+// restart-based accounting of the Theorem 3 analysis.
+
+#ifndef BOUQUET_BOUQUET_SIMULATOR_H_
+#define BOUQUET_BOUQUET_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bouquet/bouquet.h"
+#include "ess/plan_diagram.h"
+#include "optimizer/optimizer.h"
+
+namespace bouquet {
+
+/// One cost-limited plan execution in a simulated run.
+struct SimStep {
+  int contour = 0;       ///< contour index (0-based)
+  int plan_id = -1;      ///< diagram plan id
+  double budget = 0.0;   ///< cost budget of this execution
+  double charged = 0.0;  ///< cost actually charged
+  bool completed = false;
+  int learned_dim = -1;  ///< dimension spilled/learned, -1 for generic
+};
+
+/// Outcome of one simulated bouquet run.
+struct SimResult {
+  bool completed = false;
+  bool fallback_used = false;  ///< guarantee violated (tests assert false)
+  double total_cost = 0.0;
+  int num_executions = 0;
+  int final_plan = -1;
+  int final_contour = -1;
+  std::vector<SimStep> steps;
+  /// Optimized runs only: q_run after each step (the running selectivity
+  /// location of Section 5.2); empty for basic runs. The first-quadrant
+  /// invariant requires every entry to be dominated by q_a.
+  std::vector<GridPoint> qrun_trace;
+};
+
+/// Tuning knobs for the simulator.
+struct SimOptions {
+  bool continue_same_plan = true;
+  /// Section 3.4: deterministic per-(plan,point) cost modeling error in
+  /// [1/(1+delta), (1+delta)] applied to "actual" execution costs.
+  double model_error_delta = 0.0;
+  /// Cost-equivalence clustering width of the AxisPlans heuristic.
+  double cost_group_width = 0.2;
+};
+
+/// Simulator bound to a bouquet + diagram. Precomputes the cost surface of
+/// every bouquet plan over the full grid, so individual runs are O(grid-free)
+/// lookups.
+class BouquetSimulator {
+ public:
+  using Options = SimOptions;
+
+  BouquetSimulator(const PlanBouquet& bouquet, const PlanDiagram& diagram,
+                   QueryOptimizer* opt, Options options = {});
+
+  /// Basic algorithm (Figure 7): every plan on every contour, in order.
+  SimResult RunBasic(uint64_t qa) const;
+
+  /// Optimized algorithm (Figure 13): q_run tracking + AxisPlans + spilling
+  /// + early contour jumps.
+  SimResult RunOptimized(uint64_t qa) const;
+
+  /// Section 8 extension: when the optimizer's estimate is known to be an
+  /// *under*-estimate of the true location, it seeds q_run and the starting
+  /// contour, skipping the cheap discovery prefix. The caller must
+  /// guarantee seed <= q_a componentwise; a violating seed voids the
+  /// first-quadrant invariant (and hence the guarantee).
+  SimResult RunOptimizedSeeded(uint64_t qa, const GridPoint& seed) const;
+
+  /// Sub-optimality of a run: total cost / actual optimal cost at q_a.
+  double SubOpt(const SimResult& result, uint64_t qa) const;
+
+  /// Estimated cost of a bouquet plan at a grid point.
+  double EstimatedCost(int plan_id, uint64_t point) const;
+  /// "Actual" cost: estimate distorted by the modeling-error factor.
+  double ActualCost(int plan_id, uint64_t point) const;
+  /// Actual optimal cost at a point (PIC distorted consistently).
+  double ActualOptimal(uint64_t point) const;
+
+  const PlanBouquet& bouquet() const { return *bouquet_; }
+  const PlanDiagram& diagram() const { return *diagram_; }
+
+ private:
+  int DenseIndex(int plan_id) const;
+  double ModelErrorFactor(int plan_id, uint64_t point) const;
+  SimResult RunOptimizedFrom(uint64_t qa, GridPoint qrun) const;
+  // The AxisPlans selection heuristic; returns a diagram plan id from
+  // `remaining`, preferring plans on the contour's axis intersections wrt
+  // q_run, cheapest cost group, deepest error node.
+  int PickPlan(const BouquetContour& contour, const GridPoint& qrun,
+               const std::vector<int>& remaining,
+               const std::vector<bool>& dim_learned) const;
+
+  const PlanBouquet* bouquet_;
+  const PlanDiagram* diagram_;
+  Options options_;
+  std::vector<int> dense_of_plan_;           // diagram plan id -> dense idx
+  std::vector<int> plan_of_dense_;           // dense idx -> diagram plan id
+  std::vector<std::vector<double>> est_cost_;  // [dense][point]
+  std::vector<std::vector<int>> dim_depth_;    // [dense][dim] error-node depth
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_BOUQUET_SIMULATOR_H_

@@ -1,0 +1,68 @@
+#include "catalog/catalog.h"
+
+#include <cassert>
+
+namespace bouquet {
+
+int TableInfo::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Catalog::AddTable(TableInfo table) {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == table.name) {
+      tables_[i] = std::move(table);
+      return static_cast<int>(i);
+    }
+  }
+  tables_.push_back(std::move(table));
+  return static_cast<int>(tables_.size()) - 1;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return TableId(name) >= 0;
+}
+
+int Catalog::TableId(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const TableInfo& Catalog::GetTable(const std::string& name) const {
+  const int id = TableId(name);
+  assert(id >= 0 && "unknown table");
+  return tables_[id];
+}
+
+TableInfo& Catalog::GetMutableTable(const std::string& name) {
+  const int id = TableId(name);
+  assert(id >= 0 && "unknown table");
+  return tables_[id];
+}
+
+TableInfo Catalog::MakeTable(const std::string& name, double rows,
+                             double width_bytes,
+                             const std::vector<std::string>& columns,
+                             double default_ndv, bool indexed) {
+  TableInfo t;
+  t.name = name;
+  t.stats.row_count = rows;
+  t.stats.row_width_bytes = width_bytes;
+  for (const auto& c : columns) {
+    ColumnInfo ci;
+    ci.name = c;
+    ci.stats.ndv = default_ndv;
+    ci.stats.min_value = 0;
+    ci.stats.max_value = static_cast<int64_t>(default_ndv) - 1;
+    ci.has_index = indexed;
+    t.columns.push_back(std::move(ci));
+  }
+  return t;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,68 @@
+// The catalog: named tables, their columns, statistics and index metadata.
+//
+// This is the metadata substrate the optimizer consults. The experimental
+// setup of the paper ("indexes on all columns featuring in the queries")
+// is realized by marking columns indexed here.
+
+#ifndef BOUQUET_CATALOG_CATALOG_H_
+#define BOUQUET_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/stats.h"
+#include "common/status.h"
+
+namespace bouquet {
+
+/// A column definition plus its statistics and index flag.
+struct ColumnInfo {
+  std::string name;
+  ColumnStats stats;
+  bool has_index = false;
+};
+
+/// A table definition: name, statistics, columns.
+struct TableInfo {
+  std::string name;
+  TableStats stats;
+  std::vector<ColumnInfo> columns;
+
+  /// Index of the named column, or -1.
+  int ColumnIndex(const std::string& column_name) const;
+};
+
+/// Registry of tables. Cheap to copy; treat as a value type.
+class Catalog {
+ public:
+  /// Registers a table; returns its id. A duplicate name replaces the
+  /// previous definition (used when re-attaching stats from generated data).
+  int AddTable(TableInfo table);
+
+  bool HasTable(const std::string& name) const;
+
+  /// Looks up a table by name; asserts existence (callers validate first via
+  /// HasTable or construct names from workload definitions).
+  const TableInfo& GetTable(const std::string& name) const;
+  TableInfo& GetMutableTable(const std::string& name);
+
+  const TableInfo& GetTableById(int id) const { return tables_[id]; }
+  int TableId(const std::string& name) const;
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  /// Convenience: builds a TableInfo with uniform-stat columns.
+  /// Every column gets ndv/min/max and is indexed iff `indexed` is true.
+  static TableInfo MakeTable(const std::string& name, double rows,
+                             double width_bytes,
+                             const std::vector<std::string>& columns,
+                             double default_ndv, bool indexed = true);
+
+ private:
+  std::vector<TableInfo> tables_;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_CATALOG_CATALOG_H_

@@ -1,0 +1,79 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bouquet {
+
+Histogram Histogram::Build(const std::vector<int64_t>& values,
+                           int num_buckets) {
+  Histogram h;
+  if (values.empty() || num_buckets <= 0) return h;
+  std::vector<int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  h.total_count_ = static_cast<int64_t>(sorted.size());
+  h.min_ = sorted.front();
+  h.max_ = sorted.back();
+  const int nb = std::min<int>(num_buckets, static_cast<int>(sorted.size()));
+  h.bounds_.resize(nb);
+  for (int i = 0; i < nb; ++i) {
+    // Upper bound of bucket i = value at the (i+1)/nb quantile position.
+    size_t pos = static_cast<size_t>(
+        std::llround(double(i + 1) / nb * double(sorted.size()))) ;
+    if (pos == 0) pos = 1;
+    h.bounds_[i] = sorted[std::min(pos, sorted.size()) - 1];
+  }
+  h.bounds_.back() = h.max_;
+  return h;
+}
+
+double Histogram::SelectivityLess(int64_t v) const {
+  if (empty()) return 0.0;
+  if (v <= min_) return 0.0;
+  if (v > max_) return 1.0;
+  // Bucket fraction: buckets whose upper bound < v are fully below; the
+  // straddling bucket contributes a linear interpolation.
+  const double per_bucket = 1.0 / double(bounds_.size());
+  double acc = 0.0;
+  int64_t lo = min_;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    const int64_t hi = bounds_[i];
+    if (v > hi) {
+      acc += per_bucket;
+      lo = hi;
+      continue;
+    }
+    // v falls in (lo, hi]; interpolate within the bucket.
+    if (hi > lo) {
+      acc += per_bucket * double(v - lo) / double(hi - lo);
+    }
+    break;
+  }
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+double Histogram::SelectivityLessEqual(int64_t v) const {
+  if (empty()) return 0.0;
+  if (v >= max_) return 1.0;
+  return SelectivityLess(v + 1);
+}
+
+double Histogram::SelectivityRange(int64_t lo, int64_t hi) const {
+  if (empty() || hi < lo) return 0.0;
+  return std::max(0.0, SelectivityLessEqual(hi) - SelectivityLess(lo));
+}
+
+int64_t Histogram::Quantile(double f) const {
+  if (empty()) return 0;
+  f = std::clamp(f, 0.0, 1.0);
+  const double nb = double(bounds_.size());
+  const double pos = f * nb;  // in bucket units
+  const int bucket = std::min<int>(static_cast<int>(pos), bounds_.size() - 1);
+  const int64_t lo = bucket == 0 ? min_ : bounds_[bucket - 1];
+  const int64_t hi = bounds_[bucket];
+  const double frac = pos - bucket;
+  return lo + static_cast<int64_t>(std::llround(frac * double(hi - lo)));
+}
+
+}  // namespace bouquet

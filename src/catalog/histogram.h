@@ -1,0 +1,58 @@
+// Equi-depth histograms over int64-encoded column values.
+//
+// Histograms serve two roles in the reproduction:
+//  * they supply "accurate" selectivity estimates for the predicates that the
+//    paper treats as error-free (base-relation `column op constant`
+//    predicates, Section 8(i)), and
+//  * they let the data generators translate a desired selectivity into a
+//    concrete predicate constant (quantile lookup), which is how the
+//    real-execution experiments dial q_a.
+
+#ifndef BOUQUET_CATALOG_HISTOGRAM_H_
+#define BOUQUET_CATALOG_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bouquet {
+
+/// Equi-depth histogram: `buckets` boundaries splitting the sorted value
+/// stream into equal-count runs.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds an equi-depth histogram with at most `num_buckets` buckets from
+  /// the (unsorted) values.
+  static Histogram Build(const std::vector<int64_t>& values, int num_buckets);
+
+  bool empty() const { return total_count_ == 0; }
+  int64_t total_count() const { return total_count_; }
+  int64_t min_value() const { return min_; }
+  int64_t max_value() const { return max_; }
+
+  /// Estimated selectivity of `column < v` (fraction of rows strictly below).
+  double SelectivityLess(int64_t v) const;
+
+  /// Estimated selectivity of `column <= v`.
+  double SelectivityLessEqual(int64_t v) const;
+
+  /// Estimated selectivity of `lo <= column <= hi`.
+  double SelectivityRange(int64_t lo, int64_t hi) const;
+
+  /// Value v such that `column <= v` has selectivity approximately f
+  /// (f in [0,1]). Inverse of SelectivityLessEqual.
+  int64_t Quantile(double f) const;
+
+ private:
+  // bounds_[i] is the upper bound (inclusive) of bucket i; each bucket holds
+  // ~total_count_/bounds_.size() rows. min_ is the global minimum.
+  std::vector<int64_t> bounds_;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_CATALOG_HISTOGRAM_H_

@@ -1,0 +1,3 @@
+#include "catalog/stats.h"
+
+// Currently header-only; this translation unit anchors the module.

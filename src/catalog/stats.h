@@ -1,0 +1,45 @@
+// Column- and table-level statistics consumed by the cost model.
+//
+// Statistics are deliberately decoupled from the physical storage layer: the
+// optimizer-cost experiments (Figures 14-18) run purely on catalog metadata at
+// benchmark scale (TPC-H 1GB / TPC-DS 100GB row counts), while the
+// real-execution experiments (Table 3) attach stats computed from generated
+// in-memory data.
+
+#ifndef BOUQUET_CATALOG_STATS_H_
+#define BOUQUET_CATALOG_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/histogram.h"
+
+namespace bouquet {
+
+/// Per-column statistics.
+struct ColumnStats {
+  double ndv = 1.0;        ///< number of distinct values
+  int64_t min_value = 0;   ///< domain minimum
+  int64_t max_value = 0;   ///< domain maximum
+  Histogram histogram;     ///< optional equi-depth histogram (may be empty)
+
+  /// Estimated selectivity of an equality predicate `col = const` under the
+  /// uniform-frequency assumption (Selinger's 1/NDV).
+  double EqualitySelectivity() const { return 1.0 / (ndv < 1.0 ? 1.0 : ndv); }
+};
+
+/// Per-table statistics.
+struct TableStats {
+  double row_count = 0.0;
+  double row_width_bytes = 64.0;
+
+  /// Number of disk pages the table occupies under the given page size.
+  double Pages(double page_size_bytes) const {
+    const double p = row_count * row_width_bytes / page_size_bytes;
+    return p < 1.0 ? 1.0 : p;
+  }
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_CATALOG_STATS_H_

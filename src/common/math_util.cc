@@ -1,0 +1,83 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bouquet {
+
+std::vector<double> LogSpace(double lo, double hi, int count) {
+  assert(lo > 0 && lo <= hi && count >= 1);
+  std::vector<double> out(count);
+  if (count == 1) {
+    out[0] = hi;
+    return out;
+  }
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (int i = 0; i < count; ++i) {
+    out[i] = std::exp(llo + (lhi - llo) * double(i) / double(count - 1));
+  }
+  // Pin endpoints exactly so grid boundaries match the declared range.
+  out.front() = lo;
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> LinSpace(double lo, double hi, int count) {
+  assert(lo <= hi && count >= 1);
+  std::vector<double> out(count);
+  if (count == 1) {
+    out[0] = hi;
+    return out;
+  }
+  for (int i = 0; i < count; ++i) {
+    out[i] = lo + (hi - lo) * double(i) / double(count - 1);
+  }
+  out.front() = lo;
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> GeometricSteps(double cmin, double cmax, double ratio) {
+  assert(cmin > 0 && cmax >= cmin && ratio > 1.0);
+  // Release-mode guard: ratio is a public knob; ratio <= 1 would divide the
+  // ladder into infinitely many steps (and the int cast below is UB on the
+  // resulting +inf). Degrade to the single-step ladder {cmax}.
+  if (!(ratio > 1.0) || !(cmin > 0.0) || !(cmax >= cmin)) {
+    return {cmax};
+  }
+  // Anchored at IC_m = cmax and walking down by the ratio, the number of
+  // steps m must satisfy IC_1/r < cmin <= IC_1 (Section 3.1), i.e.
+  // m-1 <= log_r(cmax/cmin) < m: m = floor(t) + 1 (with jitter guard so
+  // exact powers of r still satisfy the strict lower bound). Ratios barely
+  // above 1 could demand millions of steps; 4096 is far beyond any sane
+  // ladder and bounds the allocation.
+  const double t = std::log(cmax / cmin) / std::log(ratio);
+  const int m = std::min(
+      4096, std::max(1, static_cast<int>(std::floor(t + 1e-9)) + 1));
+  std::vector<double> steps(m);
+  double c = cmax;
+  for (int k = m - 1; k >= 0; --k) {
+    steps[k] = c;
+    c /= ratio;
+  }
+  return steps;
+}
+
+int LowerIndex(const std::vector<double>& sorted, double v) {
+  auto it = std::upper_bound(sorted.begin(), sorted.end(), v);
+  return static_cast<int>(it - sorted.begin()) - 1;
+}
+
+bool ApproxEqual(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+double TheoremOneBound(double ratio) {
+  assert(ratio > 1.0);
+  return ratio * ratio / (ratio - 1.0);
+}
+
+}  // namespace bouquet

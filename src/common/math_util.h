@@ -1,0 +1,36 @@
+// Numeric helpers shared across the ESS/bouquet machinery: log-spaced grids
+// (selectivity axes are logarithmic, matching the paper's log-log plots) and
+// geometric cost-step progressions (the isocost ladder of Section 3.1).
+
+#ifndef BOUQUET_COMMON_MATH_UTIL_H_
+#define BOUQUET_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bouquet {
+
+/// Returns `count` log-spaced values covering [lo, hi] inclusive.
+/// Requires 0 < lo <= hi and count >= 1 (count==1 yields {hi}).
+std::vector<double> LogSpace(double lo, double hi, int count);
+
+/// Returns `count` linearly spaced values covering [lo, hi] inclusive.
+std::vector<double> LinSpace(double lo, double hi, int count);
+
+/// Geometric isocost ladder of Section 3.1: returns steps IC_1..IC_m with
+/// common ratio r such that IC_m == cmax and IC_1 >= cmin > IC_1 / r.
+/// Requires cmax >= cmin > 0 and r > 1.
+std::vector<double> GeometricSteps(double cmin, double cmax, double ratio);
+
+/// Index of the largest element of `sorted` that is <= v, or -1 if none.
+int LowerIndex(const std::vector<double>& sorted, double v);
+
+/// True when |a-b| <= tol * max(1, |a|, |b|).
+bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+/// The worst-case multiplier r^2/(r-1) of Theorem 1 for a given ratio.
+double TheoremOneBound(double ratio);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_COMMON_MATH_UTIL_H_

@@ -1,0 +1,127 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bouquet {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt64(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0.0) return 1 + NextUint64(n);
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    double zetan = 0.0;
+    // Exact zeta for small n, Euler-Maclaurin approximation for large n.
+    if (n <= 10000) {
+      for (uint64_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(double(i), theta);
+    } else {
+      for (uint64_t i = 1; i <= 10000; ++i) {
+        zetan += 1.0 / std::pow(double(i), theta);
+      }
+      if (theta != 1.0) {
+        zetan += (std::pow(double(n), 1.0 - theta) -
+                  std::pow(10000.0, 1.0 - theta)) /
+                 (1.0 - theta);
+      } else {
+        zetan += std::log(double(n) / 10000.0);
+      }
+    }
+    zipf_zetan_ = zetan;
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    double zeta2 = 1.0 + (theta == 1.0 ? 0.5 : std::pow(2.0, -theta));
+    zipf_eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+                (1.0 - zeta2 / zetan);
+  }
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double u = NextDouble();
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) return 2;
+  const uint64_t v = 1 + static_cast<uint64_t>(
+                             double(zipf_n_) *
+                             std::pow(zipf_eta_ * u - zipf_eta_ + 1.0,
+                                      zipf_alpha_));
+  return v > zipf_n_ ? zipf_n_ : v;
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return mean + stddev * gauss_spare_;
+  }
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  gauss_spare_ = mag * std::sin(2.0 * M_PI * u2);
+  have_gauss_ = true;
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(NextUint64(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for data generators and
+// randomized tests. All generators in the library are seeded explicitly so
+// every experiment is exactly repeatable (a property the paper emphasizes).
+
+#ifndef BOUQUET_COMMON_RNG_H_
+#define BOUQUET_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bouquet {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// Used instead of <random> engines so that generated datasets are identical
+/// across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p);
+
+  /// Zipf-distributed value in [1, n] with exponent theta (theta=0 uniform).
+  /// Uses the rejection-inversion free approximation via precomputed CDF for
+  /// small n, harmonic approximation otherwise.
+  uint64_t NextZipf(uint64_t n, double theta);
+
+  /// Gaussian with given mean/stddev (Box-Muller).
+  double NextGaussian(double mean, double stddev);
+
+  /// Returns a shuffled copy of [0, n).
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+ private:
+  uint64_t state_[4];
+  // Cached Zipf parameters so consecutive draws with same (n, theta) reuse
+  // the normalization constant.
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+  bool have_gauss_ = false;
+  double gauss_spare_ = 0.0;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_COMMON_RNG_H_

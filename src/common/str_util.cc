@@ -1,0 +1,45 @@
+#include "common/str_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cmath>
+
+namespace bouquet {
+
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(n, '\0');
+  vsnprintf(out.data(), n + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatSci(double v, int significant) {
+  if (v == 0.0) return "0";
+  const double av = std::fabs(v);
+  if (av >= 1e-3 && av < 1e5) {
+    return StrPrintf("%.*g", significant, v);
+  }
+  return StrPrintf("%.*e", significant - 1, v);
+}
+
+std::string FormatPct(double selectivity, int significant) {
+  return StrPrintf("%.*g%%", significant, selectivity * 100.0);
+}
+
+}  // namespace bouquet

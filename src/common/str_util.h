@@ -1,0 +1,27 @@
+// Small string/formatting helpers used by reports and plan signatures.
+
+#ifndef BOUQUET_COMMON_STR_UTIL_H_
+#define BOUQUET_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace bouquet {
+
+/// Joins the pieces with the separator ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// Formats a double compactly in scientific-ish style ("1.2e+04", "3.46").
+std::string FormatSci(double v, int significant = 3);
+
+/// Formats a selectivity as a percentage string ("0.015%", "6.5%").
+std::string FormatPct(double selectivity, int significant = 3);
+
+/// printf-style formatting into std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_COMMON_STR_UTIL_H_

@@ -1,0 +1,123 @@
+#include "ess/anorexic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <set>
+
+namespace bouquet {
+
+namespace {
+
+// Lazily computed cost rows: costs[plan][i] = cost of plan at points[i].
+class CostCache {
+ public:
+  CostCache(const PlanDiagram& diagram, QueryOptimizer* opt,
+            const std::vector<uint64_t>& points)
+      : diagram_(diagram), opt_(opt), points_(points),
+        rows_(diagram.num_plans()) {}
+
+  const std::vector<double>& Row(int plan_id) {
+    auto& row = rows_[plan_id];
+    if (row.empty() && !points_.empty()) {
+      row.resize(points_.size());
+      const PlanNode& root = *diagram_.plan(plan_id).root;
+      for (size_t i = 0; i < points_.size(); ++i) {
+        row[i] = opt_->CostPlanAt(root,
+                                  diagram_.grid().SelectivityAt(points_[i]));
+      }
+    }
+    return row;
+  }
+
+ private:
+  const PlanDiagram& diagram_;
+  QueryOptimizer* opt_;
+  const std::vector<uint64_t>& points_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace
+
+AnorexicResult AnorexicReduce(const PlanDiagram& diagram, QueryOptimizer* opt,
+                              double lambda,
+                              const std::vector<uint64_t>* points) {
+  std::vector<uint64_t> all_points;
+  if (points == nullptr) {
+    all_points.resize(diagram.grid().num_points());
+    std::iota(all_points.begin(), all_points.end(), 0);
+    points = &all_points;
+  }
+  const std::vector<uint64_t>& pts = *points;
+
+  AnorexicResult result;
+  result.plan_at.resize(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    result.plan_at[i] = diagram.plan_at(pts[i]);
+  }
+
+  // Plans present on the point set, with region sizes.
+  std::vector<int> region_size(diagram.num_plans(), 0);
+  for (int p : result.plan_at) region_size[p]++;
+  std::vector<int> present;
+  for (int p = 0; p < diagram.num_plans(); ++p) {
+    if (region_size[p] > 0) present.push_back(p);
+  }
+  result.plans_before = static_cast<int>(present.size());
+
+  // Victims considered smallest-region first (CostGreedy order).
+  std::vector<int> order = present;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (region_size[a] != region_size[b]) {
+      return region_size[a] < region_size[b];
+    }
+    return a < b;
+  });
+
+  std::set<int> retained(present.begin(), present.end());
+  CostCache cache(diagram, opt, pts);
+
+  // Points currently owned by each plan (indices into pts).
+  std::vector<std::vector<int>> owned(diagram.num_plans());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    owned[result.plan_at[i]].push_back(static_cast<int>(i));
+  }
+
+  for (int victim : order) {
+    if (retained.size() <= 1) break;
+    if (owned[victim].empty()) continue;
+    // Find, for every owned point, a retained replacement within (1+lambda)
+    // of the optimal cost.
+    std::vector<int> replacement(owned[victim].size(), -1);
+    bool coverable = true;
+    for (size_t k = 0; k < owned[victim].size() && coverable; ++k) {
+      const int i = owned[victim][k];
+      const double budget = (1.0 + lambda) * diagram.cost_at(pts[i]);
+      double best_cost = budget;
+      for (int cand : retained) {
+        if (cand == victim) continue;
+        const double c = cache.Row(cand)[i];
+        if (c <= best_cost) {
+          best_cost = c;
+          replacement[k] = cand;
+        }
+      }
+      if (replacement[k] < 0) coverable = false;
+    }
+    if (!coverable) continue;
+    // Swallow: hand every point to its replacement.
+    for (size_t k = 0; k < owned[victim].size(); ++k) {
+      const int i = owned[victim][k];
+      result.plan_at[i] = replacement[k];
+      owned[replacement[k]].push_back(i);
+    }
+    owned[victim].clear();
+    retained.erase(victim);
+  }
+
+  result.retained.assign(retained.begin(), retained.end());
+  result.plans_after = static_cast<int>(result.retained.size());
+  return result;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,39 @@
+// Anorexic plan-diagram reduction (Harish, Darera, Haritsa, VLDB 2007).
+//
+// Plans "swallow" other plans' ESS regions whenever the cost penalty at every
+// swallowed point stays within a (1+lambda) factor of optimal. The paper uses
+// lambda = 20%, which empirically collapses diagrams with tens-to-hundreds of
+// plans down to ~10 ("anorexic levels") — the key to a small multi-D MSO
+// bound (Section 3.3).
+
+#ifndef BOUQUET_ESS_ANOREXIC_H_
+#define BOUQUET_ESS_ANOREXIC_H_
+
+#include <vector>
+
+#include "ess/plan_diagram.h"
+#include "optimizer/optimizer.h"
+
+namespace bouquet {
+
+/// Outcome of a reduction pass.
+struct AnorexicResult {
+  /// New plan assignment; same indexing as the diagram when reducing the
+  /// full grid, or aligned with `points` when a subset was given.
+  std::vector<int> plan_at;
+  /// Retained plan ids, ascending.
+  std::vector<int> retained;
+  int plans_before = 0;
+  int plans_after = 0;
+};
+
+/// Greedy cost-bounded reduction over the whole grid (points == nullptr) or
+/// a subset of grid points. `opt` must be the optimizer for the diagram's
+/// query (used for abstract plan recosting).
+AnorexicResult AnorexicReduce(const PlanDiagram& diagram, QueryOptimizer* opt,
+                              double lambda,
+                              const std::vector<uint64_t>* points = nullptr);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ESS_ANOREXIC_H_

@@ -1,0 +1,48 @@
+// Contour-focused POSP generation (Section 4.2 of the paper).
+//
+// Exhaustive POSP generation optimizes every grid point; but the bouquet only
+// needs the plans lying on the isocost contours. This generator recursively
+// subdivides the ESS into hypercubes, pruning cubes whose corner costs show
+// that no contour passes through them (valid by Plan Cost Monotonicity), and
+// optimizing only the narrow band of points around each contour.
+
+#ifndef BOUQUET_ESS_CONTOUR_GENERATOR_H_
+#define BOUQUET_ESS_CONTOUR_GENERATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "ess/ess_grid.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// Sparse POSP: only the points near contours carry plan/cost entries.
+struct SparsePosp {
+  /// point -> (plan id, optimal cost)
+  std::unordered_map<uint64_t, std::pair<int, double>> entries;
+  std::vector<Plan> plans;
+  std::vector<double> steps;  ///< isocost ladder IC_1..IC_m
+  double cmin = 0.0;
+  double cmax = 0.0;
+  long long optimizer_calls = 0;
+};
+
+/// Runs the recursive subdivision. `ratio` is the isocost common ratio
+/// (r = 2 in the paper).
+SparsePosp GenerateContourPosp(const QuerySpec& query, const Catalog& catalog,
+                               CostParams params, const EssGrid& grid,
+                               double ratio);
+
+/// Extracts per-contour point sets from a sparse POSP: contour k holds the
+/// componentwise-maximal optimized points whose cost lies in
+/// (IC_{k-1}, IC_k].
+std::vector<std::vector<uint64_t>> ExtractSparseContours(
+    const SparsePosp& posp, const EssGrid& grid);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ESS_CONTOUR_GENERATOR_H_

@@ -1,0 +1,105 @@
+#include "ess/dim_analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "optimizer/optimizer.h"
+
+namespace bouquet {
+
+namespace {
+
+// Lattice values for one dimension: `count` log-spaced points over its range
+// (LogSpace pins the endpoints exactly to dim.lo / dim.hi).
+std::vector<double> LatticeValues(const ErrorDimension& dim, int count) {
+  return LogSpace(dim.lo, dim.hi, count);
+}
+
+}  // namespace
+
+std::vector<DimSensitivity> MeasureDimSensitivity(const QuerySpec& query,
+                                                  const Catalog& catalog,
+                                                  CostParams params,
+                                                  int lattice_per_dim) {
+  const int dims = query.NumDims();
+  QueryOptimizer opt(query, catalog, params);
+  std::vector<DimSensitivity> out(dims);
+
+  // Probe budget guard: cap the lattice enumeration per dimension.
+  constexpr long long kMaxProbesPerDim = 512;
+
+  for (int d = 0; d < dims; ++d) {
+    out[d].dim = d;
+    // Enumerate lattice combinations of the other dimensions.
+    std::vector<std::vector<double>> other_values;
+    for (int e = 0; e < dims; ++e) {
+      if (e == d) continue;
+      other_values.push_back(
+          LatticeValues(query.error_dims[e], lattice_per_dim));
+    }
+    std::vector<int> idx(other_values.size(), 0);
+    long long probes = 0;
+    bool done = false;
+    while (!done && probes < kMaxProbesPerDim) {
+      DimVector point(dims);
+      int oi = 0;
+      for (int e = 0; e < dims; ++e) {
+        if (e == d) continue;
+        point[e] = other_values[oi][idx[oi]];
+        ++oi;
+      }
+      point[d] = query.error_dims[d].lo;
+      const double c_lo = opt.OptimizeAt(point).cost;
+      point[d] = query.error_dims[d].hi;
+      const double c_hi = opt.OptimizeAt(point).cost;
+      assert(c_lo > 0.0);
+      out[d].max_relative_impact =
+          std::max(out[d].max_relative_impact, c_hi / c_lo - 1.0);
+      ++probes;
+      // Odometer over the other dimensions.
+      done = true;
+      for (size_t k = 0; k < idx.size(); ++k) {
+        if (++idx[k] < static_cast<int>(other_values[k].size())) {
+          done = false;
+          break;
+        }
+        idx[k] = 0;
+      }
+      if (idx.empty()) done = true;
+    }
+  }
+  return out;
+}
+
+QuerySpec EliminateWeakDimensions(const QuerySpec& query,
+                                  const Catalog& catalog, CostParams params,
+                                  double threshold, std::vector<int>* removed,
+                                  int lattice_per_dim) {
+  const std::vector<DimSensitivity> sens =
+      MeasureDimSensitivity(query, catalog, params, lattice_per_dim);
+  QuerySpec reduced = query;
+  reduced.error_dims.clear();
+  if (removed != nullptr) removed->clear();
+  for (int d = 0; d < query.NumDims(); ++d) {
+    if (sens[d].max_relative_impact >= threshold) {
+      reduced.error_dims.push_back(query.error_dims[d]);
+      continue;
+    }
+    if (removed != nullptr) removed->push_back(d);
+    // Pin the dropped predicate's selectivity at the geometric midpoint of
+    // its former range (the cost impact of the choice is below threshold by
+    // construction).
+    const ErrorDimension& dim = query.error_dims[d];
+    const double mid = std::sqrt(dim.lo * dim.hi);
+    if (dim.kind == DimKind::kSelection) {
+      reduced.filters[dim.predicate_index].default_selectivity = mid;
+    } else {
+      reduced.joins[dim.predicate_index].default_selectivity = mid;
+    }
+  }
+  return reduced;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,52 @@
+// Error-dimension sensitivity analysis and elimination.
+//
+// Section 8(iii) of the paper: "The partial derivatives of the POSP plan
+// cost functions along each dimension can be computed on a low resolution
+// mapping of the ESS, and any dimension with a small derivative across all
+// the plans can be eliminated since its cost impact is marginal."
+//
+// Bouquet identification is exponential in dimensionality, so dropping
+// cost-insensitive dimensions before POSP generation is the main lever for
+// keeping compile-time overheads down on complex queries.
+
+#ifndef BOUQUET_ESS_DIM_ANALYSIS_H_
+#define BOUQUET_ESS_DIM_ANALYSIS_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// Sensitivity of the optimal cost to one error dimension.
+struct DimSensitivity {
+  int dim = 0;
+  /// max over probe points of  cost(d = hi) / cost(d = lo) - 1.
+  double max_relative_impact = 0.0;
+};
+
+/// Probes each dimension on a low-resolution lattice (the other dimensions
+/// held at lattice positions) and measures how much the optimal cost moves
+/// across the dimension's full range. `lattice_per_dim` controls probe
+/// density (total probe optimizations ~= D * lattice^(D-1) * 2, capped).
+std::vector<DimSensitivity> MeasureDimSensitivity(const QuerySpec& query,
+                                                  const Catalog& catalog,
+                                                  CostParams params,
+                                                  int lattice_per_dim = 3);
+
+/// Returns a copy of the query with every dimension whose maximum relative
+/// cost impact is below `threshold` removed from error_dims (the predicate
+/// itself stays; its selectivity reverts to the optimizer's estimate, fixed
+/// at the geometric midpoint of the former range). Removed dimension
+/// indexes (into the original error_dims) are reported via *removed.
+QuerySpec EliminateWeakDimensions(const QuerySpec& query,
+                                  const Catalog& catalog, CostParams params,
+                                  double threshold,
+                                  std::vector<int>* removed = nullptr,
+                                  int lattice_per_dim = 3);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ESS_DIM_ANALYSIS_H_

@@ -1,0 +1,38 @@
+#include "ess/pic.h"
+
+namespace bouquet {
+
+long long CountPicViolations(const PlanDiagram& diagram, double tolerance) {
+  const EssGrid& grid = diagram.grid();
+  long long violations = 0;
+  grid.ForEach([&](uint64_t linear, const GridPoint& p) {
+    const double c = diagram.cost_at(linear);
+    for (int d = 0; d < grid.dims(); ++d) {
+      if (p[d] + 1 >= grid.resolution(d)) continue;
+      const uint64_t succ = grid.LinearWithDim(linear, d, p[d] + 1);
+      if (diagram.cost_at(succ) < c * (1.0 - tolerance)) ++violations;
+    }
+  });
+  return violations;
+}
+
+bool IsPicMonotone(const PlanDiagram& diagram, double tolerance) {
+  return CountPicViolations(diagram, tolerance) == 0;
+}
+
+std::vector<PicSample> PicSlice(const PlanDiagram& diagram, int dim,
+                                const GridPoint& at) {
+  const EssGrid& grid = diagram.grid();
+  std::vector<PicSample> out;
+  out.reserve(grid.resolution(dim));
+  GridPoint p = at;
+  for (int i = 0; i < grid.resolution(dim); ++i) {
+    p[dim] = i;
+    const uint64_t linear = grid.LinearIndex(p);
+    out.push_back({grid.axis(dim)[i], diagram.cost_at(linear),
+                   diagram.plan_at(linear)});
+  }
+  return out;
+}
+
+}  // namespace bouquet

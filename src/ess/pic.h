@@ -1,0 +1,37 @@
+// POSP Infimum Curve/Surface (PIC) helpers.
+//
+// The PIC is the per-point optimal cost stored inside a PlanDiagram; this
+// module adds the analyses the bouquet machinery needs: Plan Cost
+// Monotonicity validation and 1D profile extraction for plotting.
+
+#ifndef BOUQUET_ESS_PIC_H_
+#define BOUQUET_ESS_PIC_H_
+
+#include <vector>
+
+#include "ess/plan_diagram.h"
+
+namespace bouquet {
+
+/// Checks that the PIC is monotone non-decreasing along every +axis
+/// direction (the PCM assumption of Section 2). `tolerance` forgives
+/// floating-point jitter, relative.
+bool IsPicMonotone(const PlanDiagram& diagram, double tolerance = 1e-9);
+
+/// Number of adjacent point pairs violating monotonicity (diagnostics).
+long long CountPicViolations(const PlanDiagram& diagram,
+                             double tolerance = 1e-9);
+
+/// 1D slice of the PIC along dimension `dim`, holding the other dimensions
+/// at the given point's indexes. Returns (selectivity, cost, plan id) rows.
+struct PicSample {
+  double selectivity;
+  double cost;
+  int plan_id;
+};
+std::vector<PicSample> PicSlice(const PlanDiagram& diagram, int dim,
+                                const GridPoint& at);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ESS_PIC_H_

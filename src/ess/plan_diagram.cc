@@ -1,0 +1,56 @@
+#include "ess/plan_diagram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bouquet {
+
+PlanDiagram::PlanDiagram(const EssGrid* grid)
+    : grid_(grid),
+      plan_at_(grid->num_points(), -1),
+      cost_at_(grid->num_points(), 0.0) {}
+
+int PlanDiagram::InternPlan(const Plan& plan) {
+  auto it = sig_to_id_.find(plan.signature);
+  if (it != sig_to_id_.end()) return it->second;
+  const int id = static_cast<int>(plans_.size());
+  plans_.push_back(plan);
+  sig_to_id_.emplace(plan.signature, id);
+  return id;
+}
+
+int PlanDiagram::FindPlan(const std::string& signature) const {
+  auto it = sig_to_id_.find(signature);
+  return it == sig_to_id_.end() ? -1 : it->second;
+}
+
+void PlanDiagram::Set(uint64_t point, int plan_id, double optimal_cost) {
+  assert(plan_id >= 0 && plan_id < num_plans());
+  plan_at_[point] = plan_id;
+  cost_at_[point] = optimal_cost;
+}
+
+double PlanDiagram::Cmin() const {
+  return *std::min_element(cost_at_.begin(), cost_at_.end());
+}
+
+double PlanDiagram::Cmax() const {
+  return *std::max_element(cost_at_.begin(), cost_at_.end());
+}
+
+std::vector<double> PlanDiagram::RegionFractions() const {
+  std::vector<double> frac(num_plans(), 0.0);
+  for (int p : plan_at_) {
+    if (p >= 0) frac[p] += 1.0;
+  }
+  const double n = static_cast<double>(plan_at_.size());
+  for (auto& f : frac) f /= n;
+  return frac;
+}
+
+void PlanDiagram::SetAssignments(std::vector<int> plan_at) {
+  assert(plan_at.size() == plan_at_.size());
+  plan_at_ = std::move(plan_at);
+}
+
+}  // namespace bouquet

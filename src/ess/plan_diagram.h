@@ -1,0 +1,66 @@
+// Plan diagrams: the optimizer's choice and optimal cost at every ESS point.
+//
+// The cost field doubles as the POSP Infimum Curve/Surface (PIC): since each
+// point stores the *optimal* plan's cost, the per-point cost array is exactly
+// the infimum over all POSP plan cost surfaces.
+
+#ifndef BOUQUET_ESS_PLAN_DIAGRAM_H_
+#define BOUQUET_ESS_PLAN_DIAGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ess/ess_grid.h"
+#include "optimizer/plan.h"
+
+namespace bouquet {
+
+/// Dense plan diagram over an EssGrid.
+class PlanDiagram {
+ public:
+  /// The grid must outlive the diagram.
+  explicit PlanDiagram(const EssGrid* grid);
+
+  const EssGrid& grid() const { return *grid_; }
+
+  /// Interns a plan by signature; returns its stable id.
+  int InternPlan(const Plan& plan);
+
+  /// Id of a plan with this signature, or -1.
+  int FindPlan(const std::string& signature) const;
+
+  void Set(uint64_t point, int plan_id, double optimal_cost);
+
+  int plan_at(uint64_t point) const { return plan_at_[point]; }
+  double cost_at(uint64_t point) const { return cost_at_[point]; }
+  const std::vector<double>& costs() const { return cost_at_; }
+  const std::vector<int>& assignments() const { return plan_at_; }
+
+  int num_plans() const { return static_cast<int>(plans_.size()); }
+  const Plan& plan(int id) const { return plans_[id]; }
+  const std::vector<Plan>& plans() const { return plans_; }
+
+  /// Minimum / maximum optimal cost over the space (Cmin, Cmax). By PCM
+  /// these are the origin and principal-diagonal corner costs.
+  double Cmin() const;
+  double Cmax() const;
+
+  /// Fraction of grid points assigned to each plan id.
+  std::vector<double> RegionFractions() const;
+
+  /// Overrides the plan assignment (anorexic reduction result). The array
+  /// must cover the full grid.
+  void SetAssignments(std::vector<int> plan_at);
+
+ private:
+  const EssGrid* grid_;
+  std::vector<int> plan_at_;
+  std::vector<double> cost_at_;
+  std::vector<Plan> plans_;
+  std::unordered_map<std::string, int> sig_to_id_;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ESS_PLAN_DIAGRAM_H_

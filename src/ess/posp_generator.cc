@@ -1,0 +1,101 @@
+#include "ess/posp_generator.h"
+
+#include <chrono>
+#include <thread>
+
+#include "optimizer/optimizer.h"
+
+namespace bouquet {
+
+namespace {
+
+struct ShardResult {
+  // Per point in the shard: signature id into local_plans + cost.
+  std::vector<int> local_plan;
+  std::vector<double> cost;
+  std::vector<Plan> local_plans;
+  std::unordered_map<std::string, int> sig_to_local;
+  long long calls = 0;
+};
+
+void RunShard(const QuerySpec& query, const Catalog& catalog,
+              CostParams params, const EssGrid& grid, uint64_t begin,
+              uint64_t end, ShardResult* out) {
+  QueryOptimizer opt(query, catalog, params);
+  out->local_plan.resize(end - begin);
+  out->cost.resize(end - begin);
+  for (uint64_t i = begin; i < end; ++i) {
+    const Plan plan = opt.OptimizeAt(grid.SelectivityAt(i));
+    auto it = out->sig_to_local.find(plan.signature);
+    int id;
+    if (it == out->sig_to_local.end()) {
+      id = static_cast<int>(out->local_plans.size());
+      out->local_plans.push_back(plan);
+      out->sig_to_local.emplace(plan.signature, id);
+    } else {
+      id = it->second;
+    }
+    out->local_plan[i - begin] = id;
+    out->cost[i - begin] = plan.cost;
+  }
+  out->calls = static_cast<long long>(end - begin);
+}
+
+}  // namespace
+
+PlanDiagram GeneratePosp(const QuerySpec& query, const Catalog& catalog,
+                         CostParams params, const EssGrid& grid,
+                         const PospOptions& options, PospStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t n = grid.num_points();
+  const int threads =
+      std::max(1, std::min<int>(options.num_threads,
+                                static_cast<int>(
+                                    std::thread::hardware_concurrency())));
+
+  PlanDiagram diagram(&grid);
+  long long calls = 0;
+
+  if (threads <= 1 || n < 256) {
+    QueryOptimizer opt(query, catalog, params);
+    for (uint64_t i = 0; i < n; ++i) {
+      const Plan plan = opt.OptimizeAt(grid.SelectivityAt(i));
+      diagram.Set(i, diagram.InternPlan(plan), plan.cost);
+    }
+    calls = static_cast<long long>(n);
+  } else {
+    std::vector<ShardResult> results(threads);
+    std::vector<std::thread> workers;
+    const uint64_t chunk = (n + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const uint64_t begin = chunk * t;
+      const uint64_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back(RunShard, std::cref(query), std::cref(catalog),
+                           params, std::cref(grid), begin, end, &results[t]);
+    }
+    for (auto& w : workers) w.join();
+    for (int t = 0; t < threads; ++t) {
+      const uint64_t begin = chunk * t;
+      const ShardResult& r = results[t];
+      std::vector<int> local_to_global(r.local_plans.size());
+      for (size_t p = 0; p < r.local_plans.size(); ++p) {
+        local_to_global[p] = diagram.InternPlan(r.local_plans[p]);
+      }
+      for (size_t i = 0; i < r.local_plan.size(); ++i) {
+        diagram.Set(begin + i, local_to_global[r.local_plan[i]], r.cost[i]);
+      }
+      calls += r.calls;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->optimizer_calls = calls;
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return diagram;
+}
+
+}  // namespace bouquet

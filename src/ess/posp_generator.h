@@ -1,0 +1,38 @@
+// Exhaustive POSP generation: optimize the query at every ESS grid point.
+//
+// The task is embarrassingly parallel (Section 4.2 of the paper), so the
+// generator optionally shards the grid across threads, each with its own
+// QueryOptimizer instance, and merges per-shard results through signature
+// interning.
+
+#ifndef BOUQUET_ESS_POSP_GENERATOR_H_
+#define BOUQUET_ESS_POSP_GENERATOR_H_
+
+#include "catalog/catalog.h"
+#include "ess/ess_grid.h"
+#include "ess/plan_diagram.h"
+#include "optimizer/cost_model.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+struct PospOptions {
+  int num_threads = 1;
+};
+
+/// Statistics of a generation run (compile-time overheads, Section 6.1).
+struct PospStats {
+  long long optimizer_calls = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Optimizes every grid point; the returned diagram's costs form the PIC.
+/// The grid must outlive the returned diagram.
+PlanDiagram GeneratePosp(const QuerySpec& query, const Catalog& catalog,
+                         CostParams params, const EssGrid& grid,
+                         const PospOptions& options = {},
+                         PospStats* stats = nullptr);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ESS_POSP_GENERATOR_H_

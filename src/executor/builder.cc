@@ -1,0 +1,38 @@
+#include "executor/builder.h"
+
+namespace bouquet {
+
+namespace {
+
+ExecutionOutcome RunTree(const PlanNode& root, ExecContext* ctx,
+                         double budget, std::vector<Row>* results) {
+  ctx->meter.Reset();
+  ctx->meter.set_budget(budget);
+  ctx->instr.Reset();
+
+  ExecutionOutcome out;
+  auto built = BuildExecutor(root, ctx);
+  if (!built.ok()) {
+    out.status = ExecResult::kAborted;
+    out.build_failed = true;
+    out.build_status = built.status();
+    return out;
+  }
+  out.status = DrainOperator(built->get(), results, &out.rows_emitted);
+  out.cost_charged = ctx->meter.charged();
+  return out;
+}
+
+}  // namespace
+
+ExecutionOutcome ExecutePlan(const PlanNode& root, ExecContext* ctx,
+                             double budget, std::vector<Row>* results) {
+  return RunTree(root, ctx, budget, results);
+}
+
+ExecutionOutcome ExecuteSpilled(const PlanNode& subtree_root,
+                                ExecContext* ctx, double budget) {
+  return RunTree(subtree_root, ctx, budget, /*results=*/nullptr);
+}
+
+}  // namespace bouquet

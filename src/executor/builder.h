@@ -1,0 +1,45 @@
+// High-level execution entry points over the operator tree builder:
+// budget-limited full-plan execution and spilled subtree execution.
+//
+// "Spilled" execution (Section 5.3 of the paper) runs only the subtree up to
+// and including the first error-prone node and discards its output, so the
+// entire cost budget is spent on learning that node's selectivity instead of
+// on downstream processing.
+
+#ifndef BOUQUET_EXECUTOR_BUILDER_H_
+#define BOUQUET_EXECUTOR_BUILDER_H_
+
+#include <vector>
+
+#include "executor/operators.h"
+
+namespace bouquet {
+
+/// Result of one (possibly partial) plan execution.
+struct ExecutionOutcome {
+  ExecResult status = ExecResult::kDone;
+  int64_t rows_emitted = 0;
+  double cost_charged = 0.0;
+  /// True when the operator tree could not even be built (e.g. an abstract
+  /// predicate without a constant); distinct from a budget abort — retrying
+  /// with a larger budget cannot help.
+  bool build_failed = false;
+  Status build_status;
+};
+
+/// Executes the full plan with the given cost budget. Result rows are
+/// appended to *results when non-null. Resets the context's meter and
+/// instrumentation first (a fresh partial execution; prior intermediate
+/// results are "jettisoned" per the basic bouquet contract).
+ExecutionOutcome ExecutePlan(const PlanNode& root, ExecContext* ctx,
+                             double budget,
+                             std::vector<Row>* results = nullptr);
+
+/// Executes only the given subtree (spill mode), discarding its output.
+/// The budget covers the subtree alone.
+ExecutionOutcome ExecuteSpilled(const PlanNode& subtree_root, ExecContext* ctx,
+                                double budget);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_EXECUTOR_BUILDER_H_

@@ -1,0 +1,3 @@
+#include "executor/exec_context.h"
+
+// Header-only module; this translation unit anchors it.

@@ -1,0 +1,59 @@
+// Execution context: cost metering + shared state for a (partial) execution.
+//
+// The CostMeter charges the same abstract units the cost model prices plans
+// in, so "running-cost(P) <= cost-budget(IC)" — the loop condition of the
+// paper's bouquet algorithms (Figures 7 and 13) — is enforced consistently
+// with the isocost contours computed at compile time.
+
+#ifndef BOUQUET_EXECUTOR_EXEC_CONTEXT_H_
+#define BOUQUET_EXECUTOR_EXEC_CONTEXT_H_
+
+#include <limits>
+
+#include "catalog/catalog.h"
+#include "executor/instrument.h"
+#include "optimizer/cost_model.h"
+#include "query/query_spec.h"
+#include "storage/index.h"
+
+namespace bouquet {
+
+/// Accumulates abstract cost units; trips once the budget is exceeded.
+class CostMeter {
+ public:
+  void set_budget(double budget) { budget_ = budget; }
+  double budget() const { return budget_; }
+  double charged() const { return charged_; }
+
+  /// Adds `units`; returns false (and stays tripped) once charged > budget.
+  bool Charge(double units) {
+    charged_ += units;
+    return charged_ <= budget_;
+  }
+
+  bool exhausted() const { return charged_ > budget_; }
+
+  void Reset() {
+    charged_ = 0.0;
+    budget_ = std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  double charged_ = 0.0;
+  double budget_ = std::numeric_limits<double>::infinity();
+};
+
+/// Everything an operator tree needs at run time. Owned by the caller; must
+/// outlive the operators built against it.
+struct ExecContext {
+  const QuerySpec* query = nullptr;
+  const Catalog* catalog = nullptr;
+  Database* db = nullptr;  ///< non-const: index caches build lazily
+  const CostModel* cost_model = nullptr;
+  CostMeter meter;
+  Instrumentation instr;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_EXECUTOR_EXEC_CONTEXT_H_

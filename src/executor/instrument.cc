@@ -1,0 +1,10 @@
+#include "executor/instrument.h"
+
+namespace bouquet {
+
+const NodeCounters* Instrumentation::Find(const PlanNode* node) const {
+  auto it = counters_.find(node);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bouquet

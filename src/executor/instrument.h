@@ -1,0 +1,42 @@
+// Runtime instrumentation: per-plan-node tuple counters.
+//
+// Mirrors PostgreSQL's Instrumentation structure, which the paper identifies
+// (Section 5.4) as the pre-existing engine facility that makes cost-limited
+// execution and run-time selectivity monitoring cheap to add. The bouquet
+// driver reads these counters to maintain the running selectivity location
+// q_run (Section 5.2).
+
+#ifndef BOUQUET_EXECUTOR_INSTRUMENT_H_
+#define BOUQUET_EXECUTOR_INSTRUMENT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "optimizer/plan.h"
+
+namespace bouquet {
+
+/// Counters collected for one plan node during (partial) execution.
+struct NodeCounters {
+  int64_t tuples_out = 0;      ///< rows emitted by the node so far
+  int64_t tuples_scanned = 0;  ///< base rows examined (scans only)
+  bool finished = false;       ///< node ran to completion
+};
+
+/// Registry of counters keyed by plan node identity.
+class Instrumentation {
+ public:
+  NodeCounters& ForNode(const PlanNode* node) { return counters_[node]; }
+
+  /// Counters for a node, or nullptr if it never executed.
+  const NodeCounters* Find(const PlanNode* node) const;
+
+  void Reset() { counters_.clear(); }
+
+ private:
+  std::unordered_map<const PlanNode*, NodeCounters> counters_;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_EXECUTOR_INSTRUMENT_H_

@@ -1,0 +1,74 @@
+// Volcano-style physical operators with budget-limited execution.
+//
+// Every Next() call may return kAborted when the context's CostMeter trips;
+// the partial state (instrumentation counters) remains readable afterwards,
+// which is exactly what the bouquet's cost-limited partial executions need.
+// Rows are flat int64 vectors; each operator publishes its output schema as
+// (query-table-index, column-index) pairs so predicates can be bound by the
+// builder.
+
+#ifndef BOUQUET_EXECUTOR_OPERATORS_H_
+#define BOUQUET_EXECUTOR_OPERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "executor/exec_context.h"
+#include "optimizer/plan.h"
+
+namespace bouquet {
+
+using Row = std::vector<int64_t>;
+
+/// Outcome of pulling one row.
+enum class ExecResult {
+  kRow,      ///< *out holds a row
+  kDone,     ///< input exhausted
+  kAborted,  ///< cost budget exhausted mid-stream
+};
+
+/// Column slot in an operator's output row.
+struct SchemaCol {
+  int table_idx;  ///< index into QuerySpec::tables
+  int col_idx;    ///< column index within that table
+};
+
+/// Abstract iterator.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Pulls the next row into *out.
+  virtual ExecResult Next(Row* out) = 0;
+
+  const std::vector<SchemaCol>& schema() const { return schema_; }
+
+  /// Position of (table, col) in the output row, or -1.
+  int FindColumn(int table_idx, int col_idx) const;
+
+ protected:
+  Operator() = default;
+  std::vector<SchemaCol> schema_;
+};
+
+/// Builds an operator tree for (a subtree of) a physical plan against real
+/// data. Fails when a selection predicate lacks a constant (abstract
+/// cost-model-only queries cannot be executed).
+Result<std::unique_ptr<Operator>> BuildExecutor(const PlanNode& root,
+                                                ExecContext* ctx);
+
+/// Drains an operator to completion (or budget exhaustion), materializing at
+/// most `max_rows` result rows into *rows (pass nullptr to count only).
+/// Returns kDone or kAborted; row count is in *emitted.
+ExecResult DrainOperator(Operator* op, std::vector<Row>* rows,
+                         int64_t* emitted,
+                         int64_t max_rows = INT64_MAX);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_EXECUTOR_OPERATORS_H_

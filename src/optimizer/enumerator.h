@@ -1,0 +1,85 @@
+// System-R style dynamic-programming plan enumerator with interesting
+// orders.
+//
+// Enumerates bushy join trees over connected subgraphs of the join graph
+// (DPsub), choosing among sequential/index scans and hash / sort-merge /
+// index-nested-loop / materialized-nested-loop joins, priced by CostModel.
+// Cardinalities follow the classical independence model: the cardinality of
+// a relation subset is the product of base cardinalities, applicable filter
+// selectivities, and internal join selectivities — which is exactly the model
+// under which injected ESS selectivities are well-defined.
+//
+// Interesting orders: index scans emit rows sorted on their qual column and
+// merge joins emit rows sorted on their key; hash/NL joins preserve the
+// outer side's order. The DP therefore keeps, per relation subset, the
+// cheapest plan overall plus the cheapest plan per sort order that can
+// still benefit a pending join (so a future merge join can skip a sort).
+
+#ifndef BOUQUET_OPTIMIZER_ENUMERATOR_H_
+#define BOUQUET_OPTIMIZER_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "optimizer/selectivity.h"
+#include "query/join_graph.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// Dynamic-programming enumerator bound to one (query, catalog, cost-model)
+/// triple. Construction precomputes connectivity and predicate masks; each
+/// Optimize() call then runs the DP for one selectivity assignment.
+class PlanEnumerator {
+ public:
+  PlanEnumerator(const QuerySpec& query, const Catalog& catalog,
+                 CostModel cost_model);
+
+  /// Finds the cheapest plan under the resolver's current selectivities.
+  Plan Optimize(const SelectivityResolver& sel) const;
+
+  /// Number of optimizer invocations served so far (compile-time overhead
+  /// accounting, Section 6.1).
+  long long invocations() const { return invocations_; }
+
+ private:
+  // Sort orders are encoded as table_idx * 256 + column_idx; kNoOrder for
+  // unordered streams.
+  static constexpr int kNoOrder = -1;
+
+  struct Entry {
+    PlanNodeRef plan;
+    double rows = 0.0;
+    double cost = 0.0;
+    double width = 0.0;
+    int order = kNoOrder;
+  };
+
+  std::vector<Entry> BuildScanEntries(int table,
+                                      const SelectivityResolver& sel) const;
+  double SubsetRows(uint64_t subset, const SelectivityResolver& sel) const;
+  // True when a stream sorted on `order` could still feed a merge join with
+  // a relation outside `subset`.
+  bool OrderInteresting(int order, uint64_t subset) const;
+
+  const QuerySpec* query_;
+  const Catalog* catalog_;
+  CostModel cm_;
+  JoinGraph graph_;
+  int num_tables_;
+  std::vector<const TableInfo*> tables_;           // by query table index
+  std::vector<std::vector<int>> table_filters_;    // filter idxs per table
+  std::vector<uint64_t> join_lmask_;               // bit of left table
+  std::vector<uint64_t> join_rmask_;               // bit of right table
+  std::vector<int> join_lorder_;                   // encoded left column
+  std::vector<int> join_rorder_;                   // encoded right column
+  std::vector<bool> connected_;                    // per subset
+  mutable long long invocations_ = 0;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_OPTIMIZER_ENUMERATOR_H_

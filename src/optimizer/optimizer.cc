@@ -1,0 +1,57 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+
+namespace bouquet {
+
+QueryOptimizer::QueryOptimizer(const QuerySpec& query, const Catalog& catalog,
+                               CostParams params)
+    : query_(&query),
+      catalog_(&catalog),
+      cm_(params),
+      enumerator_(query, catalog, cm_),
+      resolver_(query, catalog) {}
+
+Result<std::unique_ptr<QueryOptimizer>> QueryOptimizer::Create(
+    const QuerySpec& query, const Catalog& catalog, CostParams params) {
+  Status s = query.Validate(catalog);
+  if (!s.ok()) return s;
+  return std::make_unique<QueryOptimizer>(query, catalog, params);
+}
+
+Plan QueryOptimizer::OptimizeAt(const DimVector& dims) {
+  resolver_.Inject(dims);
+  return enumerator_.Optimize(resolver_);
+}
+
+Plan QueryOptimizer::OptimizeDefault() {
+  resolver_.ClearInjection();
+  return enumerator_.Optimize(resolver_);
+}
+
+double QueryOptimizer::CostPlanAt(const PlanNode& root,
+                                  const DimVector& dims) {
+  resolver_.Inject(dims);
+  return RecostPlanTotal(root, cm_, resolver_);
+}
+
+PlanCostDetail QueryOptimizer::RecostPlanAt(const PlanNode& root,
+                                            const DimVector& dims) {
+  resolver_.Inject(dims);
+  return RecostPlan(root, cm_, resolver_);
+}
+
+DimVector QueryOptimizer::DefaultDims() const {
+  DimVector dims;
+  dims.reserve(query_->error_dims.size());
+  for (const auto& d : query_->error_dims) {
+    const double est =
+        d.kind == DimKind::kSelection
+            ? resolver_.DefaultFilterSelectivity(d.predicate_index)
+            : resolver_.DefaultJoinSelectivity(d.predicate_index);
+    dims.push_back(std::clamp(est, d.lo, d.hi));
+  }
+  return dims;
+}
+
+}  // namespace bouquet

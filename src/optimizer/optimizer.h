@@ -1,0 +1,73 @@
+// QueryOptimizer: the public optimizer facade bound to one query.
+//
+// Bundles the enumerator, a reusable selectivity resolver, and the recoster
+// behind the two operations the bouquet pipeline needs at every ESS location:
+//   * OptimizeAt(dims)  — "what is the optimal plan if the error-prone
+//                          selectivities are exactly `dims`?"
+//   * CostPlanAt(p, dims) — "what does plan p cost at `dims`?"
+
+#ifndef BOUQUET_OPTIMIZER_OPTIMIZER_H_
+#define BOUQUET_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/plan.h"
+#include "optimizer/recost.h"
+#include "optimizer/selectivity.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// Optimizer for a single query over a fixed catalog and cost model.
+/// Not thread-safe (the resolver is reused across calls); create one
+/// instance per thread for parallel POSP generation.
+class QueryOptimizer {
+ public:
+  /// The query and catalog must outlive the optimizer.
+  QueryOptimizer(const QuerySpec& query, const Catalog& catalog,
+                 CostParams params);
+
+  /// Validates and constructs; preferred entry point for library users.
+  static Result<std::unique_ptr<QueryOptimizer>> Create(
+      const QuerySpec& query, const Catalog& catalog, CostParams params);
+
+  const QuerySpec& query() const { return *query_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const CostModel& cost_model() const { return cm_; }
+
+  /// Optimal plan when the error-prone selectivities equal `dims`
+  /// (dims.size() == query.NumDims()).
+  Plan OptimizeAt(const DimVector& dims);
+
+  /// Optimal plan at the native optimizer's own estimates (classical
+  /// compile-time behavior; defines the NAT baseline's q_e).
+  Plan OptimizeDefault();
+
+  /// Cost of an arbitrary plan tree at `dims` (abstract plan costing).
+  double CostPlanAt(const PlanNode& root, const DimVector& dims);
+
+  /// Per-node recosting detail at `dims`.
+  PlanCostDetail RecostPlanAt(const PlanNode& root, const DimVector& dims);
+
+  /// The native optimizer's default estimate for every error dimension,
+  /// clamped into the dimension's declared [lo, hi] range.
+  DimVector DefaultDims() const;
+
+  /// Total DP invocations served (compile-time overhead metric).
+  long long invocations() const { return enumerator_.invocations(); }
+
+ private:
+  const QuerySpec* query_;
+  const Catalog* catalog_;
+  CostModel cm_;
+  PlanEnumerator enumerator_;
+  SelectivityResolver resolver_;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,158 @@
+#include "optimizer/plan.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace bouquet {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kSeqScan:
+      return "SeqScan";
+    case OpType::kIndexScan:
+      return "IndexScan";
+    case OpType::kIndexNLJoin:
+      return "IndexNLJoin";
+    case OpType::kMaterialNLJoin:
+      return "NLJoin";
+    case OpType::kHashJoin:
+      return "HashJoin";
+    case OpType::kMergeJoin:
+      return "MergeJoin";
+    case OpType::kHashAggregate:
+      return "HashAggregate";
+  }
+  return "?";
+}
+
+const char* OpTypeShortName(OpType op) {
+  switch (op) {
+    case OpType::kSeqScan:
+      return "SS";
+    case OpType::kIndexScan:
+      return "IS";
+    case OpType::kIndexNLJoin:
+      return "NL";
+    case OpType::kMaterialNLJoin:
+      return "NLM";
+    case OpType::kHashJoin:
+      return "HJ";
+    case OpType::kMergeJoin:
+      return "MJ";
+    case OpType::kHashAggregate:
+      return "AGG";
+  }
+  return "?";
+}
+
+namespace {
+
+void CollectPreorder(const PlanNode& node,
+                     std::vector<const PlanNode*>* out) {
+  out->push_back(&node);
+  if (node.left) CollectPreorder(*node.left, out);
+  if (node.right) CollectPreorder(*node.right, out);
+}
+
+}  // namespace
+
+std::vector<const PlanNode*> CollectNodes(const PlanNode& root) {
+  std::vector<const PlanNode*> out;
+  CollectPreorder(root, &out);
+  return out;
+}
+
+int CountNodes(const PlanNode& root) {
+  int n = 1;
+  if (root.left) n += CountNodes(*root.left);
+  if (root.right) n += CountNodes(*root.right);
+  return n;
+}
+
+namespace {
+
+bool NodeEvaluatesPredicate(const PlanNode& node, bool is_join_dim,
+                            int pred_idx) {
+  if (is_join_dim) {
+    return std::find(node.join_idxs.begin(), node.join_idxs.end(), pred_idx) !=
+           node.join_idxs.end();
+  }
+  return std::find(node.filter_idxs.begin(), node.filter_idxs.end(),
+                   pred_idx) != node.filter_idxs.end();
+}
+
+int MaxDepthRec(const PlanNode& node, bool is_join_dim, int pred_idx,
+                int depth) {
+  int best = NodeEvaluatesPredicate(node, is_join_dim, pred_idx) ? depth : -1;
+  if (node.left) {
+    best = std::max(best,
+                    MaxDepthRec(*node.left, is_join_dim, pred_idx, depth + 1));
+  }
+  if (node.right) {
+    best = std::max(
+        best, MaxDepthRec(*node.right, is_join_dim, pred_idx, depth + 1));
+  }
+  return best;
+}
+
+}  // namespace
+
+int ErrorNodeMaxDepth(const PlanNode& root, bool is_join_dim, int pred_idx) {
+  return MaxDepthRec(root, is_join_dim, pred_idx, 0);
+}
+
+const PlanNode* FindPredicateNode(const PlanNode& root, bool is_join_dim,
+                                  int pred_idx) {
+  // Prefer the deepest occurrence so spilled executions do the least
+  // downstream work.
+  const PlanNode* found = nullptr;
+  if (root.left) found = FindPredicateNode(*root.left, is_join_dim, pred_idx);
+  if (!found && root.right) {
+    found = FindPredicateNode(*root.right, is_join_dim, pred_idx);
+  }
+  if (!found && NodeEvaluatesPredicate(root, is_join_dim, pred_idx)) {
+    found = &root;
+  }
+  return found;
+}
+
+namespace {
+
+void ExplainRec(const PlanNode& node,
+                const std::vector<std::string>& table_names, int indent,
+                std::string* out) {
+  out->append(indent * 2, ' ');
+  out->append(OpTypeName(node.op));
+  if (node.is_scan() && node.table_idx >= 0 &&
+      node.table_idx < static_cast<int>(table_names.size())) {
+    out->append(" " + table_names[node.table_idx]);
+    if (!node.filter_idxs.empty()) {
+      std::vector<std::string> fs;
+      for (int f : node.filter_idxs) fs.push_back(StrPrintf("f%d", f));
+      out->append(" [" + Join(fs, ",") + "]");
+    }
+  }
+  if (node.is_join() && !node.join_idxs.empty()) {
+    std::vector<std::string> js;
+    for (int j : node.join_idxs) js.push_back(StrPrintf("j%d", j));
+    out->append(" [" + Join(js, ",") + "]");
+  }
+  out->append(StrPrintf("  (rows=%s cost=%s)",
+                        FormatSci(node.est_rows).c_str(),
+                        FormatSci(node.est_cost).c_str()));
+  out->append("\n");
+  if (node.left) ExplainRec(*node.left, table_names, indent + 1, out);
+  if (node.right) ExplainRec(*node.right, table_names, indent + 1, out);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanNode& root,
+                        const std::vector<std::string>& table_names) {
+  std::string out;
+  ExplainRec(root, table_names, 0, &out);
+  return out;
+}
+
+}  // namespace bouquet

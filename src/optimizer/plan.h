@@ -1,0 +1,103 @@
+// Physical plan trees.
+//
+// Plans are immutable shared trees annotated with the estimates computed at
+// the optimization point. The same tree can later be *recosted* at any other
+// ESS location (optimizer/recost.h) — the paper's "abstract plan costing"
+// hook (Section 5.4) — so annotations are advisory, not identity.
+
+#ifndef BOUQUET_OPTIMIZER_PLAN_H_
+#define BOUQUET_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bouquet {
+
+enum class OpType {
+  kSeqScan,
+  kIndexScan,       // index qual on a selection predicate
+  kIndexNLJoin,     // inner = base-table index lookup on the join key
+  kMaterialNLJoin,  // naive nested loops over a materialized inner
+  kHashJoin,        // inner (right) side builds
+  kMergeJoin,       // both inputs sorted on the join key
+  kHashAggregate,   // grouped aggregation atop the join block
+};
+
+const char* OpTypeName(OpType op);
+/// Short display name used in figures ("NL", "HJ", "MJ", ...).
+const char* OpTypeShortName(OpType op);
+
+struct PlanNode;
+using PlanNodeRef = std::shared_ptr<const PlanNode>;
+
+/// One node of a physical plan tree.
+struct PlanNode {
+  OpType op = OpType::kSeqScan;
+  PlanNodeRef left;   ///< outer child (joins) / null (scans)
+  PlanNodeRef right;  ///< inner child (joins) / null (scans)
+
+  // -- Scan fields --------------------------------------------------------
+  int table_idx = -1;             ///< index into QuerySpec::tables
+  std::vector<int> filter_idxs;   ///< selection predicates applied here
+  int index_filter = -1;          ///< filter used as the index qual, or -1
+
+  // -- Join fields --------------------------------------------------------
+  std::vector<int> join_idxs;  ///< join predicates applied at this node;
+                               ///< for merge joins, [0] is the sort key
+  int index_join = -1;         ///< join predicate used as index lookup key
+  /// Merge joins only: the input already arrives sorted on the key (an
+  /// "interesting order" from an index scan or a child merge join), so the
+  /// sort step — and its cost — is skipped.
+  bool left_presorted = false;
+  bool right_presorted = false;
+
+  // -- Annotations (values at the optimization point) ---------------------
+  double est_rows = 0.0;
+  double est_cost = 0.0;
+  double width = 0.0;
+
+  bool is_scan() const {
+    return op == OpType::kSeqScan || op == OpType::kIndexScan;
+  }
+  bool is_join() const {
+    return op == OpType::kIndexNLJoin || op == OpType::kMaterialNLJoin ||
+           op == OpType::kHashJoin || op == OpType::kMergeJoin;
+  }
+  bool is_aggregate() const { return op == OpType::kHashAggregate; }
+};
+
+/// A complete optimized plan: root plus the estimates at its optimization
+/// point and its canonical signature.
+struct Plan {
+  PlanNodeRef root;
+  double cost = 0.0;
+  double rows = 0.0;
+  std::string signature;
+};
+
+/// Preorder listing of the tree's nodes (root first).
+std::vector<const PlanNode*> CollectNodes(const PlanNode& root);
+
+/// Number of nodes in the tree.
+int CountNodes(const PlanNode& root);
+
+/// Depth (root = 0) of the shallowest node whose predicate set contains the
+/// given error dimension's predicate; returns -1 when absent. "Deepest in the
+/// plan tree" in the paper's Section 5.1 heuristic == largest depth value
+/// here, so callers wanting the paper's notion use ErrorNodeMaxDepth.
+int ErrorNodeMaxDepth(const PlanNode& root, bool is_join_dim, int pred_idx);
+
+/// The subtree rooted at the node that evaluates the given predicate
+/// (join predicate when is_join_dim, else selection predicate); nullptr when
+/// the plan does not evaluate it. Used by spill-mode execution (Section 5.3).
+const PlanNode* FindPredicateNode(const PlanNode& root, bool is_join_dim,
+                                  int pred_idx);
+
+/// Renders the tree as an indented explain-style string.
+std::string ExplainPlan(const PlanNode& root,
+                        const std::vector<std::string>& table_names);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_OPTIMIZER_PLAN_H_

@@ -1,0 +1,63 @@
+#include "optimizer/plan_signature.h"
+
+#include "common/str_util.h"
+
+namespace bouquet {
+
+namespace {
+
+void SigRec(const PlanNode& node, std::string* out) {
+  out->append(OpTypeShortName(node.op));
+  if (node.is_aggregate()) {
+    out->append("(");
+    if (node.left) SigRec(*node.left, out);
+    out->append(")");
+    return;
+  }
+  if (node.op == OpType::kMergeJoin &&
+      (node.left_presorted || node.right_presorted)) {
+    // Pre-sorted inputs change the physical behavior (sorts are skipped),
+    // so they are part of plan identity.
+    out->append("{");
+    out->append(node.left_presorted ? "s" : "-");
+    out->append(node.right_presorted ? "s" : "-");
+    out->append("}");
+  }
+  if (node.is_scan()) {
+    out->append(StrPrintf("(t%d", node.table_idx));
+    if (node.index_filter >= 0) {
+      out->append(StrPrintf(";ix=f%d", node.index_filter));
+    }
+    if (!node.filter_idxs.empty()) {
+      out->append(";");
+      for (size_t i = 0; i < node.filter_idxs.size(); ++i) {
+        if (i > 0) out->append(",");
+        out->append(StrPrintf("f%d", node.filter_idxs[i]));
+      }
+    }
+    out->append(")");
+    return;
+  }
+  out->append("[");
+  for (size_t i = 0; i < node.join_idxs.size(); ++i) {
+    if (i > 0) out->append(",");
+    out->append(StrPrintf("j%d", node.join_idxs[i]));
+  }
+  if (node.index_join >= 0) out->append(StrPrintf(";ixj%d", node.index_join));
+  out->append("](");
+  if (node.left) SigRec(*node.left, out);
+  out->append(",");
+  if (node.right) SigRec(*node.right, out);
+  out->append(")");
+}
+
+}  // namespace
+
+std::string PlanSignature(const PlanNode& root) {
+  std::string out;
+  out.reserve(128);
+  SigRec(root, &out);
+  return out;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,22 @@
+// Canonical plan signatures.
+//
+// POSP construction must recognize "the same plan" across ESS locations, so
+// plan identity is a structural signature over operators, tables, access
+// paths and applied predicates — explicitly excluding cardinality and cost
+// annotations, which vary with the injected selectivities.
+
+#ifndef BOUQUET_OPTIMIZER_PLAN_SIGNATURE_H_
+#define BOUQUET_OPTIMIZER_PLAN_SIGNATURE_H_
+
+#include <string>
+
+#include "optimizer/plan.h"
+
+namespace bouquet {
+
+/// Canonical structural signature ("HJ[j0](IS(t0;f1),SS(t2))" style).
+std::string PlanSignature(const PlanNode& root);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_OPTIMIZER_PLAN_SIGNATURE_H_

@@ -1,0 +1,122 @@
+#include "optimizer/recost.h"
+
+#include <cassert>
+
+#include "catalog/catalog.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+namespace {
+
+struct RecostState {
+  const CostModel* cm;
+  const SelectivityResolver* sel;
+  const QuerySpec* query;
+  const Catalog* catalog;
+  std::vector<NodeEstimate>* out;  // may be null
+};
+
+NodeEstimate RecostRec(const PlanNode& node, RecostState* st) {
+  // Reserve this node's preorder slot before descending.
+  size_t slot = 0;
+  if (st->out != nullptr) {
+    slot = st->out->size();
+    st->out->emplace_back();
+  }
+
+  NodeEstimate est;
+  const SelectivityResolver& sel = *st->sel;
+  const CostModel& cm = *st->cm;
+
+  if (node.is_scan()) {
+    const TableInfo& t =
+        st->catalog->GetTable(st->query->tables[node.table_idx]);
+    const double raw = t.stats.row_count;
+    const double width = t.stats.row_width_bytes;
+    double out_sel = 1.0;
+    for (int f : node.filter_idxs) out_sel *= sel.FilterSelectivity(f);
+    est.rows = raw * out_sel;
+    est.width = width;
+    if (node.op == OpType::kIndexScan && node.index_filter >= 0) {
+      const double matched = raw * sel.FilterSelectivity(node.index_filter);
+      est.cost = cm.IndexScanCost(
+          raw, width, matched,
+          static_cast<int>(node.filter_idxs.size()) - 1, est.rows);
+    } else if (node.op == OpType::kIndexScan) {
+      // Index-lookup inner of an index NL join: cost charged by the parent.
+      est.cost = 0.0;
+    } else {
+      est.cost = cm.SeqScanCost(raw, width,
+                                static_cast<int>(node.filter_idxs.size()),
+                                est.rows);
+    }
+  } else if (node.is_aggregate()) {
+    assert(node.left);
+    const NodeEstimate in = RecostRec(*node.left, st);
+    const double groups =
+        st->query->aggregate.EstimateGroups(*st->catalog, in.rows);
+    est.rows = groups;
+    est.width = node.width;
+    est.cost = st->cm->AggregateCost({in.rows, in.cost, in.width}, groups);
+  } else {
+    assert(node.left && node.right);
+    const NodeEstimate l = RecostRec(*node.left, st);
+    const NodeEstimate r = RecostRec(*node.right, st);
+    double join_sel = 1.0;
+    for (int j : node.join_idxs) join_sel *= sel.JoinSelectivity(j);
+    est.rows = l.rows * r.rows * join_sel;
+    est.width = l.width + r.width;
+    const InputEst le{l.rows, l.cost, l.width};
+    const InputEst re{r.rows, r.cost, r.width};
+    switch (node.op) {
+      case OpType::kHashJoin:
+        est.cost = cm.HashJoinCost(le, re, est.rows);
+        break;
+      case OpType::kMergeJoin:
+        est.cost = cm.MergeJoinCost(le, re, est.rows, node.left_presorted,
+                                    node.right_presorted);
+        break;
+      case OpType::kMaterialNLJoin:
+        est.cost = cm.MaterialNLJoinCost(le, re, est.rows);
+        break;
+      case OpType::kIndexNLJoin: {
+        const TableInfo& t = st->catalog->GetTable(
+            st->query->tables[node.right->table_idx]);
+        const double raw = t.stats.row_count;
+        assert(node.index_join >= 0);
+        const double prefilter =
+            l.rows * raw * sel.JoinSelectivity(node.index_join);
+        const int residual =
+            static_cast<int>(node.right->filter_idxs.size()) +
+            static_cast<int>(node.join_idxs.size()) - 1;
+        est.cost = cm.IndexNLJoinCost(le, raw, prefilter, residual, est.rows);
+        break;
+      }
+      default:
+        assert(false && "not a join op");
+    }
+  }
+
+  if (st->out != nullptr) (*st->out)[slot] = est;
+  return est;
+}
+
+}  // namespace
+
+PlanCostDetail RecostPlan(const PlanNode& root, const CostModel& cm,
+                          const SelectivityResolver& sel) {
+  PlanCostDetail detail;
+  RecostState st{&cm, &sel, &sel.query(), &sel.catalog(), &detail.nodes};
+  const NodeEstimate top = RecostRec(root, &st);
+  detail.total_cost = top.cost;
+  return detail;
+}
+
+double RecostPlanTotal(const PlanNode& root, const CostModel& cm,
+                       const SelectivityResolver& sel) {
+  RecostState st{&cm, &sel, &sel.query(), &sel.catalog(), nullptr};
+  return RecostRec(root, &st).cost;
+}
+
+}  // namespace bouquet

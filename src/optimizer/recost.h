@@ -1,0 +1,43 @@
+// Abstract plan recosting ("Foreign Plan Costing").
+//
+// Given a fixed physical plan tree and an arbitrary selectivity assignment,
+// recomputes cardinalities and operator costs bottom-up using the same cost
+// model the enumerator used. This is the paper's "abstract plan costing"
+// engine hook (Section 5.4) and is the workhorse for the POSP infimum curve,
+// contour plan coverage, native-optimizer supremum, and bouquet simulation.
+
+#ifndef BOUQUET_OPTIMIZER_RECOST_H_
+#define BOUQUET_OPTIMIZER_RECOST_H_
+
+#include <vector>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "optimizer/selectivity.h"
+
+namespace bouquet {
+
+/// Per-node recosting outcome, aligned with CollectNodes() preorder.
+struct NodeEstimate {
+  double rows = 0.0;   ///< output cardinality at the recost point
+  double cost = 0.0;   ///< cumulative cost of the subtree
+  double width = 0.0;  ///< bytes per output row
+};
+
+/// Full recosting detail.
+struct PlanCostDetail {
+  double total_cost = 0.0;
+  std::vector<NodeEstimate> nodes;  ///< preorder, root first
+};
+
+/// Recosts the tree under the resolver's current selectivities.
+PlanCostDetail RecostPlan(const PlanNode& root, const CostModel& cm,
+                          const SelectivityResolver& sel);
+
+/// Cost-only variant (no per-node vector), cheaper for bulk sweeps.
+double RecostPlanTotal(const PlanNode& root, const CostModel& cm,
+                       const SelectivityResolver& sel);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_OPTIMIZER_RECOST_H_

@@ -1,0 +1,91 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bouquet {
+
+namespace {
+
+// PostgreSQL's magic default for inequality predicates lacking statistics
+// (DEFAULT_INEQ_SEL); the paper's Section 1 cites the Selinger 1/10 and 1/3
+// family of magic numbers.
+constexpr double kDefaultInequalitySel = 1.0 / 3.0;
+
+double FilterDefault(const SelectionPredicate& f, const Catalog& catalog) {
+  if (f.default_selectivity >= 0.0) return f.default_selectivity;
+  const TableInfo& t = catalog.GetTable(f.table);
+  const ColumnInfo& c = t.columns[t.ColumnIndex(f.column)];
+  if (f.op == CompareOp::kEqual) return c.stats.EqualitySelectivity();
+  if (f.has_constant() && !c.stats.histogram.empty()) {
+    switch (f.op) {
+      case CompareOp::kLess:
+        return c.stats.histogram.SelectivityLess(f.constant);
+      case CompareOp::kLessEqual:
+        return c.stats.histogram.SelectivityLessEqual(f.constant);
+      case CompareOp::kGreater:
+        return 1.0 - c.stats.histogram.SelectivityLessEqual(f.constant);
+      case CompareOp::kGreaterEqual:
+        return 1.0 - c.stats.histogram.SelectivityLess(f.constant);
+      case CompareOp::kEqual:
+        break;
+    }
+  }
+  return kDefaultInequalitySel;
+}
+
+double JoinDefault(const JoinPredicate& j, const Catalog& catalog) {
+  if (j.default_selectivity >= 0.0) return j.default_selectivity;
+  const TableInfo& lt = catalog.GetTable(j.left_table);
+  const TableInfo& rt = catalog.GetTable(j.right_table);
+  const double lndv =
+      std::max(1.0, lt.columns[lt.ColumnIndex(j.left_column)].stats.ndv);
+  const double rndv =
+      std::max(1.0, rt.columns[rt.ColumnIndex(j.right_column)].stats.ndv);
+  return 1.0 / std::max(lndv, rndv);
+}
+
+}  // namespace
+
+SelectivityResolver::SelectivityResolver(const QuerySpec& query,
+                                         const Catalog& catalog)
+    : query_(&query), catalog_(&catalog) {
+  default_filter_sel_.reserve(query.filters.size());
+  for (const auto& f : query.filters) {
+    default_filter_sel_.push_back(FilterDefault(f, catalog));
+  }
+  default_join_sel_.reserve(query.joins.size());
+  for (const auto& j : query.joins) {
+    default_join_sel_.push_back(JoinDefault(j, catalog));
+  }
+  filter_sel_ = default_filter_sel_;
+  join_sel_ = default_join_sel_;
+}
+
+void SelectivityResolver::Inject(const DimVector& dims) {
+  assert(dims.size() == query_->error_dims.size());
+  // Hot path (called once per recost/optimization): only the error-dim
+  // slots ever differ from the defaults, so only they are written.
+  for (size_t d = 0; d < dims.size(); ++d) {
+    const ErrorDimension& dim = query_->error_dims[d];
+    assert(dims[d] > 0.0 && dims[d] <= 1.0);
+    if (dim.kind == DimKind::kSelection) {
+      filter_sel_[dim.predicate_index] = dims[d];
+    } else {
+      join_sel_[dim.predicate_index] = dims[d];
+    }
+  }
+}
+
+void SelectivityResolver::ClearInjection() {
+  for (const ErrorDimension& dim : query_->error_dims) {
+    if (dim.kind == DimKind::kSelection) {
+      filter_sel_[dim.predicate_index] =
+          default_filter_sel_[dim.predicate_index];
+    } else {
+      join_sel_[dim.predicate_index] = default_join_sel_[dim.predicate_index];
+    }
+  }
+}
+
+}  // namespace bouquet

@@ -1,0 +1,88 @@
+#include "query/error_log.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bouquet {
+
+const PredicateErrorStats SelectivityErrorLog::kEmpty;
+
+void PredicateErrorStats::Add(double estimated, double actual) {
+  assert(estimated > 0.0 && estimated <= 1.0);
+  assert(actual > 0.0 && actual <= 1.0);
+  ++observations;
+  const double factor =
+      estimated > actual ? estimated / actual : actual / estimated;
+  max_error_factor = std::max(max_error_factor, factor);
+  min_actual = std::min(min_actual, actual);
+  max_actual = std::max(max_actual, actual);
+}
+
+std::string SelectivityErrorLog::FilterKey(const SelectionPredicate& f) {
+  return f.table + "." + f.column + " " + CompareOpName(f.op);
+}
+
+std::string SelectivityErrorLog::JoinKey(const JoinPredicate& j) {
+  const std::string a = j.left_table + "." + j.left_column;
+  const std::string b = j.right_table + "." + j.right_column;
+  return a < b ? a + " = " + b : b + " = " + a;
+}
+
+void SelectivityErrorLog::Record(const std::string& key, double estimated,
+                                 double actual) {
+  stats_[key].Add(estimated, actual);
+}
+
+const PredicateErrorStats& SelectivityErrorLog::Stats(
+    const std::string& key) const {
+  auto it = stats_.find(key);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> SelectivityErrorLog::ErrorProneKeys(
+    double factor_threshold) const {
+  std::vector<std::string> out;
+  for (const auto& [key, s] : stats_) {
+    if (s.max_error_factor >= factor_threshold) out.push_back(key);
+  }
+  return out;
+}
+
+std::vector<ErrorDimension> SelectivityErrorLog::SuggestDimensions(
+    const QuerySpec& query, double factor_threshold,
+    double margin_decades) const {
+  const double margin = std::pow(10.0, margin_decades);
+  std::vector<ErrorDimension> dims;
+  auto range_from = [&](const PredicateErrorStats& s, ErrorDimension* d) {
+    d->lo = std::clamp(s.min_actual / margin, 1e-12, 1.0);
+    d->hi = std::clamp(s.max_actual * margin, d->lo, 1.0);
+  };
+  for (size_t f = 0; f < query.filters.size(); ++f) {
+    const PredicateErrorStats& s = Stats(FilterKey(query.filters[f]));
+    if (s.observations == 0 || s.max_error_factor < factor_threshold) {
+      continue;
+    }
+    ErrorDimension d;
+    d.kind = DimKind::kSelection;
+    d.predicate_index = static_cast<int>(f);
+    d.label = FilterKey(query.filters[f]);
+    range_from(s, &d);
+    dims.push_back(std::move(d));
+  }
+  for (size_t j = 0; j < query.joins.size(); ++j) {
+    const PredicateErrorStats& s = Stats(JoinKey(query.joins[j]));
+    if (s.observations == 0 || s.max_error_factor < factor_threshold) {
+      continue;
+    }
+    ErrorDimension d;
+    d.kind = DimKind::kJoin;
+    d.predicate_index = static_cast<int>(j);
+    d.label = JoinKey(query.joins[j]);
+    range_from(s, &d);
+    dims.push_back(std::move(d));
+  }
+  return dims;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,65 @@
+// Workload history of selectivity estimation errors.
+//
+// Section 4.1 of the paper lists three ways to identify the error-prone
+// dimensions of a query: uncertainty-modeling rules, a log of the errors
+// encountered by similar queries in the workload history, or the fallback of
+// making every predicate a dimension. This module implements the second:
+// record (estimated, actual) selectivity pairs per predicate signature
+// during normal operation, then derive ESS dimensions — with data-driven
+// ranges — for the predicates whose history shows material errors.
+
+#ifndef BOUQUET_QUERY_ERROR_LOG_H_
+#define BOUQUET_QUERY_ERROR_LOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// Accumulated history for one predicate signature.
+struct PredicateErrorStats {
+  long long observations = 0;
+  double max_error_factor = 1.0;  ///< max(est/act, act/est) seen
+  double min_actual = 1.0;
+  double max_actual = 0.0;
+
+  void Add(double estimated, double actual);
+};
+
+/// Selectivity error log keyed by predicate signature.
+class SelectivityErrorLog {
+ public:
+  /// Canonical signatures: "table.column op" / "t1.c1 = t2.c2" (join
+  /// endpoints ordered lexicographically so the key is orientation-free).
+  static std::string FilterKey(const SelectionPredicate& filter);
+  static std::string JoinKey(const JoinPredicate& join);
+
+  /// Records one observation. Selectivities must lie in (0, 1].
+  void Record(const std::string& key, double estimated, double actual);
+
+  /// History for a key (zeroed stats when never seen).
+  const PredicateErrorStats& Stats(const std::string& key) const;
+
+  /// Keys whose worst observed error factor meets the threshold.
+  std::vector<std::string> ErrorProneKeys(double factor_threshold) const;
+
+  /// Derives ESS dimensions for `query`: one per predicate whose history
+  /// shows an error factor >= `factor_threshold`. Ranges cover the observed
+  /// actuals widened by `margin_decades` on both sides (clamped to (0, 1]).
+  std::vector<ErrorDimension> SuggestDimensions(
+      const QuerySpec& query, double factor_threshold,
+      double margin_decades = 1.0) const;
+
+  size_t num_keys() const { return stats_.size(); }
+
+ private:
+  std::map<std::string, PredicateErrorStats> stats_;
+  static const PredicateErrorStats kEmpty;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_QUERY_ERROR_LOG_H_

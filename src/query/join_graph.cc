@@ -1,0 +1,93 @@
+#include "query/join_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bouquet {
+
+JoinGraph::JoinGraph(const QuerySpec& query)
+    : num_tables_(static_cast<int>(query.tables.size())),
+      adjacency_(query.tables.size(), 0) {
+  for (const auto& j : query.joins) {
+    const int l = query.TableIndex(j.left_table);
+    const int r = query.TableIndex(j.right_table);
+    assert(l >= 0 && r >= 0);
+    join_left_.push_back(l);
+    join_right_.push_back(r);
+    adjacency_[l] |= uint64_t{1} << r;
+    adjacency_[r] |= uint64_t{1} << l;
+  }
+}
+
+bool JoinGraph::IsConnectedSubset(uint64_t subset) const {
+  if (subset == 0) return false;
+  // BFS from the lowest set bit, constrained to `subset`.
+  const int start = __builtin_ctzll(subset);
+  uint64_t visited = uint64_t{1} << start;
+  uint64_t frontier = visited;
+  while (frontier != 0) {
+    uint64_t next = 0;
+    uint64_t f = frontier;
+    while (f != 0) {
+      const int t = __builtin_ctzll(f);
+      f &= f - 1;
+      next |= adjacency_[t] & subset & ~visited;
+    }
+    visited |= next;
+    frontier = next;
+  }
+  return visited == subset;
+}
+
+bool JoinGraph::HasCrossingJoin(uint64_t left, uint64_t right) const {
+  for (size_t i = 0; i < join_left_.size(); ++i) {
+    const uint64_t lbit = uint64_t{1} << join_left_[i];
+    const uint64_t rbit = uint64_t{1} << join_right_[i];
+    if (((lbit & left) && (rbit & right)) || ((lbit & right) && (rbit & left)))
+      return true;
+  }
+  return false;
+}
+
+std::vector<int> JoinGraph::CrossingJoins(uint64_t left, uint64_t right) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < join_left_.size(); ++i) {
+    const uint64_t lbit = uint64_t{1} << join_left_[i];
+    const uint64_t rbit = uint64_t{1} << join_right_[i];
+    if (((lbit & left) && (rbit & right)) ||
+        ((lbit & right) && (rbit & left))) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> JoinGraph::InternalJoins(uint64_t subset) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < join_left_.size(); ++i) {
+    const uint64_t lbit = uint64_t{1} << join_left_[i];
+    const uint64_t rbit = uint64_t{1} << join_right_[i];
+    if ((lbit & subset) && (rbit & subset)) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::string JoinGraph::Geometry() const {
+  const int n = num_tables_;
+  const int e = static_cast<int>(join_left_.size());
+  if (n <= 1) return "single";
+  std::vector<int> degree(n, 0);
+  for (size_t i = 0; i < join_left_.size(); ++i) {
+    degree[join_left_[i]]++;
+    degree[join_right_[i]]++;
+  }
+  const int max_deg = *std::max_element(degree.begin(), degree.end());
+  if (e == n) return "cycle";
+  if (e > n) return "general";
+  // e == n-1: a tree.
+  if (max_deg <= 2) return "chain";
+  if (max_deg == n - 1) return "star";
+  return "branch";
+}
+
+}  // namespace bouquet

@@ -1,0 +1,56 @@
+// Join-graph utilities: connectivity tests used by the plan enumerator and
+// geometry builders (chain / star / branch / cycle) used by the workload
+// definitions, mirroring the join-graph taxonomy of the paper's Table 2.
+
+#ifndef BOUQUET_QUERY_JOIN_GRAPH_H_
+#define BOUQUET_QUERY_JOIN_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// Adjacency view over a QuerySpec's join predicates, with table indexes as
+/// vertex ids and subset bitmasks for the DP enumerator.
+class JoinGraph {
+ public:
+  explicit JoinGraph(const QuerySpec& query);
+
+  int num_tables() const { return num_tables_; }
+
+  /// True if the table subset (bitmask) induces a connected subgraph.
+  bool IsConnectedSubset(uint64_t subset) const;
+
+  /// True if at least one join predicate crosses between the two subsets.
+  bool HasCrossingJoin(uint64_t left, uint64_t right) const;
+
+  /// All join predicate indexes with one endpoint in `left` and the other in
+  /// `right`.
+  std::vector<int> CrossingJoins(uint64_t left, uint64_t right) const;
+
+  /// All join predicate indexes with both endpoints inside `subset`.
+  std::vector<int> InternalJoins(uint64_t subset) const;
+
+  /// Endpoint table indexes of join predicate j.
+  std::pair<int, int> JoinEndpoints(int join_idx) const {
+    return {join_left_[join_idx], join_right_[join_idx]};
+  }
+
+  /// Classification of the graph shape, for workload reporting:
+  /// "chain", "star", "cycle", "branch" (tree that is neither chain nor
+  /// star), or "general".
+  std::string Geometry() const;
+
+ private:
+  int num_tables_;
+  std::vector<int> join_left_;
+  std::vector<int> join_right_;
+  std::vector<uint64_t> adjacency_;  // adjacency_[t] = bitmask of neighbors
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_QUERY_JOIN_GRAPH_H_

@@ -1,0 +1,122 @@
+#include "robustness/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bouquet {
+
+RobustnessProfile ComputeAssignmentProfile(
+    const PlanDiagram& diagram, QueryOptimizer* opt,
+    const std::vector<int>& plan_at_qe) {
+  const EssGrid& grid = diagram.grid();
+  const uint64_t n = grid.num_points();
+  assert(plan_at_qe.size() == n);
+
+  // Region weight of each distinct plan in the policy.
+  std::vector<double> weight(diagram.num_plans(), 0.0);
+  for (int p : plan_at_qe) weight[p] += 1.0;
+  for (auto& w : weight) w /= static_cast<double>(n);
+
+  RobustnessProfile prof;
+  prof.subopt_worst.assign(n, 0.0);
+  prof.subopt_avg.assign(n, 0.0);
+  std::vector<double> max_cost(n, 0.0);
+  std::vector<double> avg_cost(n, 0.0);
+
+  for (int pid = 0; pid < diagram.num_plans(); ++pid) {
+    if (weight[pid] <= 0.0) continue;
+    ++prof.num_plans;
+    const PlanNode& root = *diagram.plan(pid).root;
+    for (uint64_t i = 0; i < n; ++i) {
+      const double c = opt->CostPlanAt(root, grid.SelectivityAt(i));
+      max_cost[i] = std::max(max_cost[i], c);
+      avg_cost[i] += weight[pid] * c;
+    }
+  }
+
+  double aso_sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double pic = diagram.cost_at(i);
+    assert(pic > 0.0);
+    prof.subopt_worst[i] = max_cost[i] / pic;
+    prof.subopt_avg[i] = avg_cost[i] / pic;
+    aso_sum += prof.subopt_avg[i];
+    if (prof.subopt_worst[i] > prof.mso) {
+      prof.mso = prof.subopt_worst[i];
+      prof.mso_point = i;
+    }
+  }
+  prof.aso = aso_sum / static_cast<double>(n);
+  return prof;
+}
+
+BouquetProfile ComputeBouquetProfile(const BouquetSimulator& simulator,
+                                     bool optimized) {
+  const uint64_t n = simulator.diagram().grid().num_points();
+  BouquetProfile prof;
+  prof.subopt.assign(n, 0.0);
+  double aso_sum = 0.0;
+  double exec_sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const SimResult run =
+        optimized ? simulator.RunOptimized(i) : simulator.RunBasic(i);
+    prof.subopt[i] = simulator.SubOpt(run, i);
+    prof.any_fallback |= run.fallback_used;
+    aso_sum += prof.subopt[i];
+    exec_sum += run.num_executions;
+    if (prof.subopt[i] > prof.mso) {
+      prof.mso = prof.subopt[i];
+      prof.mso_point = i;
+    }
+  }
+  prof.aso = aso_sum / static_cast<double>(n);
+  prof.avg_executions = exec_sum / static_cast<double>(n);
+  return prof;
+}
+
+double MaxHarm(const std::vector<double>& subopt,
+               const std::vector<double>& native_worst) {
+  assert(subopt.size() == native_worst.size());
+  double mh = -1.0;
+  for (size_t i = 0; i < subopt.size(); ++i) {
+    assert(native_worst[i] > 0.0);
+    mh = std::max(mh, subopt[i] / native_worst[i] - 1.0);
+  }
+  return mh;
+}
+
+double HarmFraction(const std::vector<double>& subopt,
+                    const std::vector<double>& native_worst) {
+  assert(subopt.size() == native_worst.size());
+  if (subopt.empty()) return 0.0;
+  size_t harmed = 0;
+  for (size_t i = 0; i < subopt.size(); ++i) {
+    if (subopt[i] > native_worst[i] * (1.0 + 1e-9)) ++harmed;
+  }
+  return static_cast<double>(harmed) / static_cast<double>(subopt.size());
+}
+
+std::vector<double> EnhancementDistribution(
+    const std::vector<double>& subopt,
+    const std::vector<double>& native_worst, int num_buckets) {
+  assert(subopt.size() == native_worst.size());
+  std::vector<double> buckets(num_buckets, 0.0);
+  for (size_t i = 0; i < subopt.size(); ++i) {
+    const double enhancement = native_worst[i] / subopt[i];
+    int b;
+    if (enhancement < 1.0) {
+      b = 0;  // harm
+    } else {
+      b = 1 + static_cast<int>(std::floor(std::log10(enhancement)));
+      b = std::min(b, num_buckets - 1);
+    }
+    buckets[b] += 1.0;
+  }
+  if (!subopt.empty()) {
+    for (auto& b : buckets) b /= static_cast<double>(subopt.size());
+  }
+  return buckets;
+}
+
+}  // namespace bouquet

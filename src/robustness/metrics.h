@@ -1,0 +1,72 @@
+// Robustness metrics: SubOpt, MSO, ASO, MaxHarm (Section 2 of the paper).
+//
+// For estimate-based policies (native optimizer, SEER), the per-q_a
+// statistics are computed in O(|plans| * |ESS|) rather than |ESS|^2 by
+// grouping estimate locations by their chosen plan:
+//   SubOpt_worst(q_a) = max_P c_P(q_a) / PIC(q_a)
+//   E_qe[SubOpt(q_e, q_a)] = sum_P w_P c_P(q_a) / PIC(q_a),
+// where w_P is the fraction of estimate locations choosing P.
+
+#ifndef BOUQUET_ROBUSTNESS_METRICS_H_
+#define BOUQUET_ROBUSTNESS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bouquet/simulator.h"
+#include "ess/plan_diagram.h"
+#include "optimizer/optimizer.h"
+
+namespace bouquet {
+
+/// Per-location robustness profile of an estimate-based policy.
+struct RobustnessProfile {
+  std::vector<double> subopt_worst;  ///< per q_a: worst case over q_e
+  std::vector<double> subopt_avg;    ///< per q_a: expectation over q_e
+  double mso = 0.0;
+  uint64_t mso_point = 0;  ///< arg max q_a
+  double aso = 0.0;
+  int num_plans = 0;  ///< distinct plans in the policy
+};
+
+/// Profile of a policy defined by a per-estimate-point plan assignment
+/// (plan_at_qe[i] = diagram plan id chosen when the estimate is point i).
+RobustnessProfile ComputeAssignmentProfile(const PlanDiagram& diagram,
+                                           QueryOptimizer* opt,
+                                           const std::vector<int>& plan_at_qe);
+
+/// Per-location profile of the bouquet algorithm (q_e is a don't-care).
+struct BouquetProfile {
+  std::vector<double> subopt;  ///< per q_a: SubOpt(*, q_a)
+  double mso = 0.0;
+  uint64_t mso_point = 0;
+  double aso = 0.0;
+  double avg_executions = 0.0;
+  bool any_fallback = false;  ///< true if any run violated the guarantee
+};
+
+/// Simulates the bouquet at every grid location.
+BouquetProfile ComputeBouquetProfile(const BouquetSimulator& simulator,
+                                     bool optimized);
+
+/// MaxHarm (Equation 5): max over q_a of subopt(q_a)/native_worst(q_a) - 1.
+/// `subopt` is the policy's per-q_a sub-optimality (worst-case for
+/// estimate-based policies, SubOpt(*,q_a) for the bouquet).
+double MaxHarm(const std::vector<double>& subopt,
+               const std::vector<double>& native_worst);
+
+/// Fraction of locations where the policy is harmful (ratio > 1).
+double HarmFraction(const std::vector<double>& subopt,
+                    const std::vector<double>& native_worst);
+
+/// Figure 16: histogram over q_a of the robustness enhancement factor
+/// native_worst(q_a)/subopt(q_a), bucketed by decades:
+/// bucket 0: < 1x (harm), bucket 1: [1,10), bucket 2: [10,100), ...
+/// Returns bucket fractions (sum = 1).
+std::vector<double> EnhancementDistribution(
+    const std::vector<double>& subopt,
+    const std::vector<double>& native_worst, int num_buckets = 5);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ROBUSTNESS_METRICS_H_

@@ -1,0 +1,10 @@
+#include "robustness/native.h"
+
+namespace bouquet {
+
+RobustnessProfile ComputeNativeProfile(const PlanDiagram& diagram,
+                                       QueryOptimizer* opt) {
+  return ComputeAssignmentProfile(diagram, opt, diagram.assignments());
+}
+
+}  // namespace bouquet

@@ -1,0 +1,21 @@
+// The NAT baseline: the classical compile-time optimizer.
+//
+// NAT estimates selectivities once (at q_e) and executes that single plan at
+// the true location q_a. Over the uniform (q_e, q_a) model of Section 2, its
+// policy is simply the plan diagram itself: the plan chosen at estimate point
+// q_e is the diagram's optimal plan at q_e.
+
+#ifndef BOUQUET_ROBUSTNESS_NATIVE_H_
+#define BOUQUET_ROBUSTNESS_NATIVE_H_
+
+#include "robustness/metrics.h"
+
+namespace bouquet {
+
+/// Robustness profile of the native optimizer over the diagram's ESS.
+RobustnessProfile ComputeNativeProfile(const PlanDiagram& diagram,
+                                       QueryOptimizer* opt);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ROBUSTNESS_NATIVE_H_

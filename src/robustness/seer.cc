@@ -1,0 +1,114 @@
+#include "robustness/seer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace bouquet {
+
+namespace {
+
+// Deterministic safety-check point set: all ESS corners plus a uniform
+// stride over the grid, capped at max_points.
+std::vector<uint64_t> SafetyPoints(const EssGrid& grid, int max_points) {
+  const uint64_t n = grid.num_points();
+  if (n <= static_cast<uint64_t>(max_points)) {
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  std::set<uint64_t> pts;
+  // Corners: every combination of {0, max} per dimension (capped at 2^10).
+  const int dims = grid.dims();
+  if (dims <= 10) {
+    for (int mask = 0; mask < (1 << dims); ++mask) {
+      GridPoint p(dims);
+      for (int d = 0; d < dims; ++d) {
+        p[d] = (mask >> d) & 1 ? grid.resolution(d) - 1 : 0;
+      }
+      pts.insert(grid.LinearIndex(p));
+    }
+  }
+  const uint64_t stride = n / static_cast<uint64_t>(max_points) + 1;
+  for (uint64_t i = 0; i < n; i += stride) pts.insert(i);
+  return std::vector<uint64_t>(pts.begin(), pts.end());
+}
+
+}  // namespace
+
+SeerResult SeerReduce(const PlanDiagram& diagram, QueryOptimizer* opt,
+                      double lambda, int max_safety_points) {
+  const EssGrid& grid = diagram.grid();
+  const uint64_t n = grid.num_points();
+
+  SeerResult result;
+  result.plan_at.resize(n);
+  for (uint64_t i = 0; i < n; ++i) result.plan_at[i] = diagram.plan_at(i);
+
+  std::vector<int> region_size(diagram.num_plans(), 0);
+  for (int p : result.plan_at) region_size[p]++;
+  std::vector<int> present;
+  for (int p = 0; p < diagram.num_plans(); ++p) {
+    if (region_size[p] > 0) present.push_back(p);
+  }
+  result.plans_before = static_cast<int>(present.size());
+
+  const std::vector<uint64_t> safety = SafetyPoints(grid, max_safety_points);
+
+  // Cost rows over the safety set, computed lazily per plan.
+  std::vector<std::vector<double>> safety_cost(diagram.num_plans());
+  auto safety_row = [&](int pid) -> const std::vector<double>& {
+    auto& row = safety_cost[pid];
+    if (row.empty()) {
+      row.resize(safety.size());
+      const PlanNode& root = *diagram.plan(pid).root;
+      for (size_t i = 0; i < safety.size(); ++i) {
+        row[i] = opt->CostPlanAt(root, grid.SelectivityAt(safety[i]));
+      }
+    }
+    return row;
+  };
+
+  // Victims smallest-region first.
+  std::vector<int> order = present;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (region_size[a] != region_size[b]) {
+      return region_size[a] < region_size[b];
+    }
+    return a < b;
+  });
+  std::set<int> retained(present.begin(), present.end());
+
+  for (int victim : order) {
+    if (retained.size() <= 1) break;
+    // A single replacement must cover the whole victim region (SEER replaces
+    // plan-by-plan) and be globally safe: cost within (1+lambda) of the
+    // victim everywhere in the ESS.
+    const std::vector<double>& vrow = safety_row(victim);
+    int replacement = -1;
+    for (int cand : retained) {
+      if (cand == victim) continue;
+      const std::vector<double>& crow = safety_row(cand);
+      bool safe = true;
+      for (size_t i = 0; i < safety.size() && safe; ++i) {
+        if (crow[i] > (1.0 + lambda) * vrow[i]) safe = false;
+      }
+      if (safe) {
+        replacement = cand;
+        break;
+      }
+    }
+    if (replacement < 0) continue;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (result.plan_at[i] == victim) result.plan_at[i] = replacement;
+    }
+    region_size[replacement] += region_size[victim];
+    region_size[victim] = 0;
+    retained.erase(victim);
+  }
+
+  result.plans_after = static_cast<int>(retained.size());
+  return result;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,41 @@
+// SEER baseline: robust plan selection via globally-safe plan-diagram
+// reduction (Harish, Darera, Haritsa, PVLDB 2008).
+//
+// SEER replaces a plan's ESS region with another plan only when the
+// replacement is *globally* safe: its cost must stay within (1+lambda) of the
+// replaced plan's cost everywhere in the ESS, not just on the swallowed
+// region. This guarantees MaxHarm <= lambda relative to the native optimizer
+// while shrinking the plan cardinality to anorexic levels — but, as the paper
+// observes, it cannot materially improve the worst (q_e, q_a) combinations,
+// so its MSO stays close to NAT's.
+//
+// The original implementation is not publicly available; this reimplements
+// the published contract, checking global safety exhaustively on small grids
+// and on a deterministic sample (corners + strided points) on large ones
+// (the LiteSEER variant's approach).
+
+#ifndef BOUQUET_ROBUSTNESS_SEER_H_
+#define BOUQUET_ROBUSTNESS_SEER_H_
+
+#include <vector>
+
+#include "ess/plan_diagram.h"
+#include "optimizer/optimizer.h"
+
+namespace bouquet {
+
+struct SeerResult {
+  std::vector<int> plan_at;  ///< reduced per-point assignment
+  int plans_before = 0;
+  int plans_after = 0;
+};
+
+/// Runs the globally-safe reduction. `max_safety_points` caps the number of
+/// ESS locations used for the global safety check (exhaustive when the grid
+/// is at most that large).
+SeerResult SeerReduce(const PlanDiagram& diagram, QueryOptimizer* opt,
+                      double lambda, int max_safety_points = 4096);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ROBUSTNESS_SEER_H_

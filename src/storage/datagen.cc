@@ -1,0 +1,58 @@
+#include "storage/datagen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bouquet {
+namespace datagen {
+
+std::vector<int64_t> Sequential(int64_t n, int64_t start) {
+  std::vector<int64_t> out(n);
+  for (int64_t i = 0; i < n; ++i) out[i] = start + i;
+  return out;
+}
+
+std::vector<int64_t> Uniform(Rng* rng, int64_t n, int64_t lo, int64_t hi) {
+  std::vector<int64_t> out(n);
+  for (int64_t i = 0; i < n; ++i) out[i] = rng->NextInt64(lo, hi);
+  return out;
+}
+
+std::vector<int64_t> Zipf(Rng* rng, int64_t n, int64_t domain, double theta) {
+  assert(domain > 0);
+  std::vector<int64_t> out(n);
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int64_t>(rng->NextZipf(domain, theta));
+  }
+  return out;
+}
+
+std::vector<int64_t> ForeignKey(Rng* rng, int64_t n,
+                                const std::vector<int64_t>& parent_keys,
+                                double match_fraction) {
+  assert(!parent_keys.empty());
+  std::vector<int64_t> out(n);
+  int64_t dangling = -1;
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng->NextBool(match_fraction)) {
+      out[i] = parent_keys[rng->NextUint64(parent_keys.size())];
+    } else {
+      out[i] = dangling--;  // unique negative keys never match
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> Gaussian(Rng* rng, int64_t n, double mean, double stddev,
+                              int64_t lo, int64_t hi) {
+  std::vector<int64_t> out(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = rng->NextGaussian(mean, stddev);
+    out[i] = std::clamp(static_cast<int64_t>(std::llround(v)), lo, hi);
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace bouquet

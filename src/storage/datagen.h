@@ -1,0 +1,48 @@
+// Generic synthetic column generators.
+//
+// These primitives are composed by workloads/tpch.cc into the scaled TPC-H
+// tables used in the real-execution experiments. Two knobs matter to the
+// reproduction: (a) value distributions with enough spread that quantile
+// lookups can dial *any* selection selectivity, and (b) foreign keys with a
+// controllable match fraction so join selectivities can be varied too.
+
+#ifndef BOUQUET_STORAGE_DATAGEN_H_
+#define BOUQUET_STORAGE_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bouquet {
+
+/// Column-vector generators; all deterministic under the provided Rng.
+namespace datagen {
+
+/// start, start+1, ..., start+n-1 (primary keys).
+std::vector<int64_t> Sequential(int64_t n, int64_t start = 1);
+
+/// Uniform integers in [lo, hi].
+std::vector<int64_t> Uniform(Rng* rng, int64_t n, int64_t lo, int64_t hi);
+
+/// Zipf-skewed integers over [1, domain] with exponent theta.
+std::vector<int64_t> Zipf(Rng* rng, int64_t n, int64_t domain, double theta);
+
+/// Foreign keys referencing `parent_keys`. Each row references a uniformly
+/// chosen parent with probability `match_fraction`, and otherwise gets a
+/// dangling negative key (never joins). match_fraction = 1 gives classic
+/// PK-FK integrity.
+std::vector<int64_t> ForeignKey(Rng* rng, int64_t n,
+                                const std::vector<int64_t>& parent_keys,
+                                double match_fraction = 1.0);
+
+/// Rounded Gaussian values (prices and similar bell-ish attributes),
+/// clamped to [lo, hi].
+std::vector<int64_t> Gaussian(Rng* rng, int64_t n, double mean, double stddev,
+                              int64_t lo, int64_t hi);
+
+}  // namespace datagen
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_STORAGE_DATAGEN_H_

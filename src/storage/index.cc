@@ -1,0 +1,124 @@
+#include "storage/index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace bouquet {
+
+const std::vector<uint32_t> HashIndex::kEmpty;
+
+HashIndex HashIndex::Build(const DataTable& table, int col) {
+  HashIndex idx;
+  const auto& values = table.column(col);
+  idx.map_.reserve(values.size());
+  for (size_t r = 0; r < values.size(); ++r) {
+    idx.map_[values[r]].push_back(static_cast<uint32_t>(r));
+  }
+  return idx;
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(int64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+SortedIndex SortedIndex::Build(const DataTable& table, int col) {
+  SortedIndex idx;
+  const auto& values = table.column(col);
+  std::vector<uint32_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) { return values[a] < values[b]; });
+  idx.values_.resize(values.size());
+  idx.row_ids_.resize(values.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    idx.row_ids_[i] = order[i];
+    idx.values_[i] = values[order[i]];
+  }
+  return idx;
+}
+
+std::vector<uint32_t> SortedIndex::Range(int64_t lo, int64_t hi) const {
+  auto first = std::lower_bound(values_.begin(), values_.end(), lo);
+  auto last = std::upper_bound(values_.begin(), values_.end(), hi);
+  return std::vector<uint32_t>(row_ids_.begin() + (first - values_.begin()),
+                               row_ids_.begin() + (last - values_.begin()));
+}
+
+int64_t SortedIndex::CountRange(int64_t lo, int64_t hi) const {
+  auto first = std::lower_bound(values_.begin(), values_.end(), lo);
+  auto last = std::upper_bound(values_.begin(), values_.end(), hi);
+  return last - first;
+}
+
+DataTable* Database::AddTable(DataTable table) {
+  for (auto& t : tables_) {
+    if (t->name() == table.name()) {
+      *t = std::move(table);
+      // Invalidate cached indexes for the replaced table.
+      for (auto it = hash_indexes_.begin(); it != hash_indexes_.end();) {
+        it = it->first.first == t->name() ? hash_indexes_.erase(it)
+                                          : std::next(it);
+      }
+      for (auto it = sorted_indexes_.begin(); it != sorted_indexes_.end();) {
+        it = it->first.first == t->name() ? sorted_indexes_.erase(it)
+                                          : std::next(it);
+      }
+      return t.get();
+    }
+  }
+  tables_.push_back(std::make_unique<DataTable>(std::move(table)));
+  return tables_.back().get();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return true;
+  }
+  return false;
+}
+
+const DataTable& Database::table(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return *t;
+  }
+  assert(false && "unknown table");
+  return *tables_.front();
+}
+
+const HashIndex& Database::hash_index(const std::string& table_name,
+                                      int col) {
+  auto key = std::make_pair(table_name, col);
+  auto it = hash_indexes_.find(key);
+  if (it == hash_indexes_.end()) {
+    it = hash_indexes_
+             .emplace(key, std::make_unique<HashIndex>(
+                               HashIndex::Build(table(table_name), col)))
+             .first;
+  }
+  return *it->second;
+}
+
+const SortedIndex& Database::sorted_index(const std::string& table_name,
+                                          int col) {
+  auto key = std::make_pair(table_name, col);
+  auto it = sorted_indexes_.find(key);
+  if (it == sorted_indexes_.end()) {
+    it = sorted_indexes_
+             .emplace(key, std::make_unique<SortedIndex>(
+                               SortedIndex::Build(table(table_name), col)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Database::SyncCatalog(Catalog* catalog, double default_width_bytes,
+                           int histogram_buckets) const {
+  for (const auto& t : tables_) {
+    t->SyncCatalog(catalog, default_width_bytes, /*indexed=*/true,
+                   histogram_buckets);
+  }
+}
+
+}  // namespace bouquet

@@ -1,0 +1,78 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace bouquet {
+
+DataTable::DataTable(std::string name, std::vector<std::string> column_names)
+    : name_(std::move(name)), column_names_(std::move(column_names)) {
+  columns_.resize(column_names_.size());
+}
+
+int DataTable::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void DataTable::AppendRow(const std::vector<int64_t>& values) {
+  assert(values.size() == columns_.size());
+  for (size_t i = 0; i < values.size(); ++i) columns_[i].push_back(values[i]);
+  ++num_rows_;
+}
+
+void DataTable::Reserve(int64_t rows) {
+  for (auto& c : columns_) c.reserve(rows);
+}
+
+void DataTable::FinalizeBulkLoad() {
+  assert(!columns_.empty());
+  num_rows_ = static_cast<int64_t>(columns_[0].size());
+  for (const auto& c : columns_) {
+    assert(static_cast<int64_t>(c.size()) == num_rows_ &&
+           "ragged bulk load");
+    (void)c;
+  }
+}
+
+ColumnStats DataTable::ComputeColumnStats(int col,
+                                          int histogram_buckets) const {
+  ColumnStats stats;
+  const auto& values = columns_[col];
+  if (values.empty()) return stats;
+  std::unordered_set<int64_t> distinct;
+  distinct.reserve(values.size());
+  int64_t mn = values[0];
+  int64_t mx = values[0];
+  for (int64_t v : values) {
+    distinct.insert(v);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  stats.ndv = static_cast<double>(distinct.size());
+  stats.min_value = mn;
+  stats.max_value = mx;
+  stats.histogram = Histogram::Build(values, histogram_buckets);
+  return stats;
+}
+
+void DataTable::SyncCatalog(Catalog* catalog, double row_width_bytes,
+                            bool indexed, int histogram_buckets) const {
+  TableInfo info;
+  info.name = name_;
+  info.stats.row_count = static_cast<double>(num_rows_);
+  info.stats.row_width_bytes = row_width_bytes;
+  for (int c = 0; c < num_columns(); ++c) {
+    ColumnInfo ci;
+    ci.name = column_names_[c];
+    ci.stats = ComputeColumnStats(c, histogram_buckets);
+    ci.has_index = indexed;
+    info.columns.push_back(std::move(ci));
+  }
+  catalog->AddTable(std::move(info));
+}
+
+}  // namespace bouquet

@@ -1,0 +1,385 @@
+#include "workloads/spaces.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cassert>
+#include <cmath>
+
+namespace bouquet {
+
+namespace {
+
+JoinPredicate J(const std::string& lt, const std::string& lc,
+                const std::string& rt, const std::string& rc) {
+  JoinPredicate j;
+  j.left_table = lt;
+  j.left_column = lc;
+  j.right_table = rt;
+  j.right_column = rc;
+  return j;
+}
+
+SelectionPredicate F(const std::string& t, const std::string& c,
+                     CompareOp op = CompareOp::kLess) {
+  SelectionPredicate f;
+  f.table = t;
+  f.column = c;
+  f.op = op;
+  return f;
+}
+
+/// Join dimension capped at the PK-FK schematic limit: hi = 1/|PK relation|,
+/// spanning `decades` decades below it.
+ErrorDimension JoinDim(int join_idx, const Catalog& catalog,
+                       const std::string& pk_table, const std::string& label,
+                       double decades = 3.0) {
+  ErrorDimension d;
+  d.kind = DimKind::kJoin;
+  d.predicate_index = join_idx;
+  d.hi = 1.0 / catalog.GetTable(pk_table).stats.row_count;
+  d.lo = d.hi * std::pow(10.0, -decades);
+  d.label = label;
+  return d;
+}
+
+ErrorDimension SelDim(int filter_idx, const std::string& label,
+                      double lo = 1e-4, double hi = 1.0) {
+  ErrorDimension d;
+  d.kind = DimKind::kSelection;
+  d.predicate_index = filter_idx;
+  d.lo = lo;
+  d.hi = hi;
+  d.label = label;
+  return d;
+}
+
+}  // namespace
+
+QuerySpec MakeEqQuery(const Catalog& tpch) {
+  (void)tpch;
+  QuerySpec q;
+  q.name = "EQ";
+  q.tables = {"part", "lineitem", "orders"};
+  q.joins = {J("part", "p_partkey", "lineitem", "l_partkey"),
+             J("lineitem", "l_orderkey", "orders", "o_orderkey")};
+  q.filters = {F("part", "p_retailprice")};
+  q.error_dims = {SelDim(0, "p_retailprice", 1e-4, 1.0)};
+  return q;
+}
+
+std::vector<NamedSpace> BenchmarkSpaces(const Catalog& tpch,
+                                        const Catalog& tpcds) {
+  std::vector<NamedSpace> spaces;
+
+  // ---- 3D_H_Q5: chain(6) over region-nation-supplier-lineitem-orders-
+  // customer; error dims on the three fact-side joins.
+  {
+    QuerySpec q;
+    q.name = "3D_H_Q5";
+    q.tables = {"region", "nation", "supplier", "lineitem", "orders",
+                "customer"};
+    q.joins = {J("region", "r_regionkey", "nation", "n_regionkey"),
+               J("nation", "n_nationkey", "supplier", "s_nationkey"),
+               J("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+               J("lineitem", "l_orderkey", "orders", "o_orderkey"),
+               J("orders", "o_custkey", "customer", "c_custkey")};
+    q.error_dims = {JoinDim(2, tpch, "supplier", "s_suppkey=l_suppkey"),
+                    JoinDim(3, tpch, "orders", "l_orderkey=o_orderkey"),
+                    JoinDim(4, tpch, "customer", "o_custkey=c_custkey")};
+    spaces.push_back({q.name, "H", std::move(q)});
+  }
+
+  // ---- 3D_H_Q7: chain(6), traversed from the customer side.
+  {
+    QuerySpec q;
+    q.name = "3D_H_Q7";
+    q.tables = {"region", "nation", "customer", "orders", "lineitem",
+                "supplier"};
+    q.joins = {J("region", "r_regionkey", "nation", "n_regionkey"),
+               J("nation", "n_nationkey", "customer", "c_nationkey"),
+               J("customer", "c_custkey", "orders", "o_custkey"),
+               J("orders", "o_orderkey", "lineitem", "l_orderkey"),
+               J("lineitem", "l_suppkey", "supplier", "s_suppkey")};
+    q.error_dims = {JoinDim(2, tpch, "customer", "c_custkey=o_custkey"),
+                    JoinDim(3, tpch, "orders", "o_orderkey=l_orderkey"),
+                    JoinDim(4, tpch, "supplier", "l_suppkey=s_suppkey")};
+    spaces.push_back({q.name, "H", std::move(q)});
+  }
+
+  // ---- 4D_H_Q8: branch(8); lineitem is the hub (part, supplier, orders),
+  // with the customer-nation-region tail and partsupp off part.
+  {
+    QuerySpec q;
+    q.name = "4D_H_Q8";
+    q.tables = {"part", "lineitem", "supplier", "orders", "customer",
+                "nation", "region", "partsupp"};
+    q.joins = {J("part", "p_partkey", "lineitem", "l_partkey"),
+               J("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+               J("lineitem", "l_orderkey", "orders", "o_orderkey"),
+               J("orders", "o_custkey", "customer", "c_custkey"),
+               J("customer", "c_nationkey", "nation", "n_nationkey"),
+               J("nation", "n_regionkey", "region", "r_regionkey"),
+               J("partsupp", "ps_partkey", "part", "p_partkey")};
+    q.error_dims = {JoinDim(0, tpch, "part", "p_partkey=l_partkey"),
+                    JoinDim(1, tpch, "supplier", "l_suppkey=s_suppkey"),
+                    JoinDim(2, tpch, "orders", "l_orderkey=o_orderkey"),
+                    JoinDim(3, tpch, "customer", "o_custkey=c_custkey")};
+    spaces.push_back({q.name, "H", std::move(q)});
+  }
+
+  // ---- 5D_H_Q7: chain(6) with all five joins error-prone.
+  {
+    QuerySpec q;
+    q.name = "5D_H_Q7";
+    q.tables = {"region", "nation", "supplier", "lineitem", "orders",
+                "customer"};
+    q.joins = {J("region", "r_regionkey", "nation", "n_regionkey"),
+               J("nation", "n_nationkey", "supplier", "s_nationkey"),
+               J("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+               J("lineitem", "l_orderkey", "orders", "o_orderkey"),
+               J("orders", "o_custkey", "customer", "c_custkey")};
+    q.error_dims = {JoinDim(0, tpch, "region", "r_regionkey=n_regionkey", 1),
+                    JoinDim(1, tpch, "nation", "n_nationkey=s_nationkey", 1),
+                    JoinDim(2, tpch, "supplier", "s_suppkey=l_suppkey"),
+                    JoinDim(3, tpch, "orders", "l_orderkey=o_orderkey"),
+                    JoinDim(4, tpch, "customer", "o_custkey=c_custkey")};
+    spaces.push_back({q.name, "H", std::move(q)});
+  }
+
+  // ---- 3D_DS_Q15: chain(4): date_dim - catalog_sales - customer -
+  // customer_address.
+  {
+    QuerySpec q;
+    q.name = "3D_DS_Q15";
+    q.tables = {"date_dim", "catalog_sales", "customer", "customer_address"};
+    q.joins = {J("date_dim", "d_date_sk", "catalog_sales", "cs_sold_date_sk"),
+               J("catalog_sales", "cs_ship_customer_sk", "customer",
+                 "c_customer_sk"),
+               J("customer", "c_current_addr_sk", "customer_address",
+                 "ca_address_sk")};
+    q.error_dims = {
+        JoinDim(0, tpcds, "date_dim", "d_date_sk=cs_sold_date_sk"),
+        JoinDim(1, tpcds, "customer", "cs_ship_customer_sk=c_customer_sk"),
+        JoinDim(2, tpcds, "customer_address",
+                "c_current_addr_sk=ca_address_sk")};
+    spaces.push_back({q.name, "DS", std::move(q)});
+  }
+
+  // ---- 3D_DS_Q96: star(4) centered on store_sales.
+  {
+    QuerySpec q;
+    q.name = "3D_DS_Q96";
+    q.tables = {"store_sales", "household_demographics", "time_dim", "store"};
+    q.joins = {J("store_sales", "ss_hdemo_sk", "household_demographics",
+                 "hd_demo_sk"),
+               J("store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk"),
+               J("store_sales", "ss_store_sk", "store", "s_store_sk")};
+    q.error_dims = {
+        JoinDim(0, tpcds, "household_demographics", "ss_hdemo_sk=hd_demo_sk"),
+        JoinDim(1, tpcds, "time_dim", "ss_sold_time_sk=t_time_sk"),
+        JoinDim(2, tpcds, "store", "ss_store_sk=s_store_sk", 2)};
+    spaces.push_back({q.name, "DS", std::move(q)});
+  }
+
+  // ---- 4D_DS_Q7: star(5) centered on store_sales.
+  {
+    QuerySpec q;
+    q.name = "4D_DS_Q7";
+    q.tables = {"store_sales", "item", "customer_demographics", "date_dim",
+                "promotion"};
+    q.joins = {J("store_sales", "ss_item_sk", "item", "i_item_sk"),
+               J("store_sales", "ss_cdemo_sk", "customer_demographics",
+                 "cd_demo_sk"),
+               J("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+               J("store_sales", "ss_promo_sk", "promotion", "p_promo_sk")};
+    q.error_dims = {
+        JoinDim(0, tpcds, "item", "ss_item_sk=i_item_sk"),
+        JoinDim(1, tpcds, "customer_demographics", "ss_cdemo_sk=cd_demo_sk"),
+        JoinDim(2, tpcds, "date_dim", "ss_sold_date_sk=d_date_sk"),
+        JoinDim(3, tpcds, "promotion", "ss_promo_sk=p_promo_sk", 2)};
+    spaces.push_back({q.name, "DS", std::move(q)});
+  }
+
+  // ---- 4D_DS_Q26: star(5) centered on catalog_sales.
+  {
+    QuerySpec q;
+    q.name = "4D_DS_Q26";
+    q.tables = {"catalog_sales", "item", "customer_demographics", "date_dim",
+                "promotion"};
+    q.joins = {J("catalog_sales", "cs_item_sk", "item", "i_item_sk"),
+               J("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics",
+                 "cd_demo_sk"),
+               J("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"),
+               J("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk")};
+    q.error_dims = {
+        JoinDim(0, tpcds, "item", "cs_item_sk=i_item_sk"),
+        JoinDim(1, tpcds, "customer_demographics",
+                "cs_bill_cdemo_sk=cd_demo_sk"),
+        JoinDim(2, tpcds, "date_dim", "cs_sold_date_sk=d_date_sk"),
+        JoinDim(3, tpcds, "promotion", "cs_promo_sk=p_promo_sk", 2)};
+    spaces.push_back({q.name, "DS", std::move(q)});
+  }
+
+  // ---- 4D_DS_Q91: branch(7) over catalog_returns and the customer tail.
+  {
+    QuerySpec q;
+    q.name = "4D_DS_Q91";
+    q.tables = {"call_center", "catalog_returns", "date_dim", "customer",
+                "customer_demographics", "household_demographics",
+                "customer_address"};
+    q.joins = {J("catalog_returns", "cr_call_center_sk", "call_center",
+                 "cc_call_center_sk"),
+               J("catalog_returns", "cr_returned_date_sk", "date_dim",
+                 "d_date_sk"),
+               J("catalog_returns", "cr_returning_customer_sk", "customer",
+                 "c_customer_sk"),
+               J("customer", "c_current_cdemo_sk", "customer_demographics",
+                 "cd_demo_sk"),
+               J("customer", "c_current_hdemo_sk", "household_demographics",
+                 "hd_demo_sk"),
+               J("customer", "c_current_addr_sk", "customer_address",
+                 "ca_address_sk")};
+    q.error_dims = {
+        JoinDim(1, tpcds, "date_dim", "cr_returned_date_sk=d_date_sk"),
+        JoinDim(2, tpcds, "customer",
+                "cr_returning_customer_sk=c_customer_sk"),
+        JoinDim(3, tpcds, "customer_demographics",
+                "c_current_cdemo_sk=cd_demo_sk"),
+        JoinDim(5, tpcds, "customer_address",
+                "c_current_addr_sk=ca_address_sk")};
+    spaces.push_back({q.name, "DS", std::move(q)});
+  }
+
+  // ---- 5D_DS_Q19: branch(6) centered on store_sales with the customer
+  // tail; all five joins error-prone.
+  {
+    QuerySpec q;
+    q.name = "5D_DS_Q19";
+    q.tables = {"store_sales", "date_dim", "item", "customer",
+                "customer_address", "store"};
+    q.joins = {J("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+               J("store_sales", "ss_item_sk", "item", "i_item_sk"),
+               J("store_sales", "ss_customer_sk", "customer",
+                 "c_customer_sk"),
+               J("customer", "c_current_addr_sk", "customer_address",
+                 "ca_address_sk"),
+               J("store_sales", "ss_store_sk", "store", "s_store_sk")};
+    q.error_dims = {
+        JoinDim(0, tpcds, "date_dim", "ss_sold_date_sk=d_date_sk", 4),
+        JoinDim(1, tpcds, "item", "ss_item_sk=i_item_sk", 4),
+        JoinDim(2, tpcds, "customer", "ss_customer_sk=c_customer_sk", 4),
+        JoinDim(3, tpcds, "customer_address",
+                "c_current_addr_sk=ca_address_sk"),
+        JoinDim(4, tpcds, "store", "ss_store_sk=s_store_sk", 2)};
+    spaces.push_back({q.name, "DS", std::move(q)});
+  }
+
+  return spaces;
+}
+
+NamedSpace GetSpace(const std::string& name, const Catalog& tpch,
+                    const Catalog& tpcds) {
+  std::vector<NamedSpace> all = BenchmarkSpaces(tpch, tpcds);
+  for (auto& s : all) {
+    if (s.name == name) return s;
+  }
+  // Fail loudly even in NDEBUG builds: a silent empty space leads to
+  // undefined behavior downstream, and the typo'd name deserves a message.
+  std::fprintf(stderr, "GetSpace: unknown error space '%s'; valid names:",
+               name.c_str());
+  for (const auto& s : all) std::fprintf(stderr, " %s", s.name.c_str());
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+QuerySpec Make2DHQ8a(const Catalog& tpch) {
+  (void)tpch;
+  QuerySpec q;
+  q.name = "2D_H_Q8a";
+  q.tables = {"part", "lineitem", "orders"};
+  q.joins = {J("part", "p_partkey", "lineitem", "l_partkey"),
+             J("lineitem", "l_orderkey", "orders", "o_orderkey")};
+  q.filters = {F("part", "p_retailprice"), F("orders", "o_totalprice")};
+  q.error_dims = {SelDim(0, "p_retailprice", 1e-3, 1.0),
+                  SelDim(1, "o_totalprice", 1e-3, 1.0)};
+  return q;
+}
+
+QuerySpec Make3DHQ5b(const Catalog& tpch) {
+  (void)tpch;
+  QuerySpec q;
+  q.name = "3D_H_Q5b";
+  q.tables = {"region", "nation", "supplier", "lineitem", "orders",
+              "customer"};
+  q.joins = {J("region", "r_regionkey", "nation", "n_regionkey"),
+             J("nation", "n_nationkey", "supplier", "s_nationkey"),
+             J("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+             J("lineitem", "l_orderkey", "orders", "o_orderkey"),
+             J("orders", "o_custkey", "customer", "c_custkey")};
+  q.filters = {F("supplier", "s_acctbal"), F("orders", "o_totalprice"),
+               F("customer", "c_acctbal")};
+  q.error_dims = {SelDim(0, "s_acctbal", 1e-3), SelDim(1, "o_totalprice", 1e-3),
+                  SelDim(2, "c_acctbal", 1e-3)};
+  return q;
+}
+
+QuerySpec Make4DHQ8b(const Catalog& tpch) {
+  (void)tpch;
+  QuerySpec q;
+  q.name = "4D_H_Q8b";
+  q.tables = {"part", "lineitem", "supplier", "orders", "customer", "nation",
+              "region", "partsupp"};
+  q.joins = {J("part", "p_partkey", "lineitem", "l_partkey"),
+             J("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+             J("lineitem", "l_orderkey", "orders", "o_orderkey"),
+             J("orders", "o_custkey", "customer", "c_custkey"),
+             J("customer", "c_nationkey", "nation", "n_nationkey"),
+             J("nation", "n_regionkey", "region", "r_regionkey"),
+             J("partsupp", "ps_partkey", "part", "p_partkey")};
+  q.filters = {F("part", "p_retailprice"), F("supplier", "s_acctbal"),
+               F("orders", "o_totalprice"), F("customer", "c_acctbal")};
+  q.error_dims = {SelDim(0, "p_retailprice", 1e-3),
+                  SelDim(1, "s_acctbal", 1e-3),
+                  SelDim(2, "o_totalprice", 1e-3),
+                  SelDim(3, "c_acctbal", 1e-3)};
+  return q;
+}
+
+std::vector<double> BindSelectionConstants(QuerySpec* query,
+                                           const Catalog& catalog,
+                                           const std::vector<double>& target) {
+  assert(target.size() == query->error_dims.size());
+  std::vector<double> achieved(target.size(), 0.0);
+  for (size_t d = 0; d < target.size(); ++d) {
+    const ErrorDimension& dim = query->error_dims[d];
+    assert(dim.kind == DimKind::kSelection &&
+           "can only bind selection dimensions");
+    SelectionPredicate& f = query->filters[dim.predicate_index];
+    const TableInfo& t = catalog.GetTable(f.table);
+    const Histogram& hist =
+        t.columns[t.ColumnIndex(f.column)].stats.histogram;
+    assert(!hist.empty() && "histogram required; sync catalog from data");
+    switch (f.op) {
+      case CompareOp::kLess:
+      case CompareOp::kLessEqual:
+        f.constant = hist.Quantile(target[d]);
+        achieved[d] = f.op == CompareOp::kLess
+                          ? hist.SelectivityLess(f.constant)
+                          : hist.SelectivityLessEqual(f.constant);
+        break;
+      case CompareOp::kGreater:
+      case CompareOp::kGreaterEqual:
+        f.constant = hist.Quantile(1.0 - target[d]);
+        achieved[d] = f.op == CompareOp::kGreater
+                          ? 1.0 - hist.SelectivityLessEqual(f.constant)
+                          : 1.0 - hist.SelectivityLess(f.constant);
+        break;
+      case CompareOp::kEqual:
+        assert(false && "equality dims not supported by binding");
+        break;
+    }
+  }
+  return achieved;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,60 @@
+// The benchmark error spaces of the paper's evaluation (Table 2) plus the
+// 1D example query EQ (Figure 1), the real-execution query 2D_H_Q8a
+// (Section 6.7), and the selection-dimension variants 3D_H_Q5b / 4D_H_Q8b
+// used on the commercial engine (Section 6.8).
+//
+// The spaces are structural replicas: join-graph geometry (chain / star /
+// branch), relation count, and error-dimension count/kind match the paper's
+// Table 2; join dimension ranges are capped at the PK-FK schematic limit
+// (reciprocal of the PK relation's cardinality, Section 4.1).
+
+#ifndef BOUQUET_WORKLOADS_SPACES_H_
+#define BOUQUET_WORKLOADS_SPACES_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// A named workload error space.
+struct NamedSpace {
+  std::string name;       ///< e.g. "3D_H_Q5"
+  std::string benchmark;  ///< "H" or "DS"
+  QuerySpec query;
+};
+
+/// The example query EQ of Figure 1: part x lineitem x orders with an
+/// error-prone selection on p_retailprice (1D).
+QuerySpec MakeEqQuery(const Catalog& tpch);
+
+/// All ten multi-dimensional spaces of Table 2. `tpch` and `tpcds` supply
+/// the PK cardinalities for the join-dimension caps.
+std::vector<NamedSpace> BenchmarkSpaces(const Catalog& tpch,
+                                        const Catalog& tpcds);
+
+/// Looks up one space by name; asserts existence.
+NamedSpace GetSpace(const std::string& name, const Catalog& tpch,
+                    const Catalog& tpcds);
+
+/// 2D selection-dimension query on the TPC-H schema for the real-execution
+/// experiment (Table 3). Constants are unset; callers bind them via
+/// BindSelectionConstants against generated data.
+QuerySpec Make2DHQ8a(const Catalog& tpch);
+
+/// Selection-dimension variants evaluated on the "commercial" cost model.
+QuerySpec Make3DHQ5b(const Catalog& tpch);
+QuerySpec Make4DHQ8b(const Catalog& tpch);
+
+/// Binds each error selection predicate's constant so that its actual
+/// selectivity equals `target[d]`, using the catalog histograms (which must
+/// have been synced from real data). Returns the achieved selectivities.
+std::vector<double> BindSelectionConstants(QuerySpec* query,
+                                           const Catalog& catalog,
+                                           const std::vector<double>& target);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_WORKLOADS_SPACES_H_

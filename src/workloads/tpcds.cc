@@ -1,0 +1,107 @@
+#include "workloads/tpcds.h"
+
+#include <algorithm>
+
+namespace bouquet {
+
+namespace {
+
+TableInfo Meta(const std::string& name, double rows, double width,
+               const std::vector<std::pair<std::string, double>>& cols) {
+  TableInfo t;
+  t.name = name;
+  t.stats.row_count = rows;
+  t.stats.row_width_bytes = width;
+  for (const auto& [cname, ndv] : cols) {
+    ColumnInfo ci;
+    ci.name = cname;
+    ci.stats.ndv = ndv;
+    ci.stats.min_value = 0;
+    ci.stats.max_value = static_cast<int64_t>(ndv);
+    ci.has_index = true;
+    t.columns.push_back(std::move(ci));
+  }
+  return t;
+}
+
+}  // namespace
+
+Catalog MakeTpcdsCatalog(double sf) {
+  Catalog c;
+  const double fact = sf / 100.0;  // fact tables scale linearly from SF100
+  const double store_sales = 288000000 * fact;
+  const double catalog_sales = 144000000 * fact;
+  const double catalog_returns = 14400000 * fact;
+  // Dimension tables are (approximately) scale-invariant above SF 100.
+  const double item = 204000;
+  const double customer = 2000000;
+  const double customer_address = 1000000;
+  const double customer_demographics = 1920800;
+  const double household_demographics = 7200;
+  const double date_dim = 73049;
+  const double time_dim = 86400;
+  const double store = 402;
+  const double promotion = 1000;
+  const double call_center = 30;
+
+  c.AddTable(Meta("date_dim", date_dim, 140,
+                  {{"d_date_sk", date_dim},
+                   {"d_year", 100},
+                   {"d_moy", 12}}));
+  c.AddTable(Meta("time_dim", time_dim, 60,
+                  {{"t_time_sk", time_dim}, {"t_hour", 24}}));
+  c.AddTable(Meta("item", item, 280,
+                  {{"i_item_sk", item},
+                   {"i_category", 10},
+                   {"i_manufact_id", 1000},
+                   {"i_current_price", 300}}));
+  c.AddTable(Meta("customer", customer, 132,
+                  {{"c_customer_sk", customer},
+                   {"c_current_addr_sk", customer_address},
+                   {"c_current_cdemo_sk", customer_demographics},
+                   {"c_current_hdemo_sk", household_demographics},
+                   {"c_birth_year", 100}}));
+  c.AddTable(Meta("customer_address", customer_address, 110,
+                  {{"ca_address_sk", customer_address},
+                   {"ca_state", 52},
+                   {"ca_gmt_offset", 24}}));
+  c.AddTable(Meta("customer_demographics", customer_demographics, 42,
+                  {{"cd_demo_sk", customer_demographics},
+                   {"cd_gender", 2},
+                   {"cd_education_status", 7}}));
+  c.AddTable(Meta("household_demographics", household_demographics, 21,
+                  {{"hd_demo_sk", household_demographics},
+                   {"hd_dep_count", 10}}));
+  c.AddTable(Meta("store", store, 263,
+                  {{"s_store_sk", store}, {"s_state", 52}}));
+  c.AddTable(Meta("promotion", promotion, 124,
+                  {{"p_promo_sk", promotion}, {"p_channel_email", 2}}));
+  c.AddTable(Meta("call_center", call_center, 305,
+                  {{"cc_call_center_sk", call_center}, {"cc_class", 3}}));
+  c.AddTable(Meta("store_sales", store_sales, 100,
+                  {{"ss_sold_date_sk", date_dim},
+                   {"ss_sold_time_sk", time_dim},
+                   {"ss_item_sk", item},
+                   {"ss_customer_sk", customer},
+                   {"ss_cdemo_sk", customer_demographics},
+                   {"ss_hdemo_sk", household_demographics},
+                   {"ss_store_sk", store},
+                   {"ss_promo_sk", promotion},
+                   {"ss_sales_price", 100000}}));
+  c.AddTable(Meta("catalog_sales", catalog_sales, 144,
+                  {{"cs_sold_date_sk", date_dim},
+                   {"cs_item_sk", item},
+                   {"cs_bill_customer_sk", customer},
+                   {"cs_ship_customer_sk", customer},
+                   {"cs_bill_cdemo_sk", customer_demographics},
+                   {"cs_promo_sk", promotion},
+                   {"cs_sales_price", 100000}}));
+  c.AddTable(Meta("catalog_returns", catalog_returns, 132,
+                  {{"cr_returned_date_sk", date_dim},
+                   {"cr_returning_customer_sk", customer},
+                   {"cr_call_center_sk", call_center},
+                   {"cr_return_amount", 100000}}));
+  return c;
+}
+
+}  // namespace bouquet

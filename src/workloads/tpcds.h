@@ -1,0 +1,20 @@
+// TPC-DS substrate: catalog metadata at benchmark scale.
+//
+// Only metadata is needed — the TPC-DS error spaces in the paper's
+// evaluation are exercised purely through optimizer cost surfaces (Figures
+// 14-18). Row counts follow the official TPC-DS scaling at SF = 100 (the
+// paper's 100GB configuration) with fact tables scaling linearly.
+
+#ifndef BOUQUET_WORKLOADS_TPCDS_H_
+#define BOUQUET_WORKLOADS_TPCDS_H_
+
+#include "catalog/catalog.h"
+
+namespace bouquet {
+
+/// TPC-DS catalog metadata at the given scale factor (100 == paper setup).
+Catalog MakeTpcdsCatalog(double scale_factor = 100.0);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_WORKLOADS_TPCDS_H_

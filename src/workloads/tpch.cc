@@ -1,0 +1,188 @@
+#include "workloads/tpch.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "storage/datagen.h"
+
+namespace bouquet {
+
+namespace {
+
+TableInfo Meta(const std::string& name, double rows, double width,
+               const std::vector<std::pair<std::string, double>>& cols) {
+  TableInfo t;
+  t.name = name;
+  t.stats.row_count = rows;
+  t.stats.row_width_bytes = width;
+  for (const auto& [cname, ndv] : cols) {
+    ColumnInfo ci;
+    ci.name = cname;
+    ci.stats.ndv = ndv;
+    ci.stats.min_value = 0;
+    ci.stats.max_value = static_cast<int64_t>(ndv);
+    ci.has_index = true;
+    t.columns.push_back(std::move(ci));
+  }
+  return t;
+}
+
+}  // namespace
+
+Catalog MakeTpchCatalog(double sf) {
+  Catalog c;
+  const double region = 5;
+  const double nation = 25;
+  const double supplier = 10000 * sf;
+  const double customer = 150000 * sf;
+  const double part = 200000 * sf;
+  const double orders = 1500000 * sf;
+  const double lineitem = 6000000 * sf;
+
+  c.AddTable(Meta("region", region, 120,
+                  {{"r_regionkey", region}, {"r_name", region}}));
+  c.AddTable(Meta("nation", nation, 128,
+                  {{"n_nationkey", nation},
+                   {"n_regionkey", region},
+                   {"n_name", nation}}));
+  c.AddTable(Meta("supplier", supplier, 144,
+                  {{"s_suppkey", supplier},
+                   {"s_nationkey", nation},
+                   {"s_acctbal", std::min(supplier, 100000.0)}}));
+  c.AddTable(Meta("customer", customer, 160,
+                  {{"c_custkey", customer},
+                   {"c_nationkey", nation},
+                   {"c_acctbal", std::min(customer, 100000.0)},
+                   {"c_mktsegment", 5}}));
+  c.AddTable(Meta("part", part, 156,
+                  {{"p_partkey", part},
+                   {"p_retailprice", std::min(part, 100000.0)},
+                   {"p_size", 50},
+                   {"p_brand", 25},
+                   {"p_container", 40}}));
+  c.AddTable(Meta("orders", orders, 128,
+                  {{"o_orderkey", orders},
+                   {"o_custkey", customer},
+                   {"o_orderdate", 2406},
+                   {"o_totalprice", std::min(orders, 1000000.0)}}));
+  c.AddTable(Meta("partsupp", 800000 * sf, 144,
+                  {{"ps_partkey", part},
+                   {"ps_suppkey", supplier},
+                   {"ps_supplycost", std::min(800000 * sf, 100000.0)}}));
+  c.AddTable(Meta("lineitem", lineitem, 112,
+                  {{"l_orderkey", orders},
+                   {"l_partkey", part},
+                   {"l_suppkey", supplier},
+                   {"l_quantity", 50},
+                   {"l_extendedprice", std::min(lineitem, 1000000.0)},
+                   {"l_shipdate", 2526},
+                   {"l_discount", 11}}));
+  return c;
+}
+
+void MakeTpchDatabase(Database* db, const TpchDataOptions& options) {
+  Rng rng(options.seed);
+  const double ms = options.mini_scale;
+  const int64_t n_supplier = std::max<int64_t>(10, llround(100 * ms));
+  const int64_t n_customer = std::max<int64_t>(10, llround(1500 * ms));
+  const int64_t n_part = std::max<int64_t>(10, llround(2000 * ms));
+  const int64_t n_orders = std::max<int64_t>(20, llround(15000 * ms));
+  const int64_t n_lineitem = std::max<int64_t>(50, llround(60000 * ms));
+
+  {
+    DataTable region("region", {"r_regionkey", "r_name"});
+    region.mutable_column(0) = datagen::Sequential(5);
+    region.mutable_column(1) = datagen::Sequential(5);
+    region.FinalizeBulkLoad();
+    db->AddTable(std::move(region));
+  }
+  {
+    DataTable nation("nation", {"n_nationkey", "n_regionkey", "n_name"});
+    nation.mutable_column(0) = datagen::Sequential(25);
+    nation.mutable_column(1) = datagen::Uniform(&rng, 25, 1, 5);
+    nation.mutable_column(2) = datagen::Sequential(25);
+    nation.FinalizeBulkLoad();
+    db->AddTable(std::move(nation));
+  }
+  {
+    DataTable supplier("supplier", {"s_suppkey", "s_nationkey", "s_acctbal"});
+    supplier.mutable_column(0) = datagen::Sequential(n_supplier);
+    supplier.mutable_column(1) = datagen::Uniform(&rng, n_supplier, 1, 25);
+    supplier.mutable_column(2) =
+        datagen::Uniform(&rng, n_supplier, -99999, 999999);
+    supplier.FinalizeBulkLoad();
+    db->AddTable(std::move(supplier));
+  }
+  {
+    DataTable customer("customer",
+                       {"c_custkey", "c_nationkey", "c_acctbal",
+                        "c_mktsegment"});
+    customer.mutable_column(0) = datagen::Sequential(n_customer);
+    customer.mutable_column(1) = datagen::Uniform(&rng, n_customer, 1, 25);
+    customer.mutable_column(2) =
+        datagen::Uniform(&rng, n_customer, -99999, 999999);
+    customer.mutable_column(3) = datagen::Uniform(&rng, n_customer, 1, 5);
+    customer.FinalizeBulkLoad();
+    db->AddTable(std::move(customer));
+  }
+  {
+    DataTable part("part", {"p_partkey", "p_retailprice", "p_size",
+                            "p_brand", "p_container"});
+    part.mutable_column(0) = datagen::Sequential(n_part);
+    part.mutable_column(1) = datagen::Uniform(&rng, n_part, 90000, 2098799);
+    part.mutable_column(2) = datagen::Uniform(&rng, n_part, 1, 50);
+    part.mutable_column(3) = datagen::Uniform(&rng, n_part, 1, 25);
+    part.mutable_column(4) = datagen::Uniform(&rng, n_part, 1, 40);
+    part.FinalizeBulkLoad();
+    db->AddTable(std::move(part));
+  }
+  const std::vector<int64_t> custkeys = datagen::Sequential(n_customer);
+  {
+    DataTable orders("orders", {"o_orderkey", "o_custkey", "o_orderdate",
+                                "o_totalprice"});
+    orders.mutable_column(0) = datagen::Sequential(n_orders);
+    orders.mutable_column(1) =
+        datagen::ForeignKey(&rng, n_orders, custkeys, 1.0);
+    orders.mutable_column(2) = datagen::Uniform(&rng, n_orders, 1, 2406);
+    orders.mutable_column(3) =
+        datagen::Uniform(&rng, n_orders, 85000, 55550000);
+    orders.FinalizeBulkLoad();
+    db->AddTable(std::move(orders));
+  }
+  {
+    const std::vector<int64_t> orderkeys = datagen::Sequential(n_orders);
+    const std::vector<int64_t> partkeys = datagen::Sequential(n_part);
+    const std::vector<int64_t> suppkeys = datagen::Sequential(n_supplier);
+    DataTable lineitem("lineitem",
+                       {"l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
+                        "l_extendedprice", "l_shipdate", "l_discount"});
+    lineitem.mutable_column(0) =
+        datagen::ForeignKey(&rng, n_lineitem, orderkeys, 1.0);
+    lineitem.mutable_column(1) = datagen::ForeignKey(
+        &rng, n_lineitem, partkeys, options.part_match_fraction);
+    lineitem.mutable_column(2) =
+        datagen::ForeignKey(&rng, n_lineitem, suppkeys, 1.0);
+    lineitem.mutable_column(3) = datagen::Uniform(&rng, n_lineitem, 1, 50);
+    lineitem.mutable_column(4) =
+        datagen::Uniform(&rng, n_lineitem, 90000, 10500000);
+    lineitem.mutable_column(5) = datagen::Uniform(&rng, n_lineitem, 1, 2526);
+    lineitem.mutable_column(6) = datagen::Uniform(&rng, n_lineitem, 0, 10);
+    lineitem.FinalizeBulkLoad();
+    db->AddTable(std::move(lineitem));
+  }
+}
+
+void SyncTpchCatalog(const Database& db, Catalog* catalog) {
+  const std::vector<std::pair<std::string, double>> widths = {
+      {"region", 120},   {"nation", 128},  {"supplier", 144},
+      {"customer", 160}, {"part", 156},    {"orders", 128},
+      {"lineitem", 112}};
+  for (const auto& [name, width] : widths) {
+    if (db.HasTable(name)) {
+      db.table(name).SyncCatalog(catalog, width, /*indexed=*/true,
+                                 /*histogram_buckets=*/128);
+    }
+  }
+}
+
+}  // namespace bouquet

@@ -1,0 +1,45 @@
+// TPC-H substrate: catalog metadata at benchmark scale, and scaled-down
+// synthetic data generation for the real-execution experiments.
+//
+// The optimizer-cost experiments (Figures 14-18) need only metadata — row
+// counts, widths, NDVs — which MakeTpchCatalog supplies at any scale factor
+// (1.0 == the paper's 1GB configuration). The wall-clock experiment
+// (Table 3) additionally needs actual rows, generated deterministically by
+// MakeTpchDatabase at a small scale so that execution runs in seconds; the
+// catalog is then re-synced from the generated data so statistics are exact.
+
+#ifndef BOUQUET_WORKLOADS_TPCH_H_
+#define BOUQUET_WORKLOADS_TPCH_H_
+
+#include "catalog/catalog.h"
+#include "storage/index.h"
+
+namespace bouquet {
+
+/// TPC-H catalog metadata (tables/columns/stats) at the given scale factor.
+/// All columns referenced by the workload queries are indexed ("hard-nut"
+/// physical schema of Section 6).
+Catalog MakeTpchCatalog(double scale_factor = 1.0);
+
+/// Options for synthetic TPC-H data generation.
+struct TpchDataOptions {
+  uint64_t seed = 42;
+  /// Mini scale factor: 1.0 produces lineitem=60k, orders=15k, part=2k,
+  /// customer=1.5k, supplier=100 (i.e. ~TPC-H SF 0.01).
+  double mini_scale = 1.0;
+  /// Fraction of lineitem rows whose l_partkey matches some part row
+  /// (controls the part-lineitem join selectivity in tests).
+  double part_match_fraction = 1.0;
+};
+
+/// Generates the TPC-H tables region, nation, supplier, customer, part,
+/// orders, lineitem into `db`.
+void MakeTpchDatabase(Database* db, const TpchDataOptions& options = {});
+
+/// Registers stats computed from generated data into `catalog` (exact
+/// metadata for the error-free predicates).
+void SyncTpchCatalog(const Database& db, Catalog* catalog);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_WORKLOADS_TPCH_H_

@@ -1,0 +1,96 @@
+// Tests for ess/anorexic: the lambda-swallowing reduction.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ess/anorexic.h"
+#include "ess/posp_generator.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+class AnorexicTest : public ::testing::Test {
+ protected:
+  AnorexicTest()
+      : tpch_(MakeTpchCatalog(1.0)),
+        tpcds_(MakeTpcdsCatalog(100.0)),
+        space_(GetSpace("3D_H_Q5", tpch_, tpcds_)),
+        grid_(space_.query, {8, 8, 8}),
+        diagram_(GeneratePosp(space_.query, tpch_, CostParams::Postgres(),
+                              grid_)),
+        opt_(space_.query, tpch_, CostParams::Postgres()) {}
+
+  Catalog tpch_, tpcds_;
+  NamedSpace space_;
+  EssGrid grid_;
+  PlanDiagram diagram_;
+  QueryOptimizer opt_;
+};
+
+TEST_F(AnorexicTest, ReducesPlanCount) {
+  const AnorexicResult r = AnorexicReduce(diagram_, &opt_, 0.2);
+  EXPECT_LT(r.plans_after, r.plans_before);
+  EXPECT_EQ(r.plans_after, static_cast<int>(r.retained.size()));
+  EXPECT_GE(r.plans_after, 1);
+}
+
+TEST_F(AnorexicTest, RespectsLambdaBound) {
+  const double lambda = 0.2;
+  const AnorexicResult r = AnorexicReduce(diagram_, &opt_, lambda);
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) {
+    const int plan = r.plan_at[i];
+    const double c =
+        opt_.CostPlanAt(*diagram_.plan(plan).root, grid_.SelectivityAt(i));
+    EXPECT_LE(c, (1.0 + lambda) * diagram_.cost_at(i) * (1 + 1e-9))
+        << "point " << i;
+  }
+}
+
+TEST_F(AnorexicTest, AssignmentsUseRetainedPlansOnly) {
+  const AnorexicResult r = AnorexicReduce(diagram_, &opt_, 0.2);
+  const std::set<int> retained(r.retained.begin(), r.retained.end());
+  for (int p : r.plan_at) EXPECT_TRUE(retained.count(p));
+}
+
+TEST_F(AnorexicTest, ZeroLambdaKeepsOptimalAssignment) {
+  // With lambda = 0 a swallow requires the replacement to be exactly
+  // optimal too; assignments must stay within the optimal cost.
+  const AnorexicResult r = AnorexicReduce(diagram_, &opt_, 0.0);
+  for (uint64_t i = 0; i < grid_.num_points(); i += 13) {
+    const double c = opt_.CostPlanAt(*diagram_.plan(r.plan_at[i]).root,
+                                     grid_.SelectivityAt(i));
+    EXPECT_LE(c, diagram_.cost_at(i) * (1 + 1e-6));
+  }
+}
+
+TEST_F(AnorexicTest, LargerLambdaReducesMore) {
+  const AnorexicResult small = AnorexicReduce(diagram_, &opt_, 0.05);
+  const AnorexicResult big = AnorexicReduce(diagram_, &opt_, 0.5);
+  EXPECT_LE(big.plans_after, small.plans_after);
+}
+
+TEST_F(AnorexicTest, SubsetReduction) {
+  // Reduce only over a subset of points (as done on contours).
+  std::vector<uint64_t> subset;
+  for (uint64_t i = 0; i < grid_.num_points(); i += 3) subset.push_back(i);
+  const AnorexicResult r = AnorexicReduce(diagram_, &opt_, 0.2, &subset);
+  ASSERT_EQ(r.plan_at.size(), subset.size());
+  for (size_t i = 0; i < subset.size(); ++i) {
+    const double c = opt_.CostPlanAt(*diagram_.plan(r.plan_at[i]).root,
+                                     grid_.SelectivityAt(subset[i]));
+    EXPECT_LE(c, 1.2 * diagram_.cost_at(subset[i]) * (1 + 1e-9));
+  }
+}
+
+TEST_F(AnorexicTest, AnorexicLevelsOnBenchmark) {
+  // The headline claim of [15]: lambda = 20% brings diagrams to ~10 plans.
+  const AnorexicResult r = AnorexicReduce(diagram_, &opt_, 0.2);
+  EXPECT_LE(r.plans_after, 12) << "expected anorexic levels";
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -1,0 +1,79 @@
+// Tests for bouquet/bounds: the Section 3 guarantees.
+
+#include <gtest/gtest.h>
+
+#include "bouquet/bounds.h"
+#include "ess/posp_generator.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+TEST(BoundsTest, TheoremOneValueAtTwo) {
+  EXPECT_DOUBLE_EQ(TheoremOneMso(2.0), 4.0);
+}
+
+TEST(BoundsTest, TheoremTwoOptimalityOfDoubling) {
+  // r = 2 minimizes r^2/(r-1): no other ratio does better (Theorem 2 says no
+  // deterministic algorithm beats 4 at all).
+  for (double r = 1.05; r < 6.0; r += 0.05) {
+    EXPECT_GE(TheoremOneMso(r), 4.0 - 1e-9) << "r=" << r;
+  }
+}
+
+TEST(BoundsTest, MultiDScalesWithRho) {
+  EXPECT_DOUBLE_EQ(MultiDMsoBound(2.0, 1, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(MultiDMsoBound(2.0, 5, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(MultiDMsoBound(2.0, 5, 0.2), 24.0);
+}
+
+TEST(BoundsTest, ModelErrorInflation) {
+  EXPECT_DOUBLE_EQ(ModelErrorInflation(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ModelErrorInflation(0.4), 1.96);
+  // The paper's example: delta = 0.4 means at most ~2x MSO inflation.
+  EXPECT_NEAR(ModelErrorInflation(0.4), 2.0, 0.05);
+}
+
+TEST(BoundsTest, EquationEightTighterThanClosedForm) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  for (const char* name : {"3D_H_Q5", "3D_DS_Q96", "4D_DS_Q26"}) {
+    const NamedSpace space = GetSpace(name, tpch, tpcds);
+    const Catalog& cat = space.benchmark == "H" ? tpch : tpcds;
+    const EssGrid grid(space.query,
+                       std::vector<int>(space.query.NumDims(), 7));
+    const PlanDiagram d =
+        GeneratePosp(space.query, cat, CostParams::Postgres(), grid);
+    QueryOptimizer opt(space.query, cat, CostParams::Postgres());
+    const PlanBouquet b = BuildBouquet(d, &opt);
+    const double eq8 = EquationEightBound(b);
+    const double closed = MultiDMsoBound(2.0, b.rho(), 0.2);
+    EXPECT_GT(eq8, 0.0);
+    // Equation 8 uses the true per-contour counts; it cannot exceed the
+    // closed form by more than the first-band boundary slack (IC_1/Cmin can
+    // be up to r, and the geometric sum below IC_1 contributes < r/(r-1)).
+    EXPECT_LE(eq8, closed * 2.0 + 4.0) << name;
+  }
+}
+
+TEST(BoundsTest, EquationEightAnorexicBeatsRawPosp) {
+  // Table 1's message: anorexic reduction slashes the bound.
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  const NamedSpace space = GetSpace("5D_DS_Q19", tpch, tpcds);
+  const EssGrid grid(space.query, std::vector<int>(5, 6));
+  const PlanDiagram d =
+      GeneratePosp(space.query, tpcds, CostParams::Postgres(), grid);
+  QueryOptimizer opt(space.query, tpcds, CostParams::Postgres());
+  BouquetParams raw;
+  raw.anorexic = false;
+  const PlanBouquet b_raw = BuildBouquet(d, &opt, raw);
+  const PlanBouquet b_anx = BuildBouquet(d, &opt);
+  EXPECT_LE(b_anx.rho(), b_raw.rho());
+  EXPECT_LT(EquationEightBound(b_anx), EquationEightBound(b_raw) * 1.2 + 1);
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -1,0 +1,160 @@
+// Tests for bouquet/bouquet: bouquet identification structure and the
+// Lemma 1 / Theorem 1 behavior on the 1D example.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bouquet/bouquet.h"
+#include "bouquet/simulator.h"
+#include "ess/posp_generator.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+class BouquetTest : public ::testing::Test {
+ protected:
+  BouquetTest()
+      : catalog_(MakeTpchCatalog(1.0)),
+        query_(MakeEqQuery(catalog_)),
+        grid_(query_, {80}),
+        diagram_(GeneratePosp(query_, catalog_, CostParams::Postgres(),
+                              grid_)),
+        opt_(query_, catalog_, CostParams::Postgres()),
+        bouquet_(BuildBouquet(diagram_, &opt_)) {}
+
+  Catalog catalog_;
+  QuerySpec query_;
+  EssGrid grid_;
+  PlanDiagram diagram_;
+  QueryOptimizer opt_;
+  PlanBouquet bouquet_;
+};
+
+TEST_F(BouquetTest, StructureSane) {
+  EXPECT_GE(bouquet_.contours.size(), 3u);
+  EXPECT_GE(bouquet_.cardinality(), 2);
+  EXPECT_EQ(bouquet_.rho(), 1);  // 1D: one plan per contour
+  EXPECT_DOUBLE_EQ(bouquet_.cmin, diagram_.Cmin());
+  EXPECT_DOUBLE_EQ(bouquet_.cmax, diagram_.Cmax());
+}
+
+TEST_F(BouquetTest, BudgetsInflatedByLambda) {
+  for (const auto& c : bouquet_.contours) {
+    EXPECT_NEAR(c.budget, c.step_cost * 1.2, c.budget * 1e-12);
+  }
+}
+
+TEST_F(BouquetTest, BudgetsDoubling) {
+  for (size_t k = 1; k < bouquet_.contours.size(); ++k) {
+    EXPECT_NEAR(bouquet_.contours[k].step_cost /
+                    bouquet_.contours[k - 1].step_cost,
+                2.0, 1e-9);
+  }
+}
+
+TEST_F(BouquetTest, ContourPlansWithinBudget) {
+  // Every plan assigned to a contour point must cost <= budget there.
+  for (const auto& c : bouquet_.contours) {
+    for (size_t i = 0; i < c.points.size(); ++i) {
+      const double cost = opt_.CostPlanAt(*diagram_.plan(c.plan_at[i]).root,
+                                          grid_.SelectivityAt(c.points[i]));
+      EXPECT_LE(cost, c.budget * (1 + 1e-9));
+    }
+  }
+}
+
+TEST_F(BouquetTest, UnionMatchesContourPlans) {
+  std::set<int> seen;
+  for (const auto& c : bouquet_.contours) {
+    for (int p : c.plan_ids) seen.insert(p);
+  }
+  EXPECT_EQ(std::vector<int>(seen.begin(), seen.end()), bouquet_.plan_ids);
+}
+
+TEST_F(BouquetTest, NonAnorexicKeepsOptimalAssignment) {
+  BouquetParams params;
+  params.anorexic = false;
+  const PlanBouquet raw = BuildBouquet(diagram_, &opt_, params);
+  for (const auto& c : raw.contours) {
+    EXPECT_DOUBLE_EQ(c.budget, c.step_cost);  // no inflation
+    for (size_t i = 0; i < c.points.size(); ++i) {
+      EXPECT_EQ(c.plan_at[i], diagram_.plan_at(c.points[i]));
+    }
+  }
+  // Anorexic reduction can only shrink the bouquet.
+  EXPECT_LE(bouquet_.cardinality(), raw.cardinality());
+}
+
+// Lemma 1 (1D): if q_a lies in (q_{k-1}, q_k], the plan of contour k
+// completes it within budget, and no earlier contour's plan does.
+TEST_F(BouquetTest, LemmaOneCompletionBand) {
+  BouquetSimulator sim(bouquet_, diagram_, &opt_);
+  for (uint64_t qa = 0; qa < grid_.num_points(); qa += 5) {
+    const SimResult run = sim.RunBasic(qa);
+    ASSERT_TRUE(run.completed);
+    EXPECT_FALSE(run.fallback_used);
+    // The completing contour's step cost must be >= PIC(qa) (it could not
+    // have completed earlier by PCM) within the lambda slack.
+    const double pic = diagram_.cost_at(qa);
+    const auto& final_contour = bouquet_.contours[run.final_contour];
+    EXPECT_GE(final_contour.budget * (1 + 1e-9), pic);
+    if (run.final_contour > 0) {
+      // Not completable at the previous contour with its budget: check the
+      // final plan's own cost exceeds the previous budget OR the plan was
+      // not on that contour.
+      const auto& prev = bouquet_.contours[run.final_contour - 1];
+      const bool was_on_prev =
+          std::find(prev.plan_ids.begin(), prev.plan_ids.end(),
+                    run.final_plan) != prev.plan_ids.end();
+      if (was_on_prev) {
+        EXPECT_GT(sim.EstimatedCost(run.final_plan, qa),
+                  prev.budget * (1 - 1e-9));
+      }
+    }
+  }
+}
+
+TEST_F(BouquetTest, RepeatabilityAcrossRuns) {
+  // The hallmark property: identical execution sequences across invocations.
+  BouquetSimulator sim(bouquet_, diagram_, &opt_);
+  const uint64_t qa = grid_.num_points() / 2;
+  const SimResult a = sim.RunBasic(qa);
+  const SimResult b = sim.RunBasic(qa);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].plan_id, b.steps[i].plan_id);
+    EXPECT_DOUBLE_EQ(a.steps[i].charged, b.steps[i].charged);
+  }
+  // And across a fresh pipeline rebuild.
+  const PlanDiagram d2 =
+      GeneratePosp(query_, catalog_, CostParams::Postgres(), grid_);
+  QueryOptimizer opt2(query_, catalog_, CostParams::Postgres());
+  const PlanBouquet b2 = BuildBouquet(d2, &opt2);
+  BouquetSimulator sim2(b2, d2, &opt2);
+  const SimResult c = sim2.RunBasic(qa);
+  ASSERT_EQ(a.steps.size(), c.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.steps[i].charged, c.steps[i].charged);
+  }
+}
+
+TEST_F(BouquetTest, PaperWalkthroughShape) {
+  // The 1D EQ walkthrough (Section 1): execution at ~5% proceeds through
+  // several contours with the same plan continuing, then switches, and the
+  // final sub-optimality lands well under the Theorem 1 bound of 4(1+l).
+  BouquetSimulator sim(bouquet_, diagram_, &opt_);
+  const uint64_t qa = grid_.LinearIndex({grid_.AxisFloor(0, 0.05)});
+  const SimResult run = sim.RunBasic(qa);
+  ASSERT_TRUE(run.completed);
+  EXPECT_GE(run.num_executions, 3);
+  const double subopt = sim.SubOpt(run, qa);
+  EXPECT_LT(subopt, 4.0 * 1.2);
+  EXPECT_GE(subopt, 1.0);
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -1,0 +1,82 @@
+// Tests for catalog/: table registry, column metadata, statistics structs.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace bouquet {
+namespace {
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog c;
+  const int id = c.AddTable(
+      Catalog::MakeTable("t", 1000, 64, {"a", "b"}, 100));
+  EXPECT_EQ(id, 0);
+  EXPECT_TRUE(c.HasTable("t"));
+  EXPECT_FALSE(c.HasTable("missing"));
+  EXPECT_EQ(c.TableId("t"), 0);
+  EXPECT_EQ(c.TableId("missing"), -1);
+  EXPECT_EQ(c.num_tables(), 1);
+  EXPECT_DOUBLE_EQ(c.GetTable("t").stats.row_count, 1000);
+}
+
+TEST(CatalogTest, ReplaceKeepsId) {
+  Catalog c;
+  c.AddTable(Catalog::MakeTable("t", 1000, 64, {"a"}, 10));
+  const int id2 =
+      c.AddTable(Catalog::MakeTable("t", 2000, 64, {"a"}, 10));
+  EXPECT_EQ(id2, 0);
+  EXPECT_EQ(c.num_tables(), 1);
+  EXPECT_DOUBLE_EQ(c.GetTable("t").stats.row_count, 2000);
+}
+
+TEST(CatalogTest, ColumnIndex) {
+  const auto t = Catalog::MakeTable("t", 10, 64, {"x", "y", "z"}, 5);
+  EXPECT_EQ(t.ColumnIndex("x"), 0);
+  EXPECT_EQ(t.ColumnIndex("z"), 2);
+  EXPECT_EQ(t.ColumnIndex("w"), -1);
+}
+
+TEST(CatalogTest, MakeTableDefaults) {
+  const auto t = Catalog::MakeTable("t", 500, 80, {"a", "b"}, 42, true);
+  ASSERT_EQ(t.columns.size(), 2u);
+  EXPECT_TRUE(t.columns[0].has_index);
+  EXPECT_DOUBLE_EQ(t.columns[0].stats.ndv, 42);
+  const auto t2 = Catalog::MakeTable("t2", 500, 80, {"a"}, 42, false);
+  EXPECT_FALSE(t2.columns[0].has_index);
+}
+
+TEST(CatalogTest, MutableAccess) {
+  Catalog c;
+  c.AddTable(Catalog::MakeTable("t", 10, 64, {"a"}, 5));
+  c.GetMutableTable("t").stats.row_count = 77;
+  EXPECT_DOUBLE_EQ(c.GetTable("t").stats.row_count, 77);
+}
+
+TEST(StatsTest, EqualitySelectivity) {
+  ColumnStats s;
+  s.ndv = 100;
+  EXPECT_DOUBLE_EQ(s.EqualitySelectivity(), 0.01);
+  s.ndv = 0.5;  // degenerate NDV clamps to 1
+  EXPECT_DOUBLE_EQ(s.EqualitySelectivity(), 1.0);
+}
+
+TEST(StatsTest, PagesFloorOne) {
+  TableStats t;
+  t.row_count = 10;
+  t.row_width_bytes = 8;
+  EXPECT_DOUBLE_EQ(t.Pages(8192), 1.0);
+  t.row_count = 100000;
+  t.row_width_bytes = 100;
+  EXPECT_NEAR(t.Pages(8192), 100000.0 * 100 / 8192, 1e-9);
+}
+
+TEST(CatalogTest, GetTableById) {
+  Catalog c;
+  c.AddTable(Catalog::MakeTable("a", 1, 64, {"x"}, 1));
+  c.AddTable(Catalog::MakeTable("b", 2, 64, {"x"}, 1));
+  EXPECT_EQ(c.GetTableById(1).name, "b");
+}
+
+}  // namespace
+}  // namespace bouquet

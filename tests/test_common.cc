@@ -1,0 +1,268 @@
+// Tests for common/: RNG, math utilities, string utilities, Status/Result.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace bouquet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextUint64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInt64Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt64(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, NextInt64SingleValue) {
+  Rng rng(7);
+  EXPECT_EQ(rng.NextInt64(42, 42), 42);
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(11);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += rng.NextBool(0.3);
+  EXPECT_NEAR(trues / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfUniformWhenThetaZero) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[rng.NextZipf(10, 0.0) - 1]++;
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(13);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextZipf(1000, 0.99);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+    if (v == 1) ++ones;
+  }
+  // Under theta~1 the most frequent value takes >> 1/1000 of the mass.
+  EXPECT_GT(ones, 500);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(19);
+  const auto perm = rng.Permutation(100);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+// ---------------------------------------------------------------------------
+// math_util
+// ---------------------------------------------------------------------------
+
+TEST(MathTest, LogSpaceEndpoints) {
+  const auto v = LogSpace(0.001, 1.0, 10);
+  ASSERT_EQ(v.size(), 10u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.001);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+}
+
+TEST(MathTest, LogSpaceGeometricSpacing) {
+  const auto v = LogSpace(1.0, 1000.0, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-9);
+}
+
+TEST(MathTest, LogSpaceSingle) {
+  const auto v = LogSpace(0.5, 2.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+}
+
+TEST(MathTest, LogSpaceMonotone) {
+  const auto v = LogSpace(1e-4, 1.0, 100);
+  for (size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+}
+
+TEST(MathTest, LinSpaceBasics) {
+  const auto v = LinSpace(0.0, 10.0, 11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v[3], 3.0);
+}
+
+TEST(MathTest, GeometricStepsBoundaryConditions) {
+  // Section 3.1: IC_m == cmax, and IC_1/r < cmin <= IC_1.
+  for (double ratio : {1.5, 2.0, 3.0}) {
+    for (double cmax : {1e4, 5.7e5, 2.0}) {
+      const double cmin = 1.0;
+      const auto steps = GeometricSteps(cmin, cmax, ratio);
+      ASSERT_FALSE(steps.empty());
+      EXPECT_DOUBLE_EQ(steps.back(), cmax);
+      EXPECT_GE(steps.front() * (1 + 1e-12), cmin);
+      EXPECT_LT(steps.front() / ratio, cmin);
+      for (size_t i = 1; i < steps.size(); ++i) {
+        EXPECT_NEAR(steps[i] / steps[i - 1], ratio, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(MathTest, GeometricStepsDegenerate) {
+  const auto steps = GeometricSteps(5.0, 5.0, 2.0);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_DOUBLE_EQ(steps[0], 5.0);
+}
+
+TEST(MathTest, GeometricStepsDoubling) {
+  const auto steps = GeometricSteps(1.0, 100.0, 2.0);
+  // ceil(log2(100)) = 7 steps; 100/2^6 = 1.5625 >= 1 > 0.78.
+  ASSERT_EQ(steps.size(), 7u);
+  EXPECT_DOUBLE_EQ(steps.back(), 100.0);
+}
+
+TEST(MathTest, LowerIndex) {
+  const std::vector<double> v = {1.0, 2.0, 4.0, 8.0};
+  EXPECT_EQ(LowerIndex(v, 0.5), -1);
+  EXPECT_EQ(LowerIndex(v, 1.0), 0);
+  EXPECT_EQ(LowerIndex(v, 3.0), 1);
+  EXPECT_EQ(LowerIndex(v, 8.0), 3);
+  EXPECT_EQ(LowerIndex(v, 100.0), 3);
+}
+
+TEST(MathTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.01));
+  EXPECT_TRUE(ApproxEqual(1e9, 1e9 + 1.0, 1e-8));
+}
+
+TEST(MathTest, TheoremOneBoundMinimumAtTwo) {
+  // r^2/(r-1) is minimized at r = 2 with value 4.
+  EXPECT_DOUBLE_EQ(TheoremOneBound(2.0), 4.0);
+  for (double r : {1.2, 1.5, 1.9, 2.1, 3.0, 5.0}) {
+    EXPECT_GT(TheoremOneBound(r), 4.0) << "r=" << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---------------------------------------------------------------------------
+// str_util
+// ---------------------------------------------------------------------------
+
+TEST(StrTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StrTest, StrPrintf) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+  // Long output exceeding any small static buffer.
+  const std::string big(500, 'y');
+  EXPECT_EQ(StrPrintf("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StrTest, FormatPct) {
+  EXPECT_EQ(FormatPct(0.05), "5%");
+  EXPECT_EQ(FormatPct(0.00015), "0.015%");
+}
+
+TEST(StrTest, FormatSciZero) { EXPECT_EQ(FormatSci(0.0), "0"); }
+
+}  // namespace
+}  // namespace bouquet

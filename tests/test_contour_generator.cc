@@ -1,0 +1,124 @@
+// Tests for ess/contour_generator: the compile-time-efficient contour-
+// focused POSP generation (Section 4.2) against exhaustive generation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bouquet/contours.h"
+#include "ess/contour_generator.h"
+#include "ess/posp_generator.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+class ContourGenTest : public ::testing::Test {
+ protected:
+  ContourGenTest()
+      : tpch_(MakeTpchCatalog(1.0)),
+        tpcds_(MakeTpcdsCatalog(100.0)),
+        space_(GetSpace("3D_H_Q5", tpch_, tpcds_)),
+        grid_(space_.query, {10, 10, 10}),
+        exhaustive_(GeneratePosp(space_.query, tpch_,
+                                 CostParams::Postgres(), grid_)),
+        sparse_(GenerateContourPosp(space_.query, tpch_,
+                                    CostParams::Postgres(), grid_, 2.0)) {}
+
+  Catalog tpch_, tpcds_;
+  NamedSpace space_;
+  EssGrid grid_;
+  PlanDiagram exhaustive_;
+  SparsePosp sparse_;
+};
+
+TEST_F(ContourGenTest, CornerCostsMatchExhaustive) {
+  EXPECT_NEAR(sparse_.cmin, exhaustive_.Cmin(), exhaustive_.Cmin() * 1e-9);
+  EXPECT_NEAR(sparse_.cmax, exhaustive_.Cmax(), exhaustive_.Cmax() * 1e-9);
+}
+
+TEST_F(ContourGenTest, OptimizedEntriesMatchExhaustive) {
+  for (const auto& [linear, entry] : sparse_.entries) {
+    EXPECT_NEAR(entry.second, exhaustive_.cost_at(linear),
+                exhaustive_.cost_at(linear) * 1e-9);
+    EXPECT_EQ(sparse_.plans[entry.first].signature,
+              exhaustive_.plan(exhaustive_.plan_at(linear)).signature);
+  }
+}
+
+TEST_F(ContourGenTest, FewerOptimizerCalls) {
+  EXPECT_LT(sparse_.optimizer_calls,
+            static_cast<long long>(grid_.num_points()));
+  EXPECT_GT(sparse_.optimizer_calls, 0);
+}
+
+TEST_F(ContourGenTest, StepsMatchExhaustiveLadder) {
+  const ContourSet cs = IdentifyContours(exhaustive_, 2.0);
+  ASSERT_EQ(sparse_.steps.size(), cs.step_costs.size());
+  for (size_t k = 0; k < cs.step_costs.size(); ++k) {
+    EXPECT_NEAR(sparse_.steps[k], cs.step_costs[k],
+                cs.step_costs[k] * 1e-9);
+  }
+}
+
+TEST_F(ContourGenTest, BandCoverageIncludesExhaustiveFrontier) {
+  // Every frontier point found by the exhaustive method must have been
+  // optimized by the contour-focused pass (the "band" property).
+  const ContourSet cs = IdentifyContours(exhaustive_, 2.0);
+  long long missing = 0, total = 0;
+  for (const auto& pts : cs.points) {
+    for (uint64_t p : pts) {
+      ++total;
+      if (!sparse_.entries.count(p)) ++missing;
+    }
+  }
+  EXPECT_EQ(missing, 0) << missing << "/" << total
+                        << " frontier points unoptimized";
+}
+
+TEST_F(ContourGenTest, SparseContoursCoverFrontierPlans) {
+  // The plans surfaced on sparse contours must include every plan that the
+  // exhaustive frontier carries (bouquet completeness).
+  const ContourSet cs = IdentifyContours(exhaustive_, 2.0);
+  const auto sparse_contours = ExtractSparseContours(sparse_, grid_);
+  ASSERT_EQ(sparse_contours.size(), cs.points.size());
+  std::set<std::string> sparse_sigs;
+  for (const auto& contour : sparse_contours) {
+    for (uint64_t p : contour) {
+      sparse_sigs.insert(
+          sparse_.plans[sparse_.entries.at(p).first].signature);
+    }
+  }
+  std::set<std::string> exhaustive_sigs;
+  for (const auto& pts : cs.points) {
+    for (uint64_t p : pts) {
+      exhaustive_sigs.insert(
+          exhaustive_.plan(exhaustive_.plan_at(p)).signature);
+    }
+  }
+  for (const auto& sig : exhaustive_sigs) {
+    EXPECT_TRUE(sparse_sigs.count(sig)) << "missing plan " << sig;
+  }
+}
+
+TEST(ContourGen1DTest, MatchesExhaustiveExactly) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec q = MakeEqQuery(tpch);
+  const EssGrid grid(q, {40});
+  const PlanDiagram ex = GeneratePosp(q, tpch, CostParams::Postgres(), grid);
+  const SparsePosp sp =
+      GenerateContourPosp(q, tpch, CostParams::Postgres(), grid, 2.0);
+  const ContourSet cs = IdentifyContours(ex, 2.0);
+  const auto sparse_contours = ExtractSparseContours(sp, grid);
+  ASSERT_EQ(sparse_contours.size(), cs.points.size());
+  // In 1D both methods find the same single frontier point per step.
+  for (size_t k = 0; k < cs.points.size(); ++k) {
+    ASSERT_EQ(sparse_contours[k].size(), 1u) << "contour " << k;
+    EXPECT_EQ(sparse_contours[k][0], cs.points[k][0]) << "contour " << k;
+  }
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -1,0 +1,126 @@
+// Tests for bouquet/contours: isocost ladder placement and the frontier
+// (dominance) properties that underpin the execution guarantee.
+
+#include <gtest/gtest.h>
+
+#include "bouquet/contours.h"
+#include "ess/posp_generator.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+class ContourTest : public ::testing::Test {
+ protected:
+  ContourTest()
+      : tpch_(MakeTpchCatalog(1.0)),
+        tpcds_(MakeTpcdsCatalog(100.0)),
+        space_(GetSpace("3D_H_Q5", tpch_, tpcds_)),
+        grid_(space_.query, {8, 8, 8}),
+        diagram_(GeneratePosp(space_.query, tpch_, CostParams::Postgres(),
+                              grid_)) {}
+
+  Catalog tpch_, tpcds_;
+  NamedSpace space_;
+  EssGrid grid_;
+  PlanDiagram diagram_;
+};
+
+TEST_F(ContourTest, LadderBoundaryConditions) {
+  const ContourSet cs = IdentifyContours(diagram_, 2.0);
+  ASSERT_FALSE(cs.step_costs.empty());
+  EXPECT_DOUBLE_EQ(cs.step_costs.back(), diagram_.Cmax());
+  EXPECT_GE(cs.step_costs.front() * (1 + 1e-12), diagram_.Cmin());
+  EXPECT_LT(cs.step_costs.front() / 2.0, diagram_.Cmin());
+}
+
+TEST_F(ContourTest, FrontierPointsRespectStepCost) {
+  const ContourSet cs = IdentifyContours(diagram_, 2.0);
+  for (size_t k = 0; k < cs.points.size(); ++k) {
+    for (uint64_t p : cs.points[k]) {
+      EXPECT_LE(diagram_.cost_at(p), cs.step_costs[k] * (1 + 1e-9));
+    }
+  }
+}
+
+TEST_F(ContourTest, FrontierSuccessorsExceedStep) {
+  const ContourSet cs = IdentifyContours(diagram_, 2.0);
+  for (size_t k = 0; k < cs.points.size(); ++k) {
+    for (uint64_t linear : cs.points[k]) {
+      const GridPoint p = grid_.PointAt(linear);
+      for (int d = 0; d < grid_.dims(); ++d) {
+        if (p[d] + 1 >= grid_.resolution(d)) continue;
+        const uint64_t succ = grid_.LinearWithDim(linear, d, p[d] + 1);
+        EXPECT_GT(diagram_.cost_at(succ), cs.step_costs[k] * (1 - 1e-9));
+      }
+    }
+  }
+}
+
+TEST_F(ContourTest, EveryPointDominatedByItsBandFrontier) {
+  // The execution guarantee: any q_a with PIC(q_a) <= IC_k is dominated by
+  // some frontier point of contour k.
+  const ContourSet cs = IdentifyContours(diagram_, 2.0);
+  grid_.ForEach([&](uint64_t linear, const GridPoint& p) {
+    const int k = BandOf(cs, diagram_.cost_at(linear));
+    bool dominated = false;
+    for (uint64_t fl : cs.points[k]) {
+      if (EssGrid::Dominates(p, grid_.PointAt(fl))) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << "point " << linear << " band " << k;
+  });
+}
+
+TEST_F(ContourTest, BandOfClassification) {
+  const ContourSet cs = IdentifyContours(diagram_, 2.0);
+  EXPECT_EQ(BandOf(cs, diagram_.Cmin()), 0);
+  EXPECT_EQ(BandOf(cs, diagram_.Cmax()),
+            static_cast<int>(cs.step_costs.size()) - 1);
+  if (cs.step_costs.size() >= 2) {
+    EXPECT_EQ(BandOf(cs, cs.step_costs[0] * 1.5), 1);
+  }
+}
+
+TEST_F(ContourTest, LastContourContainsMaxCorner) {
+  const ContourSet cs = IdentifyContours(diagram_, 2.0);
+  const uint64_t corner = grid_.LinearIndex(grid_.MaxCorner());
+  const auto& last = cs.points.back();
+  EXPECT_NE(std::find(last.begin(), last.end(), corner), last.end());
+}
+
+TEST_F(ContourTest, LargerRatioFewerContours) {
+  const ContourSet r2 = IdentifyContours(diagram_, 2.0);
+  const ContourSet r4 = IdentifyContours(diagram_, 4.0);
+  EXPECT_LE(r4.step_costs.size(), r2.step_costs.size());
+}
+
+TEST_F(ContourTest, ContoursNonEmpty) {
+  const ContourSet cs = IdentifyContours(diagram_, 2.0);
+  for (size_t k = 0; k < cs.points.size(); ++k) {
+    EXPECT_FALSE(cs.points[k].empty()) << "contour " << k;
+  }
+}
+
+// 1D contours must be single points (unique intersection, Section 3.1).
+TEST(Contour1DTest, SinglePointPerContour) {
+  const Catalog cat = MakeTpchCatalog(1.0);
+  const QuerySpec q = MakeEqQuery(cat);
+  const EssGrid grid(q, {60});
+  const PlanDiagram d = GeneratePosp(q, cat, CostParams::Postgres(), grid);
+  const ContourSet cs = IdentifyContours(d, 2.0);
+  for (size_t k = 0; k < cs.points.size(); ++k) {
+    EXPECT_EQ(cs.points[k].size(), 1u) << "contour " << k;
+  }
+  // Frontier selectivities increase with k.
+  for (size_t k = 1; k < cs.points.size(); ++k) {
+    EXPECT_GT(cs.points[k][0], cs.points[k - 1][0]);
+  }
+}
+
+}  // namespace
+}  // namespace bouquet

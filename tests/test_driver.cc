@@ -1,0 +1,199 @@
+// Tests for bouquet/driver: real-data bouquet execution (the Table 3
+// machinery) — correctness of results, budget compliance, selectivity
+// learning, and basic-vs-optimized behavior.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "bouquet/driver.h"
+#include "ess/posp_generator.h"
+#include "workloads/spaces.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+class DriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchDataOptions opts;
+    opts.mini_scale = 0.2;  // lineitem ~12000 rows
+    MakeTpchDatabase(&db_, opts);
+    SyncTpchCatalog(db_, &catalog_);
+    query_ = Make2DHQ8a(catalog_);
+    // True location q_a ~ (33.7%, 45.6%) as in the paper's Section 6.7.
+    achieved_ = BindSelectionConstants(&query_, catalog_, {0.337, 0.456});
+    ASSERT_TRUE(query_.Validate(catalog_).ok());
+    opt_ = std::make_unique<QueryOptimizer>(query_, catalog_,
+                                            CostParams::Postgres());
+    grid_ = std::make_unique<EssGrid>(query_, std::vector<int>{16, 16});
+    diagram_ = std::make_unique<PlanDiagram>(
+        GeneratePosp(query_, catalog_, CostParams::Postgres(), *grid_));
+    bouquet_ = std::make_unique<PlanBouquet>(
+        BuildBouquet(*diagram_, opt_.get()));
+  }
+
+  int64_t TrueResultCount() {
+    const Plan plan = opt_->OptimizeAt(achieved_);
+    BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+    return driver.RunSinglePlan(*plan.root).rows.size();
+  }
+
+  Database db_;
+  Catalog catalog_;
+  QuerySpec query_;
+  std::vector<double> achieved_;
+  std::unique_ptr<QueryOptimizer> opt_;
+  std::unique_ptr<EssGrid> grid_;
+  std::unique_ptr<PlanDiagram> diagram_;
+  std::unique_ptr<PlanBouquet> bouquet_;
+};
+
+TEST_F(DriverTest, BasicProducesCorrectResult) {
+  const int64_t expected = TrueResultCount();
+  ASSERT_GT(expected, 0);
+  BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult res = driver.RunBasic();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(static_cast<int64_t>(res.rows.size()), expected);
+  EXPECT_GE(res.num_executions, 1);
+}
+
+TEST_F(DriverTest, OptimizedProducesCorrectResult) {
+  const int64_t expected = TrueResultCount();
+  BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult res = driver.RunOptimized();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(static_cast<int64_t>(res.rows.size()), expected);
+}
+
+TEST_F(DriverTest, BasicBudgetsRespected) {
+  BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult res = driver.RunBasic();
+  for (const auto& step : res.steps) {
+    if (!step.completed && std::isfinite(step.budget)) {
+      // Aborted executions stop within a whisker of the budget.
+      EXPECT_LE(step.charged, step.budget * 1.01 + 10.0);
+    }
+  }
+}
+
+TEST_F(DriverTest, BasicMultiplePartialExecutionsBeforeCompletion) {
+  // q_a is large (33.7%, 45.6%), so the cheap early contours must fail
+  // first — the hallmark of the bouquet discovery process.
+  BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult res = driver.RunBasic();
+  EXPECT_GE(res.num_executions, 3);
+  EXPECT_GE(res.contours_crossed, 2);
+}
+
+TEST_F(DriverTest, OptimizedUsesSpillsAndLearns) {
+  BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult res = driver.RunOptimized();
+  bool any_spill = false;
+  for (const auto& step : res.steps) any_spill |= step.spilled;
+  EXPECT_TRUE(any_spill);
+  // The final step is a completed generic execution.
+  EXPECT_TRUE(res.steps.back().completed);
+  EXPECT_FALSE(res.steps.back().spilled);
+}
+
+TEST_F(DriverTest, RepeatableExecutionSequence) {
+  BouquetDriver d1(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult a = d1.RunBasic();
+  BouquetDriver d2(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult b = d2.RunBasic();
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].plan_signature, b.steps[i].plan_signature);
+    EXPECT_EQ(a.steps[i].contour, b.steps[i].contour);
+  }
+}
+
+TEST_F(DriverTest, SubOptimalityComparableToNat) {
+  // NAT with a badly wrong estimate (the paper's AVI scenario) vs BOU.
+  const DimVector bad_estimate = {1e-3, 1e-3};
+  const Plan nat_plan = opt_->OptimizeAt(bad_estimate);
+  BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult nat = driver.RunSinglePlan(*nat_plan.root);
+  const DriverResult bou = driver.RunBasic();
+  const Plan oracle_plan = opt_->OptimizeAt(achieved_);
+  const DriverResult oracle = driver.RunSinglePlan(*oracle_plan.root);
+  ASSERT_GT(oracle.total_cost_units, 0.0);
+  const double nat_subopt = nat.total_cost_units / oracle.total_cost_units;
+  const double bou_subopt = bou.total_cost_units / oracle.total_cost_units;
+  // The bouquet's discovery overhead is bounded; NAT's error is not.
+  EXPECT_LT(bou_subopt, 4.0 * 1.2 * bouquet_->rho() + 1.0);
+  EXPECT_GT(nat_subopt, 1.0);
+}
+
+TEST(DriverJoinDimTest, LearnsJoinSelectivityFromData) {
+  // A join error dimension: only 40% of lineitem rows reference an existing
+  // part, so the true join selectivity is 0.4/|part| — below the PK-FK cap
+  // the optimizer would assume. The optimized driver must discover it from
+  // instrumented tuple counts and still return the correct result.
+  Database db;
+  TpchDataOptions opts;
+  opts.mini_scale = 0.2;
+  opts.part_match_fraction = 0.4;
+  MakeTpchDatabase(&db, opts);
+  Catalog catalog;
+  SyncTpchCatalog(db, &catalog);
+
+  QuerySpec q;
+  q.name = "join_dim_query";
+  q.tables = {"part", "lineitem", "orders"};
+  q.joins = {JoinPredicate{"part", "p_partkey", "lineitem", "l_partkey",
+                           -1.0},
+             JoinPredicate{"lineitem", "l_orderkey", "orders", "o_orderkey",
+                           -1.0}};
+  ErrorDimension d;
+  d.kind = DimKind::kJoin;
+  d.predicate_index = 0;
+  const double n_part = catalog.GetTable("part").stats.row_count;
+  d.hi = 1.0 / n_part;
+  d.lo = d.hi * 1e-3;
+  d.label = "p_partkey=l_partkey";
+  q.error_dims = {d};
+  ASSERT_TRUE(q.Validate(catalog).ok());
+
+  QueryOptimizer opt(q, catalog, CostParams::Postgres());
+  const EssGrid grid(q, {24});
+  const PlanDiagram diagram =
+      GeneratePosp(q, catalog, CostParams::Postgres(), grid);
+  const PlanBouquet bouquet = BuildBouquet(diagram, &opt);
+  BouquetDriver driver(bouquet, diagram, &opt, &db);
+
+  const DriverResult res = driver.RunOptimized();
+  ASSERT_TRUE(res.completed);
+  // Reference result via a single unbudgeted plan.
+  const Plan oracle = opt.OptimizeAt({0.4 / n_part});
+  const DriverResult ref = driver.RunSinglePlan(*oracle.root);
+  EXPECT_EQ(res.rows.size(), ref.rows.size());
+  // The discovered join selectivity is a lower bound on the truth and, once
+  // the error node completed, close to it.
+  ASSERT_EQ(res.discovered_selectivities.size(), 1u);
+  const double truth = 0.4 / n_part;
+  EXPECT_LE(res.discovered_selectivities[0], truth * 1.05);
+  EXPECT_GE(res.discovered_selectivities[0], truth * 0.2);
+}
+
+TEST_F(DriverTest, SmallSelectivityFinishesEarly) {
+  // Rebind to a tiny q_a: the first contours should already complete.
+  QuerySpec tiny = Make2DHQ8a(catalog_);
+  BindSelectionConstants(&tiny, catalog_, {0.002, 0.002});
+  QueryOptimizer opt(tiny, catalog_, CostParams::Postgres());
+  const EssGrid grid(tiny, {16, 16});
+  const PlanDiagram diagram =
+      GeneratePosp(tiny, catalog_, CostParams::Postgres(), grid);
+  const PlanBouquet bouquet = BuildBouquet(diagram, &opt);
+  BouquetDriver driver(bouquet, diagram, &opt, &db_);
+  const DriverResult res = driver.RunBasic();
+  EXPECT_TRUE(res.completed);
+  EXPECT_LE(res.contours_crossed, 2);
+}
+
+}  // namespace
+}  // namespace bouquet

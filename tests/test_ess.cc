@@ -1,0 +1,152 @@
+// Tests for ess/ess_grid and ess/plan_diagram.
+
+#include <gtest/gtest.h>
+
+#include "ess/ess_grid.h"
+#include "ess/plan_diagram.h"
+#include "workloads/spaces.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+QuerySpec TwoDimQuery(const Catalog& cat) {
+  QuerySpec q = Make2DHQ8a(cat);
+  return q;
+}
+
+class EssGridTest : public ::testing::Test {
+ protected:
+  EssGridTest()
+      : catalog_(MakeTpchCatalog(1.0)),
+        query_(TwoDimQuery(catalog_)),
+        grid_(query_, {4, 6}) {}
+  Catalog catalog_;
+  QuerySpec query_;
+  EssGrid grid_;
+};
+
+TEST_F(EssGridTest, Dimensions) {
+  EXPECT_EQ(grid_.dims(), 2);
+  EXPECT_EQ(grid_.resolution(0), 4);
+  EXPECT_EQ(grid_.resolution(1), 6);
+  EXPECT_EQ(grid_.num_points(), 24u);
+}
+
+TEST_F(EssGridTest, AxisEndpoints) {
+  EXPECT_DOUBLE_EQ(grid_.axis(0).front(), query_.error_dims[0].lo);
+  EXPECT_DOUBLE_EQ(grid_.axis(0).back(), query_.error_dims[0].hi);
+}
+
+TEST_F(EssGridTest, LinearRoundTrip) {
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) {
+    EXPECT_EQ(grid_.LinearIndex(grid_.PointAt(i)), i);
+  }
+}
+
+TEST_F(EssGridTest, LinearWithDim) {
+  const GridPoint p = {2, 3};
+  const uint64_t base = grid_.LinearIndex(p);
+  EXPECT_EQ(grid_.LinearWithDim(base, 0, 0), grid_.LinearIndex({0, 3}));
+  EXPECT_EQ(grid_.LinearWithDim(base, 1, 5), grid_.LinearIndex({2, 5}));
+  EXPECT_EQ(grid_.LinearWithDim(base, 1, 3), base);
+}
+
+TEST_F(EssGridTest, SelectivityAt) {
+  const DimVector s = grid_.SelectivityAt(GridPoint{0, 5});
+  EXPECT_DOUBLE_EQ(s[0], query_.error_dims[0].lo);
+  EXPECT_DOUBLE_EQ(s[1], query_.error_dims[1].hi);
+}
+
+TEST_F(EssGridTest, AxisFloorCeil) {
+  const auto& ax = grid_.axis(0);
+  EXPECT_EQ(grid_.AxisFloor(0, ax[2] * 1.0001), 2);
+  EXPECT_EQ(grid_.AxisFloor(0, ax[0] / 2), 0);
+  EXPECT_EQ(grid_.AxisCeil(0, ax[2] * 1.0001), 3);
+  EXPECT_EQ(grid_.AxisCeil(0, ax.back() * 2), 3);
+}
+
+TEST_F(EssGridTest, Dominates) {
+  EXPECT_TRUE(EssGrid::Dominates({0, 0}, {1, 1}));
+  EXPECT_TRUE(EssGrid::Dominates({1, 1}, {1, 1}));
+  EXPECT_FALSE(EssGrid::Dominates({2, 0}, {1, 1}));
+}
+
+TEST_F(EssGridTest, ForEachVisitsAllInOrder) {
+  uint64_t expected = 0;
+  grid_.ForEach([&](uint64_t linear, const GridPoint& p) {
+    EXPECT_EQ(linear, expected++);
+    EXPECT_EQ(grid_.LinearIndex(p), linear);
+  });
+  EXPECT_EQ(expected, grid_.num_points());
+}
+
+TEST_F(EssGridTest, Corners) {
+  EXPECT_EQ(grid_.Origin(), (GridPoint{0, 0}));
+  EXPECT_EQ(grid_.MaxCorner(), (GridPoint{3, 5}));
+}
+
+TEST(EssGridDefaultsTest, ResolutionByDims) {
+  EXPECT_EQ(EssGrid::DefaultResolutionForDims(1), 100);
+  EXPECT_EQ(EssGrid::DefaultResolutionForDims(3), 20);
+  EXPECT_EQ(EssGrid::DefaultResolutionForDims(5), 8);
+  EXPECT_EQ(EssGrid::DefaultResolutionForDims(7), 6);
+}
+
+TEST(EssGridDefaultsTest, WithDefaultResolution) {
+  const Catalog cat = MakeTpchCatalog(1.0);
+  const QuerySpec q = MakeEqQuery(cat);
+  const EssGrid g = EssGrid::WithDefaultResolution(q);
+  EXPECT_EQ(g.dims(), 1);
+  EXPECT_EQ(g.num_points(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// PlanDiagram
+// ---------------------------------------------------------------------------
+
+TEST_F(EssGridTest, DiagramInterning) {
+  PlanDiagram d(&grid_);
+  Plan p1;
+  p1.signature = "sigA";
+  Plan p2;
+  p2.signature = "sigB";
+  EXPECT_EQ(d.InternPlan(p1), 0);
+  EXPECT_EQ(d.InternPlan(p2), 1);
+  EXPECT_EQ(d.InternPlan(p1), 0);  // dedup by signature
+  EXPECT_EQ(d.num_plans(), 2);
+  EXPECT_EQ(d.FindPlan("sigB"), 1);
+  EXPECT_EQ(d.FindPlan("nope"), -1);
+}
+
+TEST_F(EssGridTest, DiagramAssignAndStats) {
+  PlanDiagram d(&grid_);
+  Plan p1;
+  p1.signature = "A";
+  Plan p2;
+  p2.signature = "B";
+  d.InternPlan(p1);
+  d.InternPlan(p2);
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) {
+    d.Set(i, i < 6 ? 0 : 1, 10.0 + double(i));
+  }
+  EXPECT_DOUBLE_EQ(d.Cmin(), 10.0);
+  EXPECT_DOUBLE_EQ(d.Cmax(), 10.0 + 23.0);
+  const auto frac = d.RegionFractions();
+  EXPECT_NEAR(frac[0], 6.0 / 24.0, 1e-12);
+  EXPECT_NEAR(frac[1], 18.0 / 24.0, 1e-12);
+}
+
+TEST_F(EssGridTest, DiagramSetAssignments) {
+  PlanDiagram d(&grid_);
+  Plan p;
+  p.signature = "A";
+  d.InternPlan(p);
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) d.Set(i, 0, 1.0);
+  std::vector<int> override_assign(grid_.num_points(), 0);
+  d.SetAssignments(override_assign);
+  EXPECT_EQ(d.plan_at(0), 0);
+}
+
+}  // namespace
+}  // namespace bouquet

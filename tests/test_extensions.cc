@@ -1,0 +1,242 @@
+// Tests for the Section 8 "future work" extensions implemented here:
+// weak-dimension elimination, incremental bouquet maintenance, and
+// underestimate-seeded execution.
+
+#include <gtest/gtest.h>
+
+#include "bouquet/bouquet.h"
+#include "bouquet/maintenance.h"
+#include "bouquet/simulator.h"
+#include "ess/dim_analysis.h"
+#include "ess/posp_generator.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dimension sensitivity / elimination
+// ---------------------------------------------------------------------------
+
+TEST(DimAnalysisTest, SensitivityDetectsStrongDimensions) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  const NamedSpace space = GetSpace("3D_H_Q5", tpch, tpcds);
+  const auto sens =
+      MeasureDimSensitivity(space.query, tpch, CostParams::Postgres());
+  ASSERT_EQ(sens.size(), 3u);
+  for (const auto& s : sens) {
+    EXPECT_GE(s.max_relative_impact, 0.0);
+  }
+  // The lineitem-orders join dominates the query's cost: it must register a
+  // material impact.
+  EXPECT_GT(sens[1].max_relative_impact, 0.5);
+}
+
+TEST(DimAnalysisTest, WeakDimensionIsEliminated) {
+  // Add an artificial dimension with a negligible range: its cost impact is
+  // ~zero and it must be dropped.
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  QuerySpec q = GetSpace("3D_H_Q5", tpch, tpcds).query;
+  ErrorDimension weak;
+  weak.kind = DimKind::kJoin;
+  weak.predicate_index = 0;  // region-nation join
+  weak.hi = 1.0 / 5.0;
+  weak.lo = weak.hi * 0.999;  // essentially a point: no cost impact
+  weak.label = "weak";
+  q.error_dims.push_back(weak);
+
+  std::vector<int> removed;
+  const QuerySpec reduced = EliminateWeakDimensions(
+      q, tpch, CostParams::Postgres(), /*threshold=*/0.05, &removed);
+  EXPECT_EQ(reduced.NumDims(), 3);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], 3);
+  // The dropped join got pinned at its geometric midpoint.
+  EXPECT_GT(reduced.joins[0].default_selectivity, 0.0);
+}
+
+TEST(DimAnalysisTest, StrongDimensionsSurvive) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  const NamedSpace space = GetSpace("3D_H_Q5", tpch, tpcds);
+  std::vector<int> removed;
+  const QuerySpec reduced = EliminateWeakDimensions(
+      space.query, tpch, CostParams::Postgres(), 0.05, &removed);
+  EXPECT_EQ(reduced.NumDims(), 3);
+  EXPECT_TRUE(removed.empty());
+}
+
+TEST(DimAnalysisTest, HugeThresholdDropsEverything) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  const NamedSpace space = GetSpace("3D_H_Q5", tpch, tpcds);
+  std::vector<int> removed;
+  const QuerySpec reduced = EliminateWeakDimensions(
+      space.query, tpch, CostParams::Postgres(), 1e12, &removed);
+  EXPECT_EQ(reduced.NumDims(), 0);
+  EXPECT_EQ(removed.size(), 3u);
+  // Reduced query still validates (predicates intact).
+  EXPECT_TRUE(reduced.Validate(tpch).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance
+// ---------------------------------------------------------------------------
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  MaintenanceTest()
+      : old_catalog_(MakeTpchCatalog(1.0)),
+        new_catalog_(MakeTpchCatalog(2.5)),  // database grew 2.5x
+        tpcds_(MakeTpcdsCatalog(100.0)),
+        space_(GetSpace("3D_H_Q5", old_catalog_, tpcds_)),
+        grid_(space_.query, {8, 8, 8}),
+        old_diagram_(GeneratePosp(space_.query, old_catalog_,
+                                  CostParams::Postgres(), grid_)) {}
+
+  Catalog old_catalog_, new_catalog_, tpcds_;
+  NamedSpace space_;
+  EssGrid grid_;
+  PlanDiagram old_diagram_;
+};
+
+TEST_F(MaintenanceTest, MaintainedDiagramNearFreshOptimal) {
+  MaintenanceStats stats;
+  const PlanDiagram maintained =
+      MaintainDiagram(old_diagram_, space_.query, new_catalog_,
+                      CostParams::Postgres(), /*validation_stride=*/8,
+                      &stats);
+  const PlanDiagram fresh = GeneratePosp(space_.query, new_catalog_,
+                                         CostParams::Postgres(), grid_);
+  double worst = 0.0;
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) {
+    EXPECT_GE(maintained.cost_at(i), fresh.cost_at(i) * (1 - 1e-9));
+    worst = std::max(worst, maintained.cost_at(i) / fresh.cost_at(i));
+  }
+  // The candidate-recosting infimum stays within a modest factor of the
+  // truly optimal surface.
+  EXPECT_LE(worst, 1.5) << "maintained diagram degraded too much";
+  EXPECT_GE(stats.worst_validation_ratio, 1.0);
+}
+
+TEST_F(MaintenanceTest, FarFewerOptimizerCalls) {
+  MaintenanceStats stats;
+  MaintainDiagram(old_diagram_, space_.query, new_catalog_,
+                  CostParams::Postgres(), 8, &stats);
+  EXPECT_LT(stats.optimizer_calls,
+            static_cast<long long>(grid_.num_points()) / 4);
+  EXPECT_GT(stats.recost_evaluations, 0);
+}
+
+TEST_F(MaintenanceTest, IdentityMaintenanceIsExact) {
+  // Maintaining against the *same* catalog must reproduce the optimal
+  // surface exactly (the old plan set is optimal by construction).
+  MaintenanceStats stats;
+  const PlanDiagram maintained =
+      MaintainDiagram(old_diagram_, space_.query, old_catalog_,
+                      CostParams::Postgres(), 8, &stats);
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) {
+    EXPECT_NEAR(maintained.cost_at(i), old_diagram_.cost_at(i),
+                old_diagram_.cost_at(i) * 1e-9);
+  }
+  EXPECT_NEAR(stats.worst_validation_ratio, 1.0, 1e-9);
+  EXPECT_EQ(stats.new_plans_adopted, 0);
+}
+
+TEST_F(MaintenanceTest, MaintainedBouquetStillCompletes) {
+  MaintenanceStats stats;
+  const PlanDiagram maintained =
+      MaintainDiagram(old_diagram_, space_.query, new_catalog_,
+                      CostParams::Postgres(), 8, &stats);
+  QueryOptimizer opt(space_.query, new_catalog_, CostParams::Postgres());
+  const PlanBouquet bouquet = BuildBouquet(maintained, &opt);
+  BouquetSimulator sim(bouquet, maintained, &opt);
+  for (uint64_t qa = 0; qa < grid_.num_points(); qa += 7) {
+    const SimResult run = sim.RunBasic(qa);
+    EXPECT_TRUE(run.completed);
+    EXPECT_FALSE(run.fallback_used) << "qa=" << qa;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Underestimate seeding
+// ---------------------------------------------------------------------------
+
+class SeedingTest : public ::testing::Test {
+ protected:
+  SeedingTest()
+      : tpch_(MakeTpchCatalog(1.0)),
+        tpcds_(MakeTpcdsCatalog(100.0)),
+        space_(GetSpace("3D_DS_Q96", tpch_, tpcds_)),
+        grid_(space_.query, {8, 8, 8}),
+        diagram_(GeneratePosp(space_.query, tpcds_, CostParams::Postgres(),
+                              grid_)),
+        opt_(space_.query, tpcds_, CostParams::Postgres()),
+        bouquet_(BuildBouquet(diagram_, &opt_)),
+        sim_(bouquet_, diagram_, &opt_) {}
+
+  Catalog tpch_, tpcds_;
+  NamedSpace space_;
+  EssGrid grid_;
+  PlanDiagram diagram_;
+  QueryOptimizer opt_;
+  PlanBouquet bouquet_;
+  BouquetSimulator sim_;
+};
+
+TEST_F(SeedingTest, ValidSeedCompletesEverywhere) {
+  for (uint64_t qa = 0; qa < grid_.num_points(); qa += 5) {
+    const GridPoint qa_pt = grid_.PointAt(qa);
+    GridPoint seed(qa_pt.size());
+    for (size_t d = 0; d < seed.size(); ++d) seed[d] = qa_pt[d] / 2;
+    const SimResult run = sim_.RunOptimizedSeeded(qa, seed);
+    EXPECT_TRUE(run.completed);
+    EXPECT_FALSE(run.fallback_used) << "qa=" << qa;
+  }
+}
+
+TEST_F(SeedingTest, SeedingNeverIncreasesExecutions) {
+  for (uint64_t qa = 0; qa < grid_.num_points(); qa += 9) {
+    const GridPoint qa_pt = grid_.PointAt(qa);
+    const SimResult unseeded = sim_.RunOptimized(qa);
+    const SimResult seeded = sim_.RunOptimizedSeeded(qa, qa_pt);  // perfect
+    EXPECT_LE(seeded.num_executions, unseeded.num_executions)
+        << "qa=" << qa;
+    EXPECT_LE(seeded.total_cost, unseeded.total_cost * (1 + 1e-9))
+        << "qa=" << qa;
+  }
+}
+
+TEST_F(SeedingTest, PerfectSeedNearOptimal) {
+  // Seeding with q_a itself should cost within one contour budget of PIC.
+  const uint64_t qa = grid_.num_points() - 1;
+  const SimResult run = sim_.RunOptimizedSeeded(qa, grid_.PointAt(qa));
+  ASSERT_TRUE(run.completed);
+  EXPECT_LE(sim_.SubOpt(run, qa), 2.0 * 1.2 * bouquet_.rho());
+}
+
+TEST_F(SeedingTest, OverestimateSeedIsClampedSafely) {
+  // A seed *beyond* q_a violates the contract; the implementation clamps it
+  // into the first quadrant, preserving completion.
+  const GridPoint qa_pt = {2, 2, 2};
+  const uint64_t qa = grid_.LinearIndex(qa_pt);
+  const GridPoint bad_seed = {7, 7, 7};
+  const SimResult run = sim_.RunOptimizedSeeded(qa, bad_seed);
+  EXPECT_TRUE(run.completed);
+  EXPECT_FALSE(run.fallback_used);
+}
+
+TEST_F(SeedingTest, OriginSeedMatchesUnseeded) {
+  const uint64_t qa = grid_.num_points() / 3;
+  const SimResult a = sim_.RunOptimized(qa);
+  const SimResult b = sim_.RunOptimizedSeeded(qa, GridPoint(3, 0));
+  EXPECT_EQ(a.num_executions, b.num_executions);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+}  // namespace
+}  // namespace bouquet

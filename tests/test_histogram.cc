@@ -1,0 +1,134 @@
+// Tests for catalog/histogram: equi-depth construction, selectivity
+// estimation, and quantile inversion.
+
+#include <gtest/gtest.h>
+
+#include "catalog/histogram.h"
+#include "common/rng.h"
+
+namespace bouquet {
+namespace {
+
+std::vector<int64_t> UniformValues(int n, int64_t lo, int64_t hi,
+                                   uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = rng.NextInt64(lo, hi);
+  return v;
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.SelectivityLess(10), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, BuildBasics) {
+  const auto h = Histogram::Build(UniformValues(10000, 0, 999), 64);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.total_count(), 10000);
+  EXPECT_GE(h.min_value(), 0);
+  EXPECT_LE(h.max_value(), 999);
+}
+
+TEST(HistogramTest, SelectivityEndpoints) {
+  const auto h = Histogram::Build(UniformValues(10000, 100, 200), 32);
+  EXPECT_DOUBLE_EQ(h.SelectivityLess(100), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityLess(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityLess(201), 1.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityLessEqual(200), 1.0);
+}
+
+TEST(HistogramTest, UniformSelectivityAccuracy) {
+  const auto values = UniformValues(50000, 0, 9999);
+  const auto h = Histogram::Build(values, 100);
+  for (int64_t cut : {1000, 2500, 5000, 7500, 9000}) {
+    int64_t exact = 0;
+    for (int64_t v : values) exact += v < cut;
+    const double est = h.SelectivityLess(cut);
+    EXPECT_NEAR(est, double(exact) / values.size(), 0.02) << "cut=" << cut;
+  }
+}
+
+TEST(HistogramTest, QuantileInvertsSelectivity) {
+  const auto values = UniformValues(20000, 0, 99999);
+  const auto h = Histogram::Build(values, 128);
+  for (double f : {0.01, 0.1, 0.25, 0.5, 0.9, 0.99}) {
+    const int64_t v = h.Quantile(f);
+    EXPECT_NEAR(h.SelectivityLessEqual(v), f, 0.03) << "f=" << f;
+  }
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  const auto h = Histogram::Build(UniformValues(5000, 0, 10000), 64);
+  int64_t prev = h.Quantile(0.0);
+  for (double f = 0.05; f <= 1.0; f += 0.05) {
+    const int64_t q = h.Quantile(f);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(HistogramTest, RangeSelectivity) {
+  const auto values = UniformValues(30000, 0, 999);
+  const auto h = Histogram::Build(values, 64);
+  int64_t exact = 0;
+  for (int64_t v : values) exact += v >= 200 && v <= 400;
+  EXPECT_NEAR(h.SelectivityRange(200, 400), double(exact) / values.size(),
+              0.02);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(400, 200), 0.0);
+}
+
+TEST(HistogramTest, SkewedData) {
+  Rng rng(17);
+  std::vector<int64_t> values(20000);
+  for (auto& v : values) v = static_cast<int64_t>(rng.NextZipf(1000, 0.9));
+  const auto h = Histogram::Build(values, 64);
+  int64_t exact = 0;
+  for (int64_t v : values) exact += v < 10;
+  // Equi-depth handles skew: estimate within a few percent of truth.
+  EXPECT_NEAR(h.SelectivityLess(10), double(exact) / values.size(), 0.05);
+}
+
+TEST(HistogramTest, SingleValueColumn) {
+  const std::vector<int64_t> values(100, 7);
+  const auto h = Histogram::Build(values, 16);
+  EXPECT_DOUBLE_EQ(h.SelectivityLess(7), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityLessEqual(7), 1.0);
+  EXPECT_EQ(h.Quantile(0.5), 7);
+}
+
+TEST(HistogramTest, FewerValuesThanBuckets) {
+  const std::vector<int64_t> values = {1, 5, 9};
+  const auto h = Histogram::Build(values, 100);
+  EXPECT_EQ(h.min_value(), 1);
+  EXPECT_EQ(h.max_value(), 9);
+  EXPECT_DOUBLE_EQ(h.SelectivityLessEqual(9), 1.0);
+}
+
+TEST(HistogramTest, NegativeValues) {
+  const auto values = UniformValues(10000, -5000, 4999);
+  const auto h = Histogram::Build(values, 64);
+  EXPECT_NEAR(h.SelectivityLess(0), 0.5, 0.03);
+}
+
+// Parameterized sweep: quantile/selectivity round trip across bucket counts.
+class HistogramBucketSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramBucketSweep, RoundTrip) {
+  const int buckets = GetParam();
+  const auto values = UniformValues(40000, 0, 999999, /*seed=*/buckets);
+  const auto h = Histogram::Build(values, buckets);
+  const double tol = 2.0 / buckets + 0.01;
+  for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(h.SelectivityLessEqual(h.Quantile(f)), f, tol)
+        << "buckets=" << buckets << " f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, HistogramBucketSweep,
+                         ::testing::Values(8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace bouquet

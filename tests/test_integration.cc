@@ -1,0 +1,148 @@
+// End-to-end integration tests: the full compile-time + run-time pipeline,
+// cross-checking the cost-based simulator against real executions, and the
+// headline robustness relationships across baselines.
+
+#include <gtest/gtest.h>
+
+#include "bouquet/bounds.h"
+#include "bouquet/driver.h"
+#include "bouquet/simulator.h"
+#include "ess/pic.h"
+#include "ess/posp_generator.h"
+#include "robustness/metrics.h"
+#include "robustness/native.h"
+#include "robustness/seer.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+TEST(IntegrationTest, HeadlineRelationshipsOnBenchmarkSpace) {
+  // On 3D_DS_Q96: BOU's MSO must sit under its theoretical bound and far
+  // under NAT's MSO; ASO must stay comparable (the Figures 14/15 story).
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  const NamedSpace space = GetSpace("3D_DS_Q96", tpch, tpcds);
+  const EssGrid grid(space.query, {10, 10, 10});
+  const PlanDiagram diagram =
+      GeneratePosp(space.query, tpcds, CostParams::Postgres(), grid);
+  EXPECT_TRUE(IsPicMonotone(diagram));
+  QueryOptimizer opt(space.query, tpcds, CostParams::Postgres());
+  const PlanBouquet bouquet = BuildBouquet(diagram, &opt);
+
+  const RobustnessProfile nat = ComputeNativeProfile(diagram, &opt);
+  BouquetSimulator sim(bouquet, diagram, &opt);
+  const BouquetProfile bou = ComputeBouquetProfile(sim, false);
+
+  EXPECT_FALSE(bou.any_fallback);
+  EXPECT_LE(bou.mso,
+            MultiDMsoBound(2.0, bouquet.rho(), 0.2) * (1 + 1e-9));
+  EXPECT_GT(nat.mso, bou.mso * 10)
+      << "bouquet should improve MSO by orders of magnitude";
+  EXPECT_LT(bou.aso, nat.aso * 2.0) << "average case must stay comparable";
+}
+
+TEST(IntegrationTest, CommercialEngineShowsSameShape) {
+  // Figure 19: the robustness story is engine-independent.
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  QuerySpec q = Make3DHQ5b(tpch);
+  const EssGrid grid(q, {8, 8, 8});
+  const PlanDiagram diagram =
+      GeneratePosp(q, tpch, CostParams::Commercial(), grid);
+  QueryOptimizer opt(q, tpch, CostParams::Commercial());
+  const PlanBouquet bouquet = BuildBouquet(diagram, &opt);
+  const RobustnessProfile nat = ComputeNativeProfile(diagram, &opt);
+  BouquetSimulator sim(bouquet, diagram, &opt);
+  const BouquetProfile bou = ComputeBouquetProfile(sim, false);
+  EXPECT_FALSE(bou.any_fallback);
+  EXPECT_GT(nat.mso, bou.mso);
+  EXPECT_LE(bou.mso, MultiDMsoBound(2.0, bouquet.rho(), 0.2) * (1 + 1e-9));
+}
+
+TEST(IntegrationTest, SimulatorAgreesWithRealDriverOnOutcome) {
+  // The cost-based simulation and the real-data execution must agree on the
+  // qualitative outcome: which contour completes and with how many
+  // executions (within one contour of slack for cost-model vs charge
+  // differences).
+  Database db;
+  TpchDataOptions opts;
+  opts.mini_scale = 0.2;
+  MakeTpchDatabase(&db, opts);
+  Catalog catalog;
+  SyncTpchCatalog(db, &catalog);
+  QuerySpec query = Make2DHQ8a(catalog);
+  const auto achieved = BindSelectionConstants(&query, catalog, {0.3, 0.4});
+  QueryOptimizer opt(query, catalog, CostParams::Postgres());
+  const EssGrid grid(query, {16, 16});
+  const PlanDiagram diagram =
+      GeneratePosp(query, catalog, CostParams::Postgres(), grid);
+  const PlanBouquet bouquet = BuildBouquet(diagram, &opt);
+
+  // Simulated run at the nearest grid location to the true q_a.
+  GridPoint qa_pt = {grid.AxisFloor(0, achieved[0]),
+                     grid.AxisFloor(1, achieved[1])};
+  BouquetSimulator sim(bouquet, diagram, &opt);
+  SimOptions restart;
+  restart.continue_same_plan = false;  // driver restarts plans too
+  BouquetSimulator sim_restart(bouquet, diagram, &opt, restart);
+  const SimResult simulated = sim_restart.RunBasic(grid.LinearIndex(qa_pt));
+
+  BouquetDriver driver(bouquet, diagram, &opt, &db);
+  const DriverResult real = driver.RunBasic();
+
+  ASSERT_TRUE(simulated.completed);
+  ASSERT_TRUE(real.completed);
+  EXPECT_NEAR(real.steps.back().contour, simulated.final_contour, 1);
+  EXPECT_NEAR(real.num_executions, simulated.num_executions, 3);
+}
+
+TEST(IntegrationTest, BouquetCardinalityIndependentOfDimensionality) {
+  // Figure 18's implication: bouquet size stays ~10 as dims grow.
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  for (const char* name : {"3D_H_Q5", "4D_DS_Q26", "5D_DS_Q19"}) {
+    const NamedSpace space = GetSpace(name, tpch, tpcds);
+    const Catalog& cat = space.benchmark == "H" ? tpch : tpcds;
+    const EssGrid grid(space.query,
+                       std::vector<int>(space.query.NumDims(), 6));
+    const PlanDiagram diagram =
+        GeneratePosp(space.query, cat, CostParams::Postgres(), grid);
+    QueryOptimizer opt(space.query, cat, CostParams::Postgres());
+    const PlanBouquet bouquet = BuildBouquet(diagram, &opt);
+    EXPECT_LE(bouquet.cardinality(), 15) << name;
+    EXPECT_GE(bouquet.cardinality(), 1) << name;
+  }
+}
+
+TEST(IntegrationTest, SeerVsNatVsBouOrdering) {
+  // Figure 14/17 story: SEER ~= NAT on MSO; BOU crushes both; SEER's harm
+  // is bounded while BOU's harm is small but can exceed lambda.
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  const NamedSpace space = GetSpace("3D_H_Q7", tpch, tpcds);
+  const EssGrid grid(space.query, {8, 8, 8});
+  const PlanDiagram diagram =
+      GeneratePosp(space.query, tpch, CostParams::Postgres(), grid);
+  QueryOptimizer opt(space.query, tpch, CostParams::Postgres());
+
+  const RobustnessProfile nat = ComputeNativeProfile(diagram, &opt);
+  const SeerResult seer_red = SeerReduce(diagram, &opt, 0.2, 1 << 20);
+  const RobustnessProfile seer =
+      ComputeAssignmentProfile(diagram, &opt, seer_red.plan_at);
+  const PlanBouquet bouquet = BuildBouquet(diagram, &opt);
+  BouquetSimulator sim(bouquet, diagram, &opt);
+  const BouquetProfile bou = ComputeBouquetProfile(sim, false);
+
+  EXPECT_LT(bou.mso, nat.mso / 5);
+  EXPECT_GT(seer.mso, nat.mso / 10);  // SEER no material MSO improvement
+  // Harm: bounded for both, and rare for BOU.
+  EXPECT_LE(MaxHarm(seer.subopt_worst, nat.subopt_worst), 0.73);
+  // Harm is rare (the paper reports <1% of locations at fine resolution;
+  // the coarse 8^3 grid concentrates boundary effects a little more).
+  EXPECT_LE(HarmFraction(bou.subopt, nat.subopt_worst), 0.10);
+}
+
+}  // namespace
+}  // namespace bouquet

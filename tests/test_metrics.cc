@@ -1,0 +1,121 @@
+// Tests for robustness/metrics: the O(|plans|*|ESS|) profile computation is
+// validated against the brute-force |ESS|^2 definition of Section 2.
+
+#include <gtest/gtest.h>
+
+#include "ess/posp_generator.h"
+#include "robustness/metrics.h"
+#include "robustness/native.h"
+#include "workloads/spaces.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest()
+      : catalog_(MakeTpchCatalog(1.0)),
+        query_(MakeEqQuery(catalog_)),
+        grid_(query_, {24}),
+        diagram_(GeneratePosp(query_, catalog_, CostParams::Postgres(),
+                              grid_)),
+        opt_(query_, catalog_, CostParams::Postgres()) {}
+
+  Catalog catalog_;
+  QuerySpec query_;
+  EssGrid grid_;
+  PlanDiagram diagram_;
+  QueryOptimizer opt_;
+};
+
+TEST_F(MetricsTest, ProfileMatchesBruteForceDefinition) {
+  const RobustnessProfile prof = ComputeNativeProfile(diagram_, &opt_);
+  const uint64_t n = grid_.num_points();
+  // Brute force over all (qe, qa) pairs.
+  double brute_mso = 0.0;
+  double brute_aso = 0.0;
+  std::vector<double> brute_worst(n, 0.0);
+  for (uint64_t qe = 0; qe < n; ++qe) {
+    const PlanNode& plan = *diagram_.plan(diagram_.plan_at(qe)).root;
+    for (uint64_t qa = 0; qa < n; ++qa) {
+      const double subopt =
+          opt_.CostPlanAt(plan, grid_.SelectivityAt(qa)) /
+          diagram_.cost_at(qa);
+      brute_worst[qa] = std::max(brute_worst[qa], subopt);
+      brute_mso = std::max(brute_mso, subopt);
+      brute_aso += subopt;
+    }
+  }
+  brute_aso /= double(n) * double(n);
+  EXPECT_NEAR(prof.mso, brute_mso, brute_mso * 1e-9);
+  EXPECT_NEAR(prof.aso, brute_aso, brute_aso * 1e-9);
+  for (uint64_t qa = 0; qa < n; ++qa) {
+    EXPECT_NEAR(prof.subopt_worst[qa], brute_worst[qa],
+                brute_worst[qa] * 1e-9);
+  }
+}
+
+TEST_F(MetricsTest, SubOptNeverBelowOne) {
+  const RobustnessProfile prof = ComputeNativeProfile(diagram_, &opt_);
+  for (double w : prof.subopt_worst) EXPECT_GE(w, 1.0 - 1e-9);
+  for (double a : prof.subopt_avg) EXPECT_GE(a, 1.0 - 1e-9);
+  EXPECT_GE(prof.aso, 1.0 - 1e-9);
+  EXPECT_GE(prof.mso, 1.0 - 1e-9);
+}
+
+TEST_F(MetricsTest, MsoPointConsistent) {
+  const RobustnessProfile prof = ComputeNativeProfile(diagram_, &opt_);
+  EXPECT_DOUBLE_EQ(prof.subopt_worst[prof.mso_point], prof.mso);
+}
+
+TEST_F(MetricsTest, SinglePlanPolicyProfile) {
+  // Policy that always picks the plan optimal at the max corner.
+  const int corner_plan = diagram_.plan_at(grid_.num_points() - 1);
+  std::vector<int> assignment(grid_.num_points(), corner_plan);
+  const RobustnessProfile prof =
+      ComputeAssignmentProfile(diagram_, &opt_, assignment);
+  EXPECT_EQ(prof.num_plans, 1);
+  // Worst == average when a single plan is always chosen.
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) {
+    EXPECT_NEAR(prof.subopt_worst[i], prof.subopt_avg[i], 1e-9);
+  }
+  // At the corner itself the plan is optimal.
+  EXPECT_NEAR(prof.subopt_worst[grid_.num_points() - 1], 1.0, 1e-9);
+}
+
+TEST_F(MetricsTest, MaxHarmAndHarmFraction) {
+  const std::vector<double> native = {10.0, 10.0, 10.0, 10.0};
+  const std::vector<double> good = {2.0, 3.0, 1.0, 9.0};
+  EXPECT_LT(MaxHarm(good, native), 0.0);
+  EXPECT_DOUBLE_EQ(HarmFraction(good, native), 0.0);
+  const std::vector<double> mixed = {2.0, 15.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(MaxHarm(mixed, native), 0.5);
+  EXPECT_DOUBLE_EQ(HarmFraction(mixed, native), 0.25);
+}
+
+TEST_F(MetricsTest, EnhancementDistribution) {
+  const std::vector<double> native = {100.0, 1000.0, 5.0, 0.5};
+  const std::vector<double> subopt = {1.0, 1.0, 1.0, 1.0};
+  // Ratios: 100 (bucket 3), 1000 (bucket 4), 5 (bucket 1), 0.5 (bucket 0).
+  const auto dist = EnhancementDistribution(subopt, native, 5);
+  ASSERT_EQ(dist.size(), 5u);
+  EXPECT_DOUBLE_EQ(dist[0], 0.25);
+  EXPECT_DOUBLE_EQ(dist[1], 0.25);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+  EXPECT_DOUBLE_EQ(dist[3], 0.25);
+  EXPECT_DOUBLE_EQ(dist[4], 0.25);
+  double sum = 0;
+  for (double d : dist) sum += d;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST_F(MetricsTest, EnhancementDistributionClampsTopBucket) {
+  const std::vector<double> native = {1e9};
+  const std::vector<double> subopt = {1.0};
+  const auto dist = EnhancementDistribution(subopt, native, 4);
+  EXPECT_DOUBLE_EQ(dist.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -1,0 +1,131 @@
+// Tests for optimizer/plan and optimizer/plan_signature: tree utilities,
+// error-node location, explain output, and signature canonicalization.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/plan.h"
+#include "optimizer/plan_signature.h"
+
+namespace bouquet {
+namespace {
+
+PlanNodeRef Scan(OpType op, int table, std::vector<int> filters = {},
+                 int index_filter = -1) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = op;
+  n->table_idx = table;
+  n->filter_idxs = std::move(filters);
+  n->index_filter = index_filter;
+  return n;
+}
+
+PlanNodeRef Join(OpType op, PlanNodeRef l, PlanNodeRef r,
+                 std::vector<int> joins, int index_join = -1) {
+  auto n = std::make_shared<PlanNode>();
+  n->op = op;
+  n->left = std::move(l);
+  n->right = std::move(r);
+  n->join_idxs = std::move(joins);
+  n->index_join = index_join;
+  return n;
+}
+
+// HJ[j1]( HJ[j0]( IS(t0;f0), SS(t1) ), SS(t2;f1) )
+PlanNodeRef SampleTree() {
+  return Join(OpType::kHashJoin,
+              Join(OpType::kHashJoin,
+                   Scan(OpType::kIndexScan, 0, {0}, 0),
+                   Scan(OpType::kSeqScan, 1), {0}),
+              Scan(OpType::kSeqScan, 2, {1}), {1});
+}
+
+TEST(PlanTest, CountAndCollect) {
+  const PlanNodeRef root = SampleTree();
+  EXPECT_EQ(CountNodes(*root), 5);
+  const auto nodes = CollectNodes(*root);
+  ASSERT_EQ(nodes.size(), 5u);
+  // Preorder: root, left subtree, then right scan.
+  EXPECT_EQ(nodes[0], root.get());
+  EXPECT_EQ(nodes[1], root->left.get());
+  EXPECT_EQ(nodes[2], root->left->left.get());
+  EXPECT_EQ(nodes[3], root->left->right.get());
+  EXPECT_EQ(nodes[4], root->right.get());
+}
+
+TEST(PlanTest, IsScanIsJoin) {
+  const PlanNodeRef root = SampleTree();
+  EXPECT_TRUE(root->is_join());
+  EXPECT_FALSE(root->is_scan());
+  EXPECT_TRUE(root->right->is_scan());
+}
+
+TEST(PlanTest, ErrorNodeMaxDepth) {
+  const PlanNodeRef root = SampleTree();
+  // Filter 0 lives on the deepest scan (depth 2); filter 1 on the right
+  // scan (depth 1); join 0 at depth 1; join 1 at the root (depth 0).
+  EXPECT_EQ(ErrorNodeMaxDepth(*root, false, 0), 2);
+  EXPECT_EQ(ErrorNodeMaxDepth(*root, false, 1), 1);
+  EXPECT_EQ(ErrorNodeMaxDepth(*root, true, 0), 1);
+  EXPECT_EQ(ErrorNodeMaxDepth(*root, true, 1), 0);
+  EXPECT_EQ(ErrorNodeMaxDepth(*root, false, 7), -1);  // absent
+}
+
+TEST(PlanTest, FindPredicateNode) {
+  const PlanNodeRef root = SampleTree();
+  EXPECT_EQ(FindPredicateNode(*root, false, 0), root->left->left.get());
+  EXPECT_EQ(FindPredicateNode(*root, false, 1), root->right.get());
+  EXPECT_EQ(FindPredicateNode(*root, true, 0), root->left.get());
+  EXPECT_EQ(FindPredicateNode(*root, true, 1), root.get());
+  EXPECT_EQ(FindPredicateNode(*root, true, 9), nullptr);
+}
+
+TEST(PlanTest, SignatureStructure) {
+  const std::string sig = PlanSignature(*SampleTree());
+  EXPECT_EQ(sig, "HJ[j1](HJ[j0](IS(t0;ix=f0;f0),SS(t1)),SS(t2;f1))");
+}
+
+TEST(PlanTest, SignatureIgnoresAnnotations) {
+  const PlanNodeRef a = SampleTree();
+  PlanNodeRef b = SampleTree();
+  const_cast<PlanNode*>(b.get())->est_cost = 12345.0;
+  const_cast<PlanNode*>(b.get())->est_rows = 99.0;
+  EXPECT_EQ(PlanSignature(*a), PlanSignature(*b));
+}
+
+TEST(PlanTest, SignatureDistinguishesOperators) {
+  const PlanNodeRef hj =
+      Join(OpType::kHashJoin, Scan(OpType::kSeqScan, 0),
+           Scan(OpType::kSeqScan, 1), {0});
+  const PlanNodeRef mj =
+      Join(OpType::kMergeJoin, Scan(OpType::kSeqScan, 0),
+           Scan(OpType::kSeqScan, 1), {0});
+  EXPECT_NE(PlanSignature(*hj), PlanSignature(*mj));
+}
+
+TEST(PlanTest, SignatureDistinguishesChildOrder) {
+  const PlanNodeRef ab =
+      Join(OpType::kHashJoin, Scan(OpType::kSeqScan, 0),
+           Scan(OpType::kSeqScan, 1), {0});
+  const PlanNodeRef ba =
+      Join(OpType::kHashJoin, Scan(OpType::kSeqScan, 1),
+           Scan(OpType::kSeqScan, 0), {0});
+  EXPECT_NE(PlanSignature(*ab), PlanSignature(*ba));
+}
+
+TEST(PlanTest, ExplainContainsStructure) {
+  const std::string text =
+      ExplainPlan(*SampleTree(), {"part", "lineitem", "orders"});
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("IndexScan part"), std::string::npos);
+  EXPECT_NE(text.find("SeqScan orders"), std::string::npos);
+  EXPECT_NE(text.find("[j1]"), std::string::npos);
+}
+
+TEST(PlanTest, OpTypeNames) {
+  EXPECT_STREQ(OpTypeName(OpType::kIndexNLJoin), "IndexNLJoin");
+  EXPECT_STREQ(OpTypeShortName(OpType::kMergeJoin), "MJ");
+  EXPECT_STREQ(OpTypeShortName(OpType::kSeqScan), "SS");
+}
+
+}  // namespace
+}  // namespace bouquet

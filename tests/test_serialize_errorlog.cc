@@ -1,0 +1,197 @@
+// Tests for bouquet/serialize (persistence of compiled bouquets) and
+// query/error_log (workload-history dimension identification).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bouquet/serialize.h"
+#include "bouquet/simulator.h"
+#include "ess/posp_generator.h"
+#include "query/error_log.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  SerializeTest()
+      : tpch_(MakeTpchCatalog(1.0)),
+        tpcds_(MakeTpcdsCatalog(100.0)),
+        space_(GetSpace("3D_H_Q5", tpch_, tpcds_)),
+        grid_(space_.query, {7, 7, 7}),
+        diagram_(GeneratePosp(space_.query, tpch_, CostParams::Postgres(),
+                              grid_)),
+        opt_(space_.query, tpch_, CostParams::Postgres()),
+        bouquet_(BuildBouquet(diagram_, &opt_)) {}
+
+  Catalog tpch_, tpcds_;
+  NamedSpace space_;
+  EssGrid grid_;
+  PlanDiagram diagram_;
+  QueryOptimizer opt_;
+  PlanBouquet bouquet_;
+};
+
+TEST_F(SerializeTest, RoundTripExact) {
+  std::stringstream stream;
+  ASSERT_TRUE(SaveBouquet(diagram_, bouquet_, stream).ok());
+  auto loaded = LoadBouquet(space_.query, stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const PlanDiagram& d2 = *loaded->diagram;
+  ASSERT_EQ(d2.num_plans(), diagram_.num_plans());
+  for (int p = 0; p < diagram_.num_plans(); ++p) {
+    EXPECT_EQ(d2.plan(p).signature, diagram_.plan(p).signature);
+  }
+  ASSERT_EQ(loaded->grid->num_points(), grid_.num_points());
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) {
+    EXPECT_EQ(d2.plan_at(i), diagram_.plan_at(i));
+    EXPECT_DOUBLE_EQ(d2.cost_at(i), diagram_.cost_at(i));  // hex exact
+  }
+  const PlanBouquet& b2 = *loaded->bouquet;
+  EXPECT_DOUBLE_EQ(b2.params.ratio, bouquet_.params.ratio);
+  EXPECT_DOUBLE_EQ(b2.params.lambda, bouquet_.params.lambda);
+  ASSERT_EQ(b2.contours.size(), bouquet_.contours.size());
+  for (size_t k = 0; k < b2.contours.size(); ++k) {
+    EXPECT_DOUBLE_EQ(b2.contours[k].budget, bouquet_.contours[k].budget);
+    EXPECT_EQ(b2.contours[k].points, bouquet_.contours[k].points);
+    EXPECT_EQ(b2.contours[k].plan_at, bouquet_.contours[k].plan_at);
+    EXPECT_EQ(b2.contours[k].plan_ids, bouquet_.contours[k].plan_ids);
+  }
+  EXPECT_EQ(b2.plan_ids, bouquet_.plan_ids);
+}
+
+TEST_F(SerializeTest, LoadedBouquetExecutesIdentically) {
+  std::stringstream stream;
+  ASSERT_TRUE(SaveBouquet(diagram_, bouquet_, stream).ok());
+  auto loaded = LoadBouquet(space_.query, stream);
+  ASSERT_TRUE(loaded.ok());
+
+  BouquetSimulator original(bouquet_, diagram_, &opt_);
+  QueryOptimizer opt2(space_.query, tpch_, CostParams::Postgres());
+  BouquetSimulator restored(*loaded->bouquet, *loaded->diagram, &opt2);
+  for (uint64_t qa = 0; qa < grid_.num_points(); qa += 11) {
+    const SimResult a = original.RunBasic(qa);
+    const SimResult b = restored.RunBasic(qa);
+    EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost) << "qa=" << qa;
+    EXPECT_EQ(a.num_executions, b.num_executions);
+    EXPECT_EQ(a.final_plan, b.final_plan);
+  }
+}
+
+TEST_F(SerializeTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bouquet_test.bq";
+  ASSERT_TRUE(SaveBouquetToFile(diagram_, bouquet_, path).ok());
+  auto loaded = LoadBouquetFromFile(space_.query, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->diagram->num_plans(), diagram_.num_plans());
+}
+
+TEST_F(SerializeTest, RejectsGarbage) {
+  std::stringstream stream("not a bouquet at all");
+  auto loaded = LoadBouquet(space_.query, stream);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(SerializeTest, RejectsDimMismatch) {
+  std::stringstream stream;
+  ASSERT_TRUE(SaveBouquet(diagram_, bouquet_, stream).ok());
+  const QuerySpec eq = MakeEqQuery(tpch_);  // 1D query vs 3D bundle
+  auto loaded = LoadBouquet(eq, stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedStream) {
+  std::stringstream stream;
+  ASSERT_TRUE(SaveBouquet(diagram_, bouquet_, stream).ok());
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  auto loaded = LoadBouquet(space_.query, truncated);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(SerializeTest, MissingFileIsNotFound) {
+  auto loaded = LoadBouquetFromFile(space_.query, "/nonexistent/file.bq");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Error log
+// ---------------------------------------------------------------------------
+
+TEST(ErrorLogTest, RecordsAndAggregates) {
+  SelectivityErrorLog log;
+  log.Record("part.p_retailprice <", 0.01, 0.3);
+  log.Record("part.p_retailprice <", 0.2, 0.1);
+  const auto& s = log.Stats("part.p_retailprice <");
+  EXPECT_EQ(s.observations, 2);
+  EXPECT_NEAR(s.max_error_factor, 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min_actual, 0.1);
+  EXPECT_DOUBLE_EQ(s.max_actual, 0.3);
+}
+
+TEST(ErrorLogTest, UnseenKeyIsClean) {
+  SelectivityErrorLog log;
+  EXPECT_EQ(log.Stats("nothing").observations, 0);
+  EXPECT_TRUE(log.ErrorProneKeys(2.0).empty());
+}
+
+TEST(ErrorLogTest, JoinKeyOrientationFree) {
+  JoinPredicate a{"part", "p_partkey", "lineitem", "l_partkey", -1.0};
+  JoinPredicate b{"lineitem", "l_partkey", "part", "p_partkey", -1.0};
+  EXPECT_EQ(SelectivityErrorLog::JoinKey(a), SelectivityErrorLog::JoinKey(b));
+}
+
+TEST(ErrorLogTest, ErrorProneKeysThreshold) {
+  SelectivityErrorLog log;
+  log.Record("accurate", 0.1, 0.11);
+  log.Record("wild", 0.001, 0.5);
+  const auto keys = log.ErrorProneKeys(10.0);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "wild");
+}
+
+TEST(ErrorLogTest, SuggestDimensionsForQuery) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec eq = MakeEqQuery(tpch);  // filter 0 = p_retailprice <
+  SelectivityErrorLog log;
+  // History: this filter's estimates have been off by up to 50x, with
+  // actuals between 0.02 and 0.4.
+  log.Record(SelectivityErrorLog::FilterKey(eq.filters[0]), 0.001, 0.05);
+  log.Record(SelectivityErrorLog::FilterKey(eq.filters[0]), 0.01, 0.4);
+  log.Record(SelectivityErrorLog::FilterKey(eq.filters[0]), 0.3, 0.02);
+  // An accurate join: must not become a dimension.
+  log.Record(SelectivityErrorLog::JoinKey(eq.joins[0]), 5e-6, 5.2e-6);
+
+  const auto dims = log.SuggestDimensions(eq, /*factor_threshold=*/5.0,
+                                          /*margin_decades=*/1.0);
+  ASSERT_EQ(dims.size(), 1u);
+  EXPECT_EQ(dims[0].kind, DimKind::kSelection);
+  EXPECT_EQ(dims[0].predicate_index, 0);
+  EXPECT_NEAR(dims[0].lo, 0.002, 1e-12);  // 0.02 / 10
+  EXPECT_NEAR(dims[0].hi, 1.0, 1e-12);    // 0.4 * 10 clamped
+  // The suggested dimensions produce a valid query.
+  QuerySpec q = eq;
+  q.error_dims = dims;
+  EXPECT_TRUE(q.Validate(tpch).ok());
+}
+
+TEST(ErrorLogTest, SuggestEmptyWithoutHistory) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec eq = MakeEqQuery(tpch);
+  SelectivityErrorLog log;
+  EXPECT_TRUE(log.SuggestDimensions(eq, 2.0).empty());
+}
+
+}  // namespace
+}  // namespace bouquet

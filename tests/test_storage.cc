@@ -1,0 +1,170 @@
+// Tests for storage/: DataTable, indexes, Database registry, data
+// generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "storage/datagen.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace bouquet {
+namespace {
+
+DataTable SmallTable() {
+  DataTable t("t", {"k", "v"});
+  t.AppendRow({1, 10});
+  t.AppendRow({2, 20});
+  t.AppendRow({2, 21});
+  t.AppendRow({5, 50});
+  return t;
+}
+
+TEST(DataTableTest, AppendAndRead) {
+  const DataTable t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 4);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.value(0, 2), 2);
+  EXPECT_EQ(t.value(1, 3), 50);
+  EXPECT_EQ(t.ColumnIndex("v"), 1);
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+}
+
+TEST(DataTableTest, BulkLoad) {
+  DataTable t("t", {"a", "b"});
+  t.mutable_column(0) = {1, 2, 3};
+  t.mutable_column(1) = {4, 5, 6};
+  t.FinalizeBulkLoad();
+  EXPECT_EQ(t.num_rows(), 3);
+}
+
+TEST(DataTableTest, ComputeColumnStats) {
+  const DataTable t = SmallTable();
+  const ColumnStats s = t.ComputeColumnStats(0, 8);
+  EXPECT_DOUBLE_EQ(s.ndv, 3);  // {1, 2, 5}
+  EXPECT_EQ(s.min_value, 1);
+  EXPECT_EQ(s.max_value, 5);
+  EXPECT_FALSE(s.histogram.empty());
+}
+
+TEST(DataTableTest, SyncCatalog) {
+  Catalog c;
+  SmallTable().SyncCatalog(&c, 64.0);
+  ASSERT_TRUE(c.HasTable("t"));
+  const TableInfo& info = c.GetTable("t");
+  EXPECT_DOUBLE_EQ(info.stats.row_count, 4);
+  EXPECT_DOUBLE_EQ(info.stats.row_width_bytes, 64.0);
+  EXPECT_TRUE(info.columns[0].has_index);
+}
+
+TEST(HashIndexTest, LookupGroups) {
+  const DataTable t = SmallTable();
+  const HashIndex idx = HashIndex::Build(t, 0);
+  EXPECT_EQ(idx.Lookup(2).size(), 2u);
+  EXPECT_EQ(idx.Lookup(5).size(), 1u);
+  EXPECT_TRUE(idx.Lookup(99).empty());
+}
+
+TEST(SortedIndexTest, RangeQueries) {
+  const DataTable t = SmallTable();
+  const SortedIndex idx = SortedIndex::Build(t, 0);
+  EXPECT_EQ(idx.CountRange(2, 5), 3);
+  EXPECT_EQ(idx.CountRange(3, 4), 0);
+  EXPECT_EQ(idx.CountRange(INT64_MIN, INT64_MAX), 4);
+  const auto rows = idx.Range(1, 2);
+  EXPECT_EQ(rows.size(), 3u);
+  // Value order: row of k=1 first.
+  EXPECT_EQ(t.value(0, rows[0]), 1);
+}
+
+TEST(DatabaseTest, AddReplaceInvalidatesIndexes) {
+  Database db;
+  db.AddTable(SmallTable());
+  const HashIndex& idx1 = db.hash_index("t", 0);
+  EXPECT_EQ(idx1.Lookup(2).size(), 2u);
+  // Replace with different content.
+  DataTable t2("t", {"k", "v"});
+  t2.AppendRow({2, 1});
+  db.AddTable(std::move(t2));
+  const HashIndex& idx2 = db.hash_index("t", 0);
+  EXPECT_EQ(idx2.Lookup(2).size(), 1u);
+}
+
+TEST(DatabaseTest, SyncCatalogAll) {
+  Database db;
+  db.AddTable(SmallTable());
+  Catalog c;
+  db.SyncCatalog(&c);
+  EXPECT_TRUE(c.HasTable("t"));
+}
+
+// ---------------------------------------------------------------------------
+// datagen
+// ---------------------------------------------------------------------------
+
+TEST(DatagenTest, Sequential) {
+  const auto v = datagen::Sequential(5, 10);
+  EXPECT_EQ(v, (std::vector<int64_t>{10, 11, 12, 13, 14}));
+}
+
+TEST(DatagenTest, UniformBounds) {
+  Rng rng(3);
+  const auto v = datagen::Uniform(&rng, 1000, -5, 5);
+  for (int64_t x : v) {
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(DatagenTest, ForeignKeyFullIntegrity) {
+  Rng rng(4);
+  const auto parents = datagen::Sequential(100);
+  const auto fks = datagen::ForeignKey(&rng, 5000, parents, 1.0);
+  const std::set<int64_t> parent_set(parents.begin(), parents.end());
+  for (int64_t fk : fks) EXPECT_TRUE(parent_set.count(fk));
+}
+
+TEST(DatagenTest, ForeignKeyMatchFraction) {
+  Rng rng(5);
+  const auto parents = datagen::Sequential(100);
+  const auto fks = datagen::ForeignKey(&rng, 10000, parents, 0.4);
+  int matched = 0;
+  for (int64_t fk : fks) matched += fk > 0;
+  EXPECT_NEAR(matched / 10000.0, 0.4, 0.03);
+  // Dangling keys must be unique (never accidentally join).
+  std::set<int64_t> dangling;
+  for (int64_t fk : fks) {
+    if (fk < 0) {
+      EXPECT_TRUE(dangling.insert(fk).second);
+    }
+  }
+}
+
+TEST(DatagenTest, DeterministicUnderSeed) {
+  Rng a(9), b(9);
+  EXPECT_EQ(datagen::Uniform(&a, 100, 0, 1000),
+            datagen::Uniform(&b, 100, 0, 1000));
+}
+
+TEST(DatagenTest, GaussianClamped) {
+  Rng rng(11);
+  const auto v = datagen::Gaussian(&rng, 1000, 50.0, 100.0, 0, 100);
+  for (int64_t x : v) {
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 100);
+  }
+}
+
+TEST(DatagenTest, ZipfDomain) {
+  Rng rng(13);
+  const auto v = datagen::Zipf(&rng, 1000, 50, 0.8);
+  for (int64_t x : v) {
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 50);
+  }
+}
+
+}  // namespace
+}  // namespace bouquet

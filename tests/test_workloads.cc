@@ -1,0 +1,174 @@
+// Tests for workloads/: catalogs, data generation, and the benchmark error
+// spaces (their geometry must match the paper's Table 2).
+
+#include <gtest/gtest.h>
+
+#include "query/join_graph.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+TEST(TpchCatalogTest, ScaleFactorScalesFactTables) {
+  const Catalog sf1 = MakeTpchCatalog(1.0);
+  const Catalog sf10 = MakeTpchCatalog(10.0);
+  EXPECT_DOUBLE_EQ(sf1.GetTable("lineitem").stats.row_count, 6000000);
+  EXPECT_DOUBLE_EQ(sf10.GetTable("lineitem").stats.row_count, 60000000);
+  EXPECT_DOUBLE_EQ(sf1.GetTable("region").stats.row_count, 5);
+  EXPECT_DOUBLE_EQ(sf10.GetTable("region").stats.row_count, 5);
+}
+
+TEST(TpchCatalogTest, AllQueryColumnsIndexed) {
+  const Catalog c = MakeTpchCatalog(1.0);
+  for (const char* t : {"part", "lineitem", "orders", "customer",
+                        "supplier", "nation", "region", "partsupp"}) {
+    const TableInfo& info = c.GetTable(t);
+    for (const auto& col : info.columns) {
+      EXPECT_TRUE(col.has_index) << t << "." << col.name;
+    }
+  }
+}
+
+TEST(TpcdsCatalogTest, Sf100RowCounts) {
+  const Catalog c = MakeTpcdsCatalog(100.0);
+  EXPECT_DOUBLE_EQ(c.GetTable("store_sales").stats.row_count, 288000000);
+  EXPECT_DOUBLE_EQ(c.GetTable("date_dim").stats.row_count, 73049);
+}
+
+TEST(TpchDataTest, GeneratesConsistentTables) {
+  Database db;
+  TpchDataOptions opts;
+  opts.mini_scale = 0.5;
+  MakeTpchDatabase(&db, opts);
+  EXPECT_EQ(db.table("lineitem").num_rows(), 30000);
+  EXPECT_EQ(db.table("orders").num_rows(), 7500);
+  EXPECT_EQ(db.table("part").num_rows(), 1000);
+  EXPECT_EQ(db.table("region").num_rows(), 5);
+}
+
+TEST(TpchDataTest, ForeignKeyIntegrity) {
+  Database db;
+  MakeTpchDatabase(&db);
+  const DataTable& orders = db.table("orders");
+  const DataTable& customer = db.table("customer");
+  const int64_t n_cust = customer.num_rows();
+  const int fk = orders.ColumnIndex("o_custkey");
+  for (int64_t r = 0; r < orders.num_rows(); ++r) {
+    const int64_t v = orders.value(fk, r);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, n_cust);
+  }
+}
+
+TEST(TpchDataTest, DeterministicUnderSeed) {
+  Database a, b;
+  MakeTpchDatabase(&a);
+  MakeTpchDatabase(&b);
+  EXPECT_EQ(a.table("lineitem").column(4), b.table("lineitem").column(4));
+}
+
+TEST(TpchDataTest, SyncCatalogProducesHistograms) {
+  Database db;
+  MakeTpchDatabase(&db);
+  Catalog c;
+  SyncTpchCatalog(db, &c);
+  const TableInfo& part = c.GetTable("part");
+  const ColumnInfo& price = part.columns[part.ColumnIndex("p_retailprice")];
+  EXPECT_FALSE(price.stats.histogram.empty());
+  EXPECT_DOUBLE_EQ(part.stats.row_count, 2000);
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark spaces (Table 2 replicas)
+// ---------------------------------------------------------------------------
+
+struct SpaceExpectation {
+  const char* name;
+  const char* geometry;
+  int relations;
+  int dims;
+};
+
+class SpaceSweep : public ::testing::TestWithParam<SpaceExpectation> {};
+
+TEST_P(SpaceSweep, MatchesTableTwo) {
+  const SpaceExpectation e = GetParam();
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  const NamedSpace space = GetSpace(e.name, tpch, tpcds);
+  const Catalog& cat = space.benchmark == "H" ? tpch : tpcds;
+  EXPECT_TRUE(space.query.Validate(cat).ok()) << e.name;
+  EXPECT_EQ(static_cast<int>(space.query.tables.size()), e.relations);
+  EXPECT_EQ(space.query.NumDims(), e.dims);
+  EXPECT_EQ(JoinGraph(space.query).Geometry(), e.geometry) << e.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, SpaceSweep,
+    ::testing::Values(SpaceExpectation{"3D_H_Q5", "chain", 6, 3},
+                      SpaceExpectation{"3D_H_Q7", "chain", 6, 3},
+                      SpaceExpectation{"4D_H_Q8", "branch", 8, 4},
+                      SpaceExpectation{"5D_H_Q7", "chain", 6, 5},
+                      SpaceExpectation{"3D_DS_Q15", "chain", 4, 3},
+                      SpaceExpectation{"3D_DS_Q96", "star", 4, 3},
+                      SpaceExpectation{"4D_DS_Q7", "star", 5, 4},
+                      SpaceExpectation{"4D_DS_Q26", "star", 5, 4},
+                      SpaceExpectation{"4D_DS_Q91", "branch", 7, 4},
+                      SpaceExpectation{"5D_DS_Q19", "branch", 6, 5}));
+
+TEST(SpacesTest, JoinDimsCappedAtPkReciprocal) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  for (const auto& space : BenchmarkSpaces(tpch, tpcds)) {
+    for (const auto& d : space.query.error_dims) {
+      EXPECT_EQ(d.kind, DimKind::kJoin);
+      EXPECT_GT(d.lo, 0.0);
+      EXPECT_LT(d.hi, 1.0);  // PK reciprocal is far below 1
+      EXPECT_LT(d.lo, d.hi);
+    }
+  }
+}
+
+TEST(SpacesTest, EqQueryIs1D) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec eq = MakeEqQuery(tpch);
+  EXPECT_TRUE(eq.Validate(tpch).ok());
+  EXPECT_EQ(eq.NumDims(), 1);
+  EXPECT_EQ(eq.tables.size(), 3u);
+  EXPECT_EQ(eq.error_dims[0].kind, DimKind::kSelection);
+}
+
+TEST(SpacesTest, SelectionVariantsValidate) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  EXPECT_TRUE(Make2DHQ8a(tpch).Validate(tpch).ok());
+  EXPECT_TRUE(Make3DHQ5b(tpch).Validate(tpch).ok());
+  EXPECT_TRUE(Make4DHQ8b(tpch).Validate(tpch).ok());
+  EXPECT_EQ(Make3DHQ5b(tpch).NumDims(), 3);
+  EXPECT_EQ(Make4DHQ8b(tpch).NumDims(), 4);
+}
+
+TEST(SpacesTest, BindSelectionConstantsAccuracy) {
+  Database db;
+  MakeTpchDatabase(&db);
+  Catalog c;
+  SyncTpchCatalog(db, &c);
+  QuerySpec q = Make2DHQ8a(c);
+  const auto achieved = BindSelectionConstants(&q, c, {0.3, 0.6});
+  ASSERT_EQ(achieved.size(), 2u);
+  EXPECT_NEAR(achieved[0], 0.3, 0.05);
+  EXPECT_NEAR(achieved[1], 0.6, 0.05);
+  EXPECT_TRUE(q.filters[0].has_constant());
+  EXPECT_TRUE(q.filters[1].has_constant());
+}
+
+TEST(SpacesTest, GetSpaceReturnsRequested) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  EXPECT_EQ(GetSpace("5D_DS_Q19", tpch, tpcds).name, "5D_DS_Q19");
+  EXPECT_EQ(GetSpace("3D_H_Q5", tpch, tpcds).benchmark, "H");
+}
+
+}  // namespace
+}  // namespace bouquet
