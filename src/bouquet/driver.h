@@ -50,6 +50,12 @@ struct DriverResult {
 };
 
 /// Executes a query via its plan bouquet against real data.
+///
+/// Thread-safety: a driver instance is NOT thread-safe (it funnels every
+/// execution through its single QueryOptimizer). The supported concurrency
+/// pattern — used by BouquetService — is one driver + one optimizer per
+/// request, all sharing the same const bouquet/diagram and a Database whose
+/// lazy index caches are internally locked.
 class BouquetDriver {
  public:
   /// All referenced objects must outlive the driver.

@@ -63,6 +63,12 @@ struct SimOptions {
 /// Simulator bound to a bouquet + diagram. Precomputes the cost surface of
 /// every bouquet plan over the full grid, so individual runs are O(grid-free)
 /// lookups.
+///
+/// Thread-safety: construction uses the passed QueryOptimizer (not
+/// thread-safe) and is single-threaded; afterwards the optimizer is not
+/// retained and all state is immutable, so the const Run*/cost accessors may
+/// be called from any number of threads concurrently (this is what lets
+/// BouquetService share one simulator per cached template).
 class BouquetSimulator {
  public:
   using Options = SimOptions;

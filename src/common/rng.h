@@ -14,6 +14,14 @@ namespace bouquet {
 ///
 /// Used instead of <random> engines so that generated datasets are identical
 /// across standard-library implementations.
+///
+/// Thread-safety: NOT thread-safe — every draw mutates `state_` (and the
+/// Zipf/Gaussian caches). Use one Rng per thread, derived from a base seed
+/// (e.g. `Rng(seed + worker_index)`); never share an instance across
+/// concurrent workers, or determinism *and* data-race freedom are lost.
+/// Nothing on the parallel POSP path uses an Rng: generation touches only
+/// const query/catalog/grid state plus per-shard optimizers (audited for
+/// the concurrent service layer).
 class Rng {
  public:
   explicit Rng(uint64_t seed);

@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace bouquet {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!stopping_ && "Post after ThreadPool destruction began");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue before shutting down so fire-and-forget helpers
+      // (e.g. ParallelFor stragglers) always run their (no-op) epilogue.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end, uint64_t grain,
+    const std::function<void(uint64_t, uint64_t)>& body) {
+  if (begin >= end) return;
+  grain = std::max<uint64_t>(1, grain);
+  const uint64_t total = (end - begin + grain - 1) / grain;
+  if (total == 1) {
+    body(begin, end);
+    return;
+  }
+
+  struct LoopState {
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> done{0};
+    uint64_t total, begin, end, grain;
+    std::function<void(uint64_t, uint64_t)> body;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto st = std::make_shared<LoopState>();
+  st->total = total;
+  st->begin = begin;
+  st->end = end;
+  st->grain = grain;
+  st->body = body;
+
+  auto run_chunks = [st] {
+    for (;;) {
+      const uint64_t c = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= st->total) return;
+      const uint64_t b = st->begin + c * st->grain;
+      const uint64_t e = std::min(st->end, b + st->grain);
+      st->body(b, e);
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->total) {
+        std::lock_guard<std::mutex> lock(st->mu);
+        st->cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers are best-effort: the caller claims chunks too, so completion
+  // never depends on a helper being scheduled (deadlock-free under nesting).
+  const uint64_t helpers =
+      std::min<uint64_t>(static_cast<uint64_t>(workers_.size()), total - 1);
+  for (uint64_t i = 0; i < helpers; ++i) Post(run_chunks);
+  run_chunks();
+
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->cv.wait(lock, [&st] {
+    return st->done.load(std::memory_order_acquire) == st->total;
+  });
+}
+
+}  // namespace bouquet

@@ -1,0 +1,81 @@
+// Fixed-size thread pool shared by the service layer, parallel POSP
+// generation, and the benches.
+//
+// Design notes:
+//   * The pool is deliberately work-stealing-free: a single FIFO queue plus
+//     N workers keeps behavior easy to reason about under sanitizers.
+//   * `ParallelFor` is safe to call from inside a pool task: the calling
+//     thread claims and executes chunks itself, so the loop completes even
+//     when every worker is busy (helpers that arrive late become no-ops).
+//     This is what lets a BouquetService request running *on* the pool
+//     compile a POSP grid *across* the pool without deadlocking.
+//   * Thread counts are honored exactly (no hardware_concurrency clamp):
+//     determinism tests rely on real sharding even on single-core machines.
+//
+// Thread-safety contract: Post/Submit/ParallelFor may be called from any
+// thread, including pool workers. Tasks must not block waiting for a task
+// queued *behind* them (use ParallelFor, whose caller self-executes, for
+// fork/join patterns). The destructor drains already-queued tasks, then
+// joins.
+
+#ifndef BOUQUET_COMMON_THREAD_POOL_H_
+#define BOUQUET_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bouquet {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped below at 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Fire-and-forget task submission.
+  void Post(std::function<void()> task);
+
+  /// Task submission with a future for the result.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    Post([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Splits [begin, end) into chunks of at most `grain` indexes and runs
+  /// `body(chunk_begin, chunk_end)` across the pool *and* the calling
+  /// thread. Returns once every chunk has finished. Chunk boundaries are
+  /// deterministic: chunk c covers [begin + c*grain, begin + (c+1)*grain).
+  /// `body` must be safe to invoke concurrently on disjoint chunks.
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_COMMON_THREAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "ess/posp_generator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -41,6 +42,28 @@ void RunShard(const QuerySpec& query, const Catalog& catalog,
   out->calls = static_cast<long long>(end - begin);
 }
 
+// Interns shard results into the diagram in linear-shard order. Because a
+// plan's global id becomes "first shard containing it, first point within
+// that shard" — exactly its first occurrence in linear grid order — the
+// merged diagram is identical to a serial run regardless of chunking.
+long long MergeShards(const std::vector<ShardResult>& results, uint64_t chunk,
+                      PlanDiagram* diagram) {
+  long long calls = 0;
+  for (size_t t = 0; t < results.size(); ++t) {
+    const uint64_t begin = chunk * t;
+    const ShardResult& r = results[t];
+    std::vector<int> local_to_global(r.local_plans.size());
+    for (size_t p = 0; p < r.local_plans.size(); ++p) {
+      local_to_global[p] = diagram->InternPlan(r.local_plans[p]);
+    }
+    for (size_t i = 0; i < r.local_plan.size(); ++i) {
+      diagram->Set(begin + i, local_to_global[r.local_plan[i]], r.cost[i]);
+    }
+    calls += r.calls;
+  }
+  return calls;
+}
+
 }  // namespace
 
 PlanDiagram GeneratePosp(const QuerySpec& query, const Catalog& catalog,
@@ -48,22 +71,35 @@ PlanDiagram GeneratePosp(const QuerySpec& query, const Catalog& catalog,
                          const PospOptions& options, PospStats* stats) {
   const auto t0 = std::chrono::steady_clock::now();
   const uint64_t n = grid.num_points();
-  const int threads =
-      std::max(1, std::min<int>(options.num_threads,
-                                static_cast<int>(
-                                    std::thread::hardware_concurrency())));
 
   PlanDiagram diagram(&grid);
   long long calls = 0;
 
-  if (threads <= 1 || n < 256) {
-    QueryOptimizer opt(query, catalog, params);
-    for (uint64_t i = 0; i < n; ++i) {
-      const Plan plan = opt.OptimizeAt(grid.SelectivityAt(i));
-      diagram.Set(i, diagram.InternPlan(plan), plan.cost);
-    }
-    calls = static_cast<long long>(n);
-  } else {
+  if (options.pool != nullptr && n >= options.min_shard_points && n > 1) {
+    // Pool-backed sharding: enough chunks for load balance, but each chunk
+    // large enough to amortize its private optimizer's construction.
+    const uint64_t max_shards =
+        std::max<uint64_t>(1, 2 * (static_cast<uint64_t>(
+                                       options.pool->size()) +
+                                   1));
+    const uint64_t min_chunk = std::max<uint64_t>(1, options.min_shard_points);
+    const uint64_t chunk =
+        std::max(min_chunk, (n + max_shards - 1) / max_shards);
+    const uint64_t shards = (n + chunk - 1) / chunk;
+    std::vector<ShardResult> results(shards);
+    options.pool->ParallelFor(0, shards, 1, [&](uint64_t sb, uint64_t se) {
+      for (uint64_t s = sb; s < se; ++s) {
+        const uint64_t begin = chunk * s;
+        const uint64_t end = std::min(n, begin + chunk);
+        RunShard(query, catalog, params, grid, begin, end, &results[s]);
+      }
+    });
+    calls = MergeShards(results, chunk, &diagram);
+  } else if (options.pool == nullptr && options.num_threads > 1 &&
+             n >= options.min_shard_points) {
+    const int threads =
+        std::min<int>(options.num_threads,
+                      static_cast<int>(std::min<uint64_t>(n, 64)));
     std::vector<ShardResult> results(threads);
     std::vector<std::thread> workers;
     const uint64_t chunk = (n + threads - 1) / threads;
@@ -75,18 +111,15 @@ PlanDiagram GeneratePosp(const QuerySpec& query, const Catalog& catalog,
                            params, std::cref(grid), begin, end, &results[t]);
     }
     for (auto& w : workers) w.join();
-    for (int t = 0; t < threads; ++t) {
-      const uint64_t begin = chunk * t;
-      const ShardResult& r = results[t];
-      std::vector<int> local_to_global(r.local_plans.size());
-      for (size_t p = 0; p < r.local_plans.size(); ++p) {
-        local_to_global[p] = diagram.InternPlan(r.local_plans[p]);
-      }
-      for (size_t i = 0; i < r.local_plan.size(); ++i) {
-        diagram.Set(begin + i, local_to_global[r.local_plan[i]], r.cost[i]);
-      }
-      calls += r.calls;
+    results.resize(workers.size());
+    calls = MergeShards(results, chunk, &diagram);
+  } else {
+    QueryOptimizer opt(query, catalog, params);
+    for (uint64_t i = 0; i < n; ++i) {
+      const Plan plan = opt.OptimizeAt(grid.SelectivityAt(i));
+      diagram.Set(i, diagram.InternPlan(plan), plan.cost);
     }
+    calls = static_cast<long long>(n);
   }
 
   if (stats != nullptr) {

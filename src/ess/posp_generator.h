@@ -3,12 +3,23 @@
 // The task is embarrassingly parallel (Section 4.2 of the paper), so the
 // generator optionally shards the grid across threads, each with its own
 // QueryOptimizer instance, and merges per-shard results through signature
-// interning.
+// interning. Two parallel backends exist:
+//   * `num_threads > 1`: spawns ad-hoc std::threads (legacy path).
+//   * `pool != nullptr`: shards across a shared ThreadPool (the service
+//     layer's path; nest-safe, so a pool task may itself generate a POSP).
+// Both backends produce a diagram bit-identical to the serial one: plans are
+// interned in order of first occurrence over the linear grid order, which is
+// invariant to how the grid is chunked (shards are merged in linear order).
+//
+// Thread-safety: the query, catalog, and grid are only read; every shard
+// owns a private QueryOptimizer; the diagram is assembled single-threaded
+// after the shards join. No shared mutable state is reachable from workers.
 
 #ifndef BOUQUET_ESS_POSP_GENERATOR_H_
 #define BOUQUET_ESS_POSP_GENERATOR_H_
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "ess/ess_grid.h"
 #include "ess/plan_diagram.h"
 #include "optimizer/cost_model.h"
@@ -17,7 +28,16 @@
 namespace bouquet {
 
 struct PospOptions {
+  /// Ad-hoc thread count; honored exactly (no hardware_concurrency clamp) so
+  /// sharding behavior is reproducible across machines. Ignored when `pool`
+  /// is set.
   int num_threads = 1;
+  /// When set, grid rows are partitioned across this pool instead of ad-hoc
+  /// threads. The pool is borrowed, not owned.
+  ThreadPool* pool = nullptr;
+  /// Grids smaller than this stay serial (per-shard optimizer construction
+  /// is not free). Lower it in tests to force multi-shard runs.
+  uint64_t min_shard_points = 256;
 };
 
 /// Statistics of a generation run (compile-time overheads, Section 6.1).

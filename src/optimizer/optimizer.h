@@ -23,8 +23,14 @@
 namespace bouquet {
 
 /// Optimizer for a single query over a fixed catalog and cost model.
-/// Not thread-safe (the resolver is reused across calls); create one
-/// instance per thread for parallel POSP generation.
+///
+/// Thread-safety: NOT thread-safe — the selectivity resolver and the
+/// enumerator's invocation counter mutate across calls. The concurrency
+/// pattern used throughout (parallel POSP shards, BouquetService requests)
+/// is per-thread clones: construct one QueryOptimizer per worker over the
+/// same const QuerySpec/Catalog, which is cheap relative to a single
+/// OptimizeAt call. The referenced query and catalog are only read, so any
+/// number of clones may coexist.
 class QueryOptimizer {
  public:
   /// The query and catalog must outlive the optimizer.

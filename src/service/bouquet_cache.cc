@@ -1,0 +1,94 @@
+#include "service/bouquet_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "service/template_key.h"
+
+namespace bouquet {
+
+void FinishCompiledBouquet(CompiledBouquet* c, const Catalog& catalog,
+                           CostParams cost_params, SimOptions sim_options) {
+  assert(c->grid && c->diagram && c->bouquet);
+  if (!c->optimizer) {
+    c->optimizer =
+        std::make_unique<QueryOptimizer>(c->query, catalog, cost_params);
+  }
+  c->simulator = std::make_unique<BouquetSimulator>(
+      *c->bouquet, *c->diagram, c->optimizer.get(), sim_options);
+}
+
+BouquetCache::BouquetCache(size_t capacity, int num_shards)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  const int n = std::max(1, num_shards);
+  per_shard_capacity_ = std::max<size_t>(1, (capacity_ + n - 1) / n);
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+BouquetCache::Shard& BouquetCache::ShardFor(const std::string& key) {
+  return *shards_[TemplateHash(key) % shards_.size()];
+}
+
+std::shared_ptr<const CompiledBouquet> BouquetCache::Get(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void BouquetCache::Put(const std::string& key,
+                       std::shared_ptr<const CompiledBouquet> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t BouquetCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+CacheStats BouquetCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.entries = size();
+  return s;
+}
+
+void BouquetCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace bouquet

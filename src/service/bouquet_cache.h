@@ -1,0 +1,116 @@
+// Template-keyed cache of compiled bouquet bundles.
+//
+// A CompiledBouquet is everything the run-time phase needs, compiled once
+// per query template and shared (immutably) by every concurrent invocation:
+// the ESS grid, the exhaustive plan diagram, the bouquet, a private
+// QueryOptimizer used during construction, and a ready BouquetSimulator
+// whose const Run* methods are safe to call from many threads at once.
+//
+// BouquetCache is a sharded LRU map from template signature to bundle.
+// Sharding keeps lock hold times short under concurrent lookups; capacity
+// is split evenly across shards (so eviction order is strictly LRU only
+// within a shard — use num_shards = 1 when exact global LRU matters, e.g.
+// in tests). Hit/miss/eviction/insert counters are atomics readable without
+// locking. Entries are handed out as shared_ptr<const CompiledBouquet>, so
+// an evicted bundle stays alive until its last in-flight request drops it.
+//
+// Thread-safety: all methods may be called concurrently.
+
+#ifndef BOUQUET_SERVICE_BOUQUET_CACHE_H_
+#define BOUQUET_SERVICE_BOUQUET_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bouquet/bouquet.h"
+#include "bouquet/simulator.h"
+#include "ess/ess_grid.h"
+#include "ess/plan_diagram.h"
+#include "ess/posp_generator.h"
+#include "optimizer/optimizer.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// One immutable compiled bundle. Members reference one another (the
+/// diagram indexes the grid, the optimizer binds `query`, the simulator
+/// binds bouquet + diagram), so the struct is created once via the service
+/// or `MakeCompiledBouquet` and never moved afterwards.
+struct CompiledBouquet {
+  QuerySpec query;  ///< the template the bundle was compiled for
+  std::unique_ptr<EssGrid> grid;
+  std::unique_ptr<PlanDiagram> diagram;
+  std::unique_ptr<PlanBouquet> bouquet;
+  std::unique_ptr<QueryOptimizer> optimizer;
+  std::unique_ptr<BouquetSimulator> simulator;
+  PospStats posp_stats;          ///< POSP-generation share of compile time
+  double compile_seconds = 0.0;  ///< full pipeline wall time
+  bool warm_started = false;     ///< loaded from disk, not compiled
+};
+
+/// Builds the optimizer + simulator tail of a bundle whose grid/diagram/
+/// bouquet members are already populated (shared by compile and warm-start).
+void FinishCompiledBouquet(CompiledBouquet* c, const Catalog& catalog,
+                           CostParams cost_params, SimOptions sim_options);
+
+/// Counter snapshot (monotonic except `entries`).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t inserts = 0;
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class BouquetCache {
+ public:
+  /// `capacity` total entries, split across `num_shards` LRU shards (each
+  /// shard holds at least one entry).
+  explicit BouquetCache(size_t capacity, int num_shards = 8);
+
+  /// Returns the bundle for `key` (bumping its recency) or nullptr.
+  std::shared_ptr<const CompiledBouquet> Get(const std::string& key);
+
+  /// Inserts/overwrites `key`, evicting the shard's LRU entry if full.
+  void Put(const std::string& key,
+           std::shared_ptr<const CompiledBouquet> value);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  CacheStats stats() const;
+  void Clear();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used. The map points into the list.
+    std::list<std::pair<std::string, std::shared_ptr<const CompiledBouquet>>>
+        lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> inserts_{0};
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_SERVICE_BOUQUET_CACHE_H_

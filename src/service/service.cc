@@ -1,0 +1,244 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "bouquet/serialize.h"
+#include "common/str_util.h"
+#include "ess/posp_generator.h"
+#include "service/template_key.h"
+
+namespace bouquet {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+BouquetService::BouquetService(const Catalog& catalog, ServiceOptions options)
+    : catalog_(&catalog),
+      options_(options),
+      pool_(options.num_threads),
+      cache_(options.cache_capacity, options.cache_shards) {}
+
+std::vector<int> BouquetService::ResolutionsFor(const QuerySpec& query) const {
+  const int dims = query.NumDims();
+  const int res = options_.grid_resolution > 0
+                      ? options_.grid_resolution
+                      : EssGrid::DefaultResolutionForDims(dims);
+  return std::vector<int>(dims, res);
+}
+
+std::string BouquetService::KeyFor(const QuerySpec& query) const {
+  return TemplateSignature(query, ResolutionsFor(query), options_.cost_params,
+                           options_.bouquet_params);
+}
+
+std::shared_ptr<const CompiledBouquet> BouquetService::Compile(
+    const QuerySpec& query) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto c = std::make_shared<CompiledBouquet>();
+  c->query = query;
+  c->grid = std::make_unique<EssGrid>(c->query, ResolutionsFor(query));
+  PospOptions posp;
+  posp.pool = &pool_;
+  posp.min_shard_points = options_.min_shard_points;
+  c->diagram = std::make_unique<PlanDiagram>(
+      GeneratePosp(c->query, *catalog_, options_.cost_params, *c->grid, posp,
+                   &c->posp_stats));
+  c->optimizer = std::make_unique<QueryOptimizer>(c->query, *catalog_,
+                                                  options_.cost_params);
+  c->bouquet = std::make_unique<PlanBouquet>(
+      BuildBouquet(*c->diagram, c->optimizer.get(), options_.bouquet_params));
+  FinishCompiledBouquet(c.get(), *catalog_, options_.cost_params,
+                        options_.sim_options);
+  c->compile_seconds = SecondsSince(t0);
+  return c;
+}
+
+Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
+    const QuerySpec& query, ServiceResult* result) {
+  const std::string key = KeyFor(query);
+  if (result != nullptr) result->template_hash = TemplateHash(key);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (auto c = cache_.Get(key)) {
+    if (result != nullptr) {
+      result->cache_hit = true;
+      result->compile_seconds = SecondsSince(t0);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cache_hits;
+    return c;
+  }
+
+  const Status valid = query.Validate(*catalog_);
+  if (!valid.ok()) return valid;
+
+  std::promise<std::shared_ptr<const CompiledBouquet>> promise;
+  std::shared_future<std::shared_ptr<const CompiledBouquet>> fut;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      fut = it->second;
+    } else if (auto c = cache_.Get(key)) {
+      // A leader finished between the unlocked lookup and here.
+      if (result != nullptr) {
+        result->cache_hit = true;
+        result->compile_seconds = SecondsSince(t0);
+      }
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.cache_hits;
+      return c;
+    } else {
+      leader = true;
+      fut = promise.get_future().share();
+      inflight_.emplace(key, fut);
+    }
+  }
+
+  if (leader) {
+    auto c = Compile(query);
+    cache_.Put(key, c);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(key);
+    }
+    promise.set_value(c);
+    if (result != nullptr) {
+      result->compiled = true;
+      result->compile_seconds = SecondsSince(t0);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cache_misses;
+    ++stats_.compilations;
+    stats_.compile_seconds += c->compile_seconds;
+    return c;
+  }
+
+  // Single-flight follower: block until the leader publishes the bundle.
+  auto c = fut.get();
+  if (result != nullptr) {
+    result->shared_compile = true;
+    result->compile_seconds = SecondsSince(t0);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.shared_compiles;
+  return c;
+}
+
+uint64_t BouquetService::SnapToGrid(const EssGrid& grid,
+                                    const DimVector& actual) const {
+  GridPoint p(grid.dims());
+  for (int d = 0; d < grid.dims(); ++d) {
+    const double s = actual[d];
+    const int lo = grid.AxisFloor(d, s);
+    const int hi = grid.AxisCeil(d, s);
+    if (lo == hi) {
+      p[d] = lo;
+    } else {
+      // Nearest neighbor in log space (the axes are log-spaced).
+      const double dlo = std::log(s / grid.axis(d)[lo]);
+      const double dhi = std::log(grid.axis(d)[hi] / s);
+      p[d] = dlo <= dhi ? lo : hi;
+    }
+  }
+  return grid.LinearIndex(p);
+}
+
+Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ServiceResult r;
+  r.mode = request.mode;
+
+  if (request.mode == ExecutionMode::kSimulate &&
+      static_cast<int>(request.actual_selectivities.size()) !=
+          request.query.NumDims()) {
+    return Status::InvalidArgument(StrPrintf(
+        "request has %zu actual selectivities, query has %d error dims",
+        request.actual_selectivities.size(), request.query.NumDims()));
+  }
+  if (request.mode == ExecutionMode::kRealData &&
+      options_.database == nullptr) {
+    return Status::FailedPrecondition(
+        "kRealData requires ServiceOptions::database");
+  }
+
+  auto bundle_or = GetOrCompile(request.query, &r);
+  if (!bundle_or.ok()) return bundle_or.status();
+  std::shared_ptr<const CompiledBouquet> c = std::move(bundle_or).value();
+
+  const auto e0 = std::chrono::steady_clock::now();
+  if (request.mode == ExecutionMode::kSimulate) {
+    const uint64_t qa = SnapToGrid(*c->grid, request.actual_selectivities);
+    r.sim = c->simulator->RunOptimized(qa);
+  } else {
+    // Per-request optimizer + driver: both are bound to this request's
+    // constants and neither is shared across threads.
+    QueryOptimizer run_opt(request.query, *catalog_, options_.cost_params);
+    BouquetDriver driver(*c->bouquet, *c->diagram, &run_opt,
+                         options_.database);
+    r.real = driver.RunOptimized();
+  }
+  r.execute_seconds = SecondsSince(e0);
+  r.latency_seconds = SecondsSince(t0);
+  r.compiled_bundle = std::move(c);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    stats_.execute_seconds += r.execute_seconds;
+    stats_.latency_seconds += r.latency_seconds;
+  }
+  return r;
+}
+
+std::future<Result<ServiceResult>> BouquetService::Submit(
+    ServiceRequest request) {
+  return pool_.Submit(
+      [this, request = std::move(request)] { return Run(request); });
+}
+
+Status BouquetService::WarmStart(const QuerySpec& query,
+                                 const std::string& path) {
+  auto loaded_or = LoadBouquetFromFile(query, path);
+  if (!loaded_or.ok()) return loaded_or.status();
+  LoadedBouquet loaded = std::move(loaded_or).value();
+
+  const std::vector<int> want = ResolutionsFor(query);
+  for (int d = 0; d < loaded.grid->dims(); ++d) {
+    if (loaded.grid->resolution(d) != want[d]) {
+      return Status::FailedPrecondition(StrPrintf(
+          "warm-start grid resolution %d on dim %d, service expects %d",
+          loaded.grid->resolution(d), d, want[d]));
+    }
+  }
+
+  auto c = std::make_shared<CompiledBouquet>();
+  c->query = query;
+  c->grid = std::move(loaded.grid);
+  c->diagram = std::move(loaded.diagram);
+  c->bouquet = std::move(loaded.bouquet);
+  c->warm_started = true;
+  FinishCompiledBouquet(c.get(), *catalog_, options_.cost_params,
+                        options_.sim_options);
+  cache_.Put(KeyFor(query), c);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.warm_starts;
+  }
+  return Status::Ok();
+}
+
+ServiceStats BouquetService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,168 @@
+// BouquetService: the concurrent serving front end for plan bouquets.
+//
+// The paper's deployment model (Section 4.2) is form-based query templates
+// whose expensive ESS exploration is amortized across many invocations.
+// This layer makes that amortization operational at serving scale:
+//
+//   * requests run on a shared fixed ThreadPool (`Submit` is async,
+//     `Run` synchronous);
+//   * compiled {EssGrid, PlanDiagram, PlanBouquet, BouquetSimulator}
+//     bundles live in a template-keyed sharded LRU BouquetCache;
+//   * concurrent first requests for the same template are deduplicated
+//     (single-flight): exactly one thread compiles, the rest wait on the
+//     shared future;
+//   * the compiling thread parallelizes POSP generation by partitioning
+//     ESS grid rows across the same pool (nest-safe ParallelFor);
+//   * cold starts can be avoided by warm-starting templates from bouquet
+//     files written by bouquet/serialize.
+//
+// Execution is cost-model simulation by default (the paper's own metric
+// substrate); when a Database is supplied, requests with bound constants
+// may instead run the real-data BouquetDriver. Either way executions of
+// distinct requests proceed concurrently: the CompiledBouquet bundle is
+// immutable after construction and BouquetSimulator's Run* methods are
+// const and thread-safe.
+//
+// Thread-safety: all public methods may be called from any thread. The
+// catalog (and database, if any) are borrowed and must outlive the service;
+// they are treated as read-only except for the Database's internal lazy
+// index caches, which are mutex-protected.
+
+#ifndef BOUQUET_SERVICE_SERVICE_H_
+#define BOUQUET_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bouquet/bouquet.h"
+#include "bouquet/driver.h"
+#include "bouquet/simulator.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "service/bouquet_cache.h"
+#include "storage/index.h"
+
+namespace bouquet {
+
+struct ServiceOptions {
+  int num_threads = 4;           ///< pool size (requests + POSP shards)
+  size_t cache_capacity = 64;    ///< compiled templates kept resident
+  int cache_shards = 8;
+  /// Per-dimension ESS resolution; 0 = EssGrid defaults by dimensionality.
+  int grid_resolution = 0;
+  /// POSP shard-size floor handed to GeneratePosp (lower in tests).
+  uint64_t min_shard_points = 256;
+  CostParams cost_params = CostParams::Postgres();
+  BouquetParams bouquet_params;
+  SimOptions sim_options;
+  /// Optional real-data backend for ExecutionMode::kRealData requests.
+  Database* database = nullptr;
+};
+
+enum class ExecutionMode {
+  kSimulate,  ///< cost-model partial executions (BouquetSimulator)
+  kRealData,  ///< Volcano executor over the Database (BouquetDriver)
+};
+
+/// One query instance: the template plus its actual selectivity location.
+struct ServiceRequest {
+  QuerySpec query;
+  /// q_a, one entry per error dimension (snapped to the nearest grid
+  /// point). Required for kSimulate; ignored by kRealData, where the truth
+  /// emerges from the data.
+  DimVector actual_selectivities;
+  ExecutionMode mode = ExecutionMode::kSimulate;
+};
+
+/// Per-request outcome + instrumentation.
+struct ServiceResult {
+  uint64_t template_hash = 0;
+  bool cache_hit = false;        ///< bundle came straight from the cache
+  bool shared_compile = false;   ///< waited on another request's compile
+  bool compiled = false;         ///< this request ran the compilation
+  double compile_seconds = 0.0;  ///< obtaining the bundle (compile or wait)
+  double execute_seconds = 0.0;
+  double latency_seconds = 0.0;
+  ExecutionMode mode = ExecutionMode::kSimulate;
+  SimResult sim;        ///< kSimulate outcome
+  DriverResult real;    ///< kRealData outcome
+  std::shared_ptr<const CompiledBouquet> compiled_bundle;
+};
+
+/// Aggregate service counters (snapshot).
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;      ///< led to a compilation by this request
+  uint64_t shared_compiles = 0;   ///< deduplicated by single-flight
+  uint64_t compilations = 0;
+  uint64_t warm_starts = 0;
+  double compile_seconds = 0.0;   ///< sum over compilations only
+  double execute_seconds = 0.0;
+  double latency_seconds = 0.0;
+
+  double CacheHitRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(cache_hits) / requests;
+  }
+};
+
+class BouquetService {
+ public:
+  /// The catalog (and options.database) must outlive the service.
+  explicit BouquetService(const Catalog& catalog, ServiceOptions options = {});
+
+  /// Serves one request on the calling thread (compiling/waiting for the
+  /// template bundle as needed).
+  Result<ServiceResult> Run(const ServiceRequest& request);
+
+  /// Queues the request on the pool; returns immediately.
+  std::future<Result<ServiceResult>> Submit(ServiceRequest request);
+
+  /// Cache key of a query under this service's configuration.
+  std::string KeyFor(const QuerySpec& query) const;
+
+  /// Returns the compiled bundle for the query's template, compiling it
+  /// (single-flight) on a miss. `result`, when given, receives the
+  /// cache_hit/shared_compile/compiled/compile_seconds fields.
+  Result<std::shared_ptr<const CompiledBouquet>> GetOrCompile(
+      const QuerySpec& query, ServiceResult* result = nullptr);
+
+  /// Loads a bundle previously written by SaveBouquetToFile and installs it
+  /// under the query's template key. The file's grid resolution must match
+  /// this service's configuration (the key encodes it).
+  Status WarmStart(const QuerySpec& query, const std::string& path);
+
+  ServiceStats stats() const;
+  const BouquetCache& cache() const { return cache_; }
+  ThreadPool* pool() { return &pool_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  std::vector<int> ResolutionsFor(const QuerySpec& query) const;
+  std::shared_ptr<const CompiledBouquet> Compile(const QuerySpec& query);
+  uint64_t SnapToGrid(const EssGrid& grid, const DimVector& actual) const;
+
+  const Catalog* catalog_;
+  ServiceOptions options_;
+  ThreadPool pool_;
+  BouquetCache cache_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const CompiledBouquet>>>
+      inflight_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_SERVICE_SERVICE_H_

@@ -1,0 +1,95 @@
+#include "service/template_key.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace bouquet {
+
+namespace {
+
+// Hex-float formatting so double-valued knobs round-trip exactly into the
+// key (two templates differing in lambda by 1 ulp are different templates).
+std::string Hex(double v) { return StrPrintf("%a", v); }
+
+// True if `query.filters[i]` / `query.joins[i]` is an error dimension.
+bool IsErrorDim(const QuerySpec& query, DimKind kind, int index) {
+  for (const auto& dim : query.error_dims) {
+    if (dim.kind == kind && dim.predicate_index == index) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string TemplateSignature(const QuerySpec& query,
+                              const std::vector<int>& resolutions,
+                              const CostParams& cost_params,
+                              const BouquetParams& bouquet_params) {
+  std::string s;
+  s.reserve(256);
+  s += "T:";
+  for (const auto& t : query.tables) {
+    s += t;
+    s += ',';
+  }
+  s += "|J:";
+  for (size_t i = 0; i < query.joins.size(); ++i) {
+    const JoinPredicate& j = query.joins[i];
+    s += j.left_table + '.' + j.left_column + '=' + j.right_table + '.' +
+         j.right_column;
+    if (!IsErrorDim(query, DimKind::kJoin, static_cast<int>(i))) {
+      s += '@' + Hex(j.default_selectivity);
+    }
+    s += ',';
+  }
+  s += "|F:";
+  for (size_t i = 0; i < query.filters.size(); ++i) {
+    const SelectionPredicate& f = query.filters[i];
+    s += f.table + '.' + f.column + CompareOpName(f.op);
+    if (!IsErrorDim(query, DimKind::kSelection, static_cast<int>(i))) {
+      // Non-error predicates keep their binding: it shifts their
+      // (estimated) selectivity and therefore the whole POSP geography.
+      s += f.has_constant() ? StrPrintf("%" PRId64, f.constant) : "?";
+      s += '@' + Hex(f.default_selectivity);
+    }
+    s += ',';
+  }
+  s += "|D:";
+  for (const auto& d : query.error_dims) {
+    s += StrPrintf("%c%d[%s,%s],", d.kind == DimKind::kJoin ? 'j' : 's',
+                   d.predicate_index, Hex(d.lo).c_str(), Hex(d.hi).c_str());
+  }
+  s += "|A:";
+  if (query.aggregate.enabled) {
+    s += StrPrintf("f%d(", static_cast<int>(query.aggregate.func));
+    s += query.aggregate.agg_table + '.' + query.aggregate.agg_column + ")g:";
+    for (const auto& g : query.aggregate.group_by) {
+      s += g.first + '.' + g.second + ',';
+    }
+  }
+  s += "|R:";
+  for (int r : resolutions) s += StrPrintf("%d,", r);
+  s += "|C:" + Hex(cost_params.seq_page_cost) + ',' +
+       Hex(cost_params.random_page_cost) + ',' +
+       Hex(cost_params.cpu_tuple_cost) + ',' +
+       Hex(cost_params.cpu_index_tuple_cost) + ',' +
+       Hex(cost_params.cpu_operator_cost) + ',' +
+       Hex(cost_params.page_size_bytes) + ',' +
+       Hex(cost_params.work_mem_bytes) + ',' + Hex(cost_params.hash_op_factor);
+  s += "|B:" + Hex(bouquet_params.ratio) + ',' + Hex(bouquet_params.lambda) +
+       ',' + (bouquet_params.anorexic ? '1' : '0');
+  return s;
+}
+
+uint64_t TemplateHash(const std::string& signature) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : signature) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,42 @@
+// Query-template signatures for the bouquet cache.
+//
+// The paper's deployment model (Section 4.2) is form-based "canned" queries:
+// the query *structure* is fixed while the constants of the error-prone
+// predicates vary per invocation. Two invocations share one compiled bouquet
+// iff they agree on everything the compile-time artifacts depend on:
+//   * relations, join graph, and non-error selection predicates (including
+//     their constants — those shift the error-free selectivities),
+//   * error-dimension declarations (kind, predicate, [lo, hi] range),
+//   * aggregate block, grid resolutions, cost-model constants, and bouquet
+//     parameters (ratio, lambda, anorexic flag).
+// Constants of predicates that *are* error dimensions are deliberately
+// excluded: compile time injects selectivities there, so the artifact is
+// valid for every binding — that exclusion is what makes the cache amortize
+// across a form's invocations. The query's display name is also excluded
+// (identity is structural).
+
+#ifndef BOUQUET_SERVICE_TEMPLATE_KEY_H_
+#define BOUQUET_SERVICE_TEMPLATE_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bouquet/bouquet.h"
+#include "optimizer/cost_model.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// Canonical template signature; equal strings <=> shareable artifacts.
+std::string TemplateSignature(const QuerySpec& query,
+                              const std::vector<int>& resolutions,
+                              const CostParams& cost_params,
+                              const BouquetParams& bouquet_params);
+
+/// FNV-1a 64-bit hash of a signature (shard selection, compact logging).
+uint64_t TemplateHash(const std::string& signature);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_SERVICE_TEMPLATE_KEY_H_

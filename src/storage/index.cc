@@ -52,6 +52,18 @@ int64_t SortedIndex::CountRange(int64_t lo, int64_t hi) const {
   return last - first;
 }
 
+Database::Database(Database&& other) noexcept
+    : tables_(std::move(other.tables_)),
+      hash_indexes_(std::move(other.hash_indexes_)),
+      sorted_indexes_(std::move(other.sorted_indexes_)) {}
+
+Database& Database::operator=(Database&& other) noexcept {
+  tables_ = std::move(other.tables_);
+  hash_indexes_ = std::move(other.hash_indexes_);
+  sorted_indexes_ = std::move(other.sorted_indexes_);
+  return *this;
+}
+
 DataTable* Database::AddTable(DataTable table) {
   for (auto& t : tables_) {
     if (t->name() == table.name()) {
@@ -90,6 +102,7 @@ const DataTable& Database::table(const std::string& name) const {
 const HashIndex& Database::hash_index(const std::string& table_name,
                                       int col) {
   auto key = std::make_pair(table_name, col);
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = hash_indexes_.find(key);
   if (it == hash_indexes_.end()) {
     it = hash_indexes_
@@ -103,6 +116,7 @@ const HashIndex& Database::hash_index(const std::string& table_name,
 const SortedIndex& Database::sorted_index(const std::string& table_name,
                                           int col) {
   auto key = std::make_pair(table_name, col);
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = sorted_indexes_.find(key);
   if (it == sorted_indexes_.end()) {
     it = sorted_indexes_

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,8 +51,21 @@ class SortedIndex {
 };
 
 /// A database: tables plus lazily-built indexes.
+///
+/// Thread-safety: once loading is done (no more AddTable calls), concurrent
+/// readers are safe — `table()` is read-only, and the lazy index caches
+/// behind `hash_index()`/`sorted_index()` are mutex-protected (a returned
+/// index reference stays valid and immutable for the Database's lifetime).
+/// AddTable itself must not race with readers: it may drop cached indexes
+/// of the replaced table.
 class Database {
  public:
+  Database() = default;
+  /// Movable for load-time convenience only — like AddTable, a move must
+  /// not race with readers (the mutex is not transferred).
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+
   /// Adds (or replaces) a table; returns a stable pointer.
   DataTable* AddTable(DataTable table);
 
@@ -69,6 +83,8 @@ class Database {
                    int histogram_buckets = 64) const;
 
  private:
+  // Guards the two lazy index caches (concurrent driver executions).
+  std::mutex index_mu_;
   // Deque-like stability via unique_ptr.
   std::vector<std::unique_ptr<DataTable>> tables_;
   std::map<std::pair<std::string, int>, std::unique_ptr<HashIndex>>
