@@ -1,0 +1,91 @@
+// Property-harness throughput: how many randomized instances/sec the fuzz
+// gate sustains, split by pipeline stage (generation vs full oracle check),
+// and how the cost scales with instance size. This calibrates the
+// BOUQUET_FUZZ_ITERS budget for the nightly 10k-instance job.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "testing/generators.h"
+#include "testing/harness.h"
+#include "testing/oracles.h"
+
+namespace bouquet {
+namespace {
+
+using benchutil::PrintHeader;
+
+void PrintReproduction() {
+  PrintHeader("Fuzz harness throughput: instances/sec through every oracle",
+              "budget calibration for the scheduled 10k-instance gate");
+
+  FuzzConfig config;
+  config.iterations = 100;
+  config.shrink = false;  // a throughput run should not pay for shrinking
+  const auto t0 = std::chrono::steady_clock::now();
+  const FuzzReport report = RunFuzz(config);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("\n  %s\n", report.Summary().c_str());
+  std::printf("  wall %.2fs  =>  %.1f instances/s, %.0f grid points/s\n",
+              wall, report.instances / wall,
+              static_cast<double>(report.total_grid_points) / wall);
+  std::printf("  projected 10k-instance nightly run: ~%.0fs\n",
+              10000.0 * wall / report.instances);
+}
+
+void BM_GenerateFuzzInstance(benchmark::State& state) {
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    const FuzzInstance inst = GenerateFuzzInstance(seed++);
+    benchmark::DoNotOptimize(inst.query.error_dims.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenerateFuzzInstance)->Unit(benchmark::kMicrosecond);
+
+// Full pipeline + every oracle on a fixed mid-size instance, with and
+// without the differential brute-force re-optimization samples.
+void BM_CheckInvariants(benchmark::State& state) {
+  const FuzzInstance inst = GenerateFuzzInstance(42);
+  OracleOptions opts;
+  opts.differential_samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const InvariantReport report = CheckInvariants(inst, opts);
+    benchmark::DoNotOptimize(report.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckInvariants)
+    ->Arg(0)   // oracles only
+    ->Arg(48)  // gate configuration
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end gate batches: amortized per-instance cost including the
+// checksum/telemetry bookkeeping of RunFuzz itself.
+void BM_FuzzBatch(benchmark::State& state) {
+  FuzzConfig config;
+  config.iterations = static_cast<int>(state.range(0));
+  config.shrink = false;
+  for (auto _ : state) {
+    const FuzzReport report = RunFuzz(config);
+    benchmark::DoNotOptimize(report.instance_checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FuzzBatch)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bouquet
+
+int main(int argc, char** argv) {
+  bouquet::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

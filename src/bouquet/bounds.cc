@@ -13,6 +13,11 @@ double MultiDMsoBound(double ratio, int rho, double lambda) {
   return static_cast<double>(rho) * (1.0 + lambda) * TheoremOneBound(ratio);
 }
 
+double BouquetMsoBound(const PlanBouquet& bouquet) {
+  const double lambda = bouquet.params.anorexic ? bouquet.params.lambda : 0.0;
+  return MultiDMsoBound(bouquet.params.ratio, bouquet.rho(), lambda);
+}
+
 double EquationEightBound(const PlanBouquet& bouquet) {
   double worst = 0.0;
   double cumulative = 0.0;

@@ -13,6 +13,11 @@ double TheoremOneMso(double ratio);
 /// Theorem 3 with anorexic inflation: MSO <= rho * (1+lambda) * r^2/(r-1).
 double MultiDMsoBound(double ratio, int rho, double lambda);
 
+/// Theorem 3 instantiated on a compiled bouquet: rho is the densest
+/// contour's plan count; lambda contributes only when the anorexic pass
+/// actually ran (budgets are uninflated otherwise).
+double BouquetMsoBound(const PlanBouquet& bouquet);
+
 /// The tighter Equation-8 bound used for Table 1: actual per-contour plan
 /// counts n_i and budgets, against the oracle lower bound IC_{k-1}
 /// (Cmin for the first band):

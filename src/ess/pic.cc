@@ -20,6 +20,29 @@ bool IsPicMonotone(const PlanDiagram& diagram, double tolerance) {
   return CountPicViolations(diagram, tolerance) == 0;
 }
 
+PicViolation FirstPicViolation(const PlanDiagram& diagram, double tolerance) {
+  const EssGrid& grid = diagram.grid();
+  PicViolation v;
+  grid.ForEach([&](uint64_t linear, const GridPoint& p) {
+    if (v.found) return;
+    const double c = diagram.cost_at(linear);
+    for (int d = 0; d < grid.dims(); ++d) {
+      if (p[d] + 1 >= grid.resolution(d)) continue;
+      const uint64_t succ = grid.LinearWithDim(linear, d, p[d] + 1);
+      const double sc = diagram.cost_at(succ);
+      if (sc < c * (1.0 - tolerance)) {
+        v.found = true;
+        v.point = linear;
+        v.dim = d;
+        v.cost = c;
+        v.successor_cost = sc;
+        return;
+      }
+    }
+  });
+  return v;
+}
+
 std::vector<PicSample> PicSlice(const PlanDiagram& diagram, int dim,
                                 const GridPoint& at) {
   const EssGrid& grid = diagram.grid();

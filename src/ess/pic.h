@@ -22,6 +22,18 @@ bool IsPicMonotone(const PlanDiagram& diagram, double tolerance = 1e-9);
 long long CountPicViolations(const PlanDiagram& diagram,
                              double tolerance = 1e-9);
 
+/// First monotonicity-violating adjacent pair in linear grid order, for
+/// failure diagnostics (the property harness reports it verbatim).
+struct PicViolation {
+  bool found = false;
+  uint64_t point = 0;          ///< linear index of the violating point
+  int dim = -1;                ///< axis along which the successor is cheaper
+  double cost = 0.0;           ///< PIC at `point`
+  double successor_cost = 0.0; ///< PIC at the +1 successor on `dim`
+};
+PicViolation FirstPicViolation(const PlanDiagram& diagram,
+                               double tolerance = 1e-9);
+
 /// 1D slice of the PIC along dimension `dim`, holding the other dimensions
 /// at the given point's indexes. Returns (selectivity, cost, plan id) rows.
 struct PicSample {

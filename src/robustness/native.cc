@@ -7,4 +7,16 @@ RobustnessProfile ComputeNativeProfile(const PlanDiagram& diagram,
   return ComputeAssignmentProfile(diagram, opt, diagram.assignments());
 }
 
+std::vector<double> BruteForceOptimalCosts(
+    const QuerySpec& query, const Catalog& catalog, CostParams params,
+    const EssGrid& grid, const std::vector<uint64_t>& points) {
+  QueryOptimizer opt(query, catalog, params);
+  std::vector<double> costs;
+  costs.reserve(points.size());
+  for (uint64_t p : points) {
+    costs.push_back(opt.OptimizeAt(grid.SelectivityAt(p)).cost);
+  }
+  return costs;
+}
+
 }  // namespace bouquet

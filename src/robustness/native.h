@@ -16,6 +16,18 @@ namespace bouquet {
 RobustnessProfile ComputeNativeProfile(const PlanDiagram& diagram,
                                        QueryOptimizer* opt);
 
+/// Differential ground truth for plan-diagram validation: re-optimizes each
+/// of `points` with a freshly constructed optimizer (independent of however
+/// the diagram was produced — serial, ad-hoc threads, or pool shards) and
+/// returns the native-optimal costs, aligned with `points`. A diagram whose
+/// stored PIC disagrees with these values was corrupted somewhere between
+/// enumeration and assembly.
+std::vector<double> BruteForceOptimalCosts(const QuerySpec& query,
+                                           const Catalog& catalog,
+                                           CostParams params,
+                                           const EssGrid& grid,
+                                           const std::vector<uint64_t>& points);
+
 }  // namespace bouquet
 
 #endif  // BOUQUET_ROBUSTNESS_NATIVE_H_

@@ -1,0 +1,223 @@
+#include "testing/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "catalog/histogram.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace bouquet {
+
+namespace {
+
+// Column layout shared by every generated table: a primary key, a foreign
+// key used as the join target, and two data columns carrying histograms.
+const char* const kColumns[] = {"pk", "fk", "a", "b"};
+
+// Log-uniform draw in [lo, hi].
+double LogUniform(Rng& rng, double lo, double hi) {
+  return lo * std::pow(hi / lo, rng.NextDouble());
+}
+
+// Builds a Zipf-skewed equi-depth histogram over `ndv` distinct values and
+// syncs the column's min/max to the sampled domain.
+void AttachHistogram(ColumnInfo* col, Rng& rng, double max_theta) {
+  const uint64_t n = static_cast<uint64_t>(
+      std::max(2.0, std::min(col->stats.ndv, 100000.0)));
+  const double theta = rng.NextDouble() * max_theta;
+  std::vector<int64_t> values;
+  values.reserve(512);
+  for (int i = 0; i < 512; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextZipf(n, theta)));
+  }
+  col->stats.histogram = Histogram::Build(values, 24);
+  col->stats.min_value = col->stats.histogram.min_value();
+  col->stats.max_value = col->stats.histogram.max_value();
+}
+
+JoinPredicate MakeJoin(const std::string& lt, const std::string& rt) {
+  JoinPredicate j;
+  j.left_table = lt;
+  j.left_column = "pk";
+  j.right_table = rt;
+  j.right_column = "fk";
+  return j;
+}
+
+}  // namespace
+
+std::string FuzzInstance::Describe() const {
+  std::string res;
+  for (size_t d = 0; d < resolutions.size(); ++d) {
+    res += (d ? "x" : "") + StrPrintf("%d", resolutions[d]);
+  }
+  return StrPrintf("seed=0x%llx tables=%d dims=%d grid=%s ratio=%g "
+                   "lambda=%g anorexic=%d",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<int>(query.tables.size()), query.NumDims(),
+                   res.c_str(), bouquet_params.ratio, bouquet_params.lambda,
+                   bouquet_params.anorexic ? 1 : 0);
+}
+
+FuzzInstance GenerateFuzzInstance(uint64_t seed,
+                                  const FuzzGenOptions& options) {
+  FuzzGenOptions opts = options;
+  opts.max_tables = std::max(2, opts.max_tables);
+  opts.max_dims = std::max(1, opts.max_dims);
+  opts.max_resolution = std::max(3, opts.max_resolution);
+  opts.max_grid_points = std::max<uint64_t>(27, opts.max_grid_points);
+
+  Rng rng(seed);
+  FuzzInstance inst;
+  inst.seed = seed;
+
+  // ---- Schema / catalog.
+  const int num_tables =
+      2 + static_cast<int>(rng.NextInt64(0, opts.max_tables - 2));
+  for (int i = 0; i < num_tables; ++i) {
+    const std::string name = StrPrintf("t%d", i);
+    const double rows = LogUniform(rng, 1e3, 1e6);
+    const double width = 32.0 + static_cast<double>(rng.NextInt64(0, 224));
+    TableInfo t = Catalog::MakeTable(
+        name, rows, width, {kColumns, kColumns + 4},
+        /*default_ndv=*/std::max(8.0, rows / 10.0),
+        /*indexed=*/rng.NextBool(0.8));
+    t.columns[0].stats.ndv = rows;  // pk
+    t.columns[1].stats.ndv = LogUniform(rng, std::max(2.0, rows / 100.0),
+                                        rows);  // fk
+    for (int c = 2; c < 4; ++c) {  // a, b
+      t.columns[c].stats.ndv = LogUniform(rng, 8.0, rows);
+      AttachHistogram(&t.columns[c], rng, opts.max_zipf_theta);
+    }
+    inst.catalog.AddTable(std::move(t));
+    inst.query.tables.push_back(name);
+  }
+  inst.query.name = StrPrintf("fuzz_0x%llx",
+                              static_cast<unsigned long long>(seed));
+
+  // ---- Join graph: chain, or star with t0 as the hub.
+  const bool star = num_tables >= 3 && rng.NextBool(0.4);
+  for (int i = 1; i < num_tables; ++i) {
+    inst.query.joins.push_back(star
+                                   ? MakeJoin("t0", inst.query.tables[i])
+                                   : MakeJoin(inst.query.tables[i - 1],
+                                              inst.query.tables[i]));
+  }
+
+  // ---- Selection predicates: per table, a range filter on a data column,
+  // either bound to a histogram-derived constant or to an abstract default
+  // selectivity.
+  static const CompareOp kOps[] = {CompareOp::kLess, CompareOp::kLessEqual,
+                                   CompareOp::kGreater,
+                                   CompareOp::kGreaterEqual};
+  for (int i = 0; i < num_tables; ++i) {
+    if (!rng.NextBool(0.6)) continue;
+    SelectionPredicate f;
+    f.table = inst.query.tables[i];
+    f.column = rng.NextBool(0.5) ? "a" : "b";
+    f.op = kOps[rng.NextUint64(4)];
+    const TableInfo& t = inst.catalog.GetTable(f.table);
+    const Histogram& h =
+        t.columns[t.ColumnIndex(f.column)].stats.histogram;
+    if (rng.NextBool(0.5) && !h.empty()) {
+      // Keep the bound away from the domain edges so the estimated
+      // selectivity stays comfortably inside (0, 1).
+      f.constant = h.Quantile(0.05 + 0.9 * rng.NextDouble());
+    } else {
+      f.default_selectivity = std::pow(10.0, -2.0 * rng.NextDouble());
+    }
+    inst.query.filters.push_back(std::move(f));
+  }
+
+  // ---- Error dimensions over distinct predicates.
+  std::vector<ErrorDimension> pool;
+  for (size_t i = 0; i < inst.query.filters.size(); ++i) {
+    ErrorDimension d;
+    d.kind = DimKind::kSelection;
+    d.predicate_index = static_cast<int>(i);
+    d.label = inst.query.filters[i].table + "." + inst.query.filters[i].column;
+    pool.push_back(std::move(d));
+  }
+  if (opts.allow_join_dims) {
+    for (size_t i = 0; i < inst.query.joins.size(); ++i) {
+      ErrorDimension d;
+      d.kind = DimKind::kJoin;
+      d.predicate_index = static_cast<int>(i);
+      d.label = inst.query.joins[i].left_table + "." +
+                inst.query.joins[i].left_column + "=" +
+                inst.query.joins[i].right_table + "." +
+                inst.query.joins[i].right_column;
+      pool.push_back(std::move(d));
+    }
+  }
+  if (pool.empty()) {
+    // No filters materialized and join dims are disallowed: force one
+    // abstract filter so the instance still has an ESS.
+    SelectionPredicate f;
+    f.table = "t0";
+    f.column = "a";
+    f.default_selectivity = 1.0 / 3.0;
+    inst.query.filters.push_back(f);
+    ErrorDimension d;
+    d.kind = DimKind::kSelection;
+    d.predicate_index = static_cast<int>(inst.query.filters.size()) - 1;
+    d.label = "t0.a";
+    pool.push_back(std::move(d));
+  }
+  const int want =
+      1 + static_cast<int>(rng.NextInt64(0, opts.max_dims - 1));
+  const std::vector<uint32_t> order =
+      rng.Permutation(static_cast<uint32_t>(pool.size()));
+  const int dims = std::min<int>(want, static_cast<int>(pool.size()));
+  for (int d = 0; d < dims; ++d) {
+    ErrorDimension dim = pool[order[d]];
+    // hi in [1e-2, 1], spanning 1-4 decades below it (floored at 1e-7 so
+    // log-spaced axes never underflow the resolver's positivity contract).
+    dim.hi = std::pow(10.0, -2.0 * rng.NextDouble());
+    const double span = 1.0 + 3.0 * rng.NextDouble();
+    dim.lo = std::max(dim.hi * std::pow(10.0, -span), 1e-7);
+    inst.query.error_dims.push_back(std::move(dim));
+  }
+
+  // ---- Optional SPJA aggregate (sits above every error node).
+  if (opts.allow_aggregates && rng.NextBool(0.25)) {
+    inst.query.aggregate.enabled = true;
+    inst.query.aggregate.group_by = {{"t0", "a"}};
+    inst.query.aggregate.func = AggregateSpec::Func::kCount;
+  }
+
+  // ---- Grid resolutions: generous in 1D, modest per-dim beyond, with a
+  // hard cap on total points so exhaustive POSP stays cheap.
+  for (int d = 0; d < dims; ++d) {
+    const int cap =
+        dims == 1 ? std::max(8, opts.max_resolution * 4) : opts.max_resolution;
+    inst.resolutions.push_back(
+        3 + static_cast<int>(rng.NextInt64(0, cap - 3)));
+  }
+  for (;;) {
+    uint64_t product = 1;
+    for (int r : inst.resolutions) product *= static_cast<uint64_t>(r);
+    if (product <= opts.max_grid_points) break;
+    auto largest = std::max_element(inst.resolutions.begin(),
+                                    inst.resolutions.end());
+    if (*largest <= 3) break;
+    *largest = std::max(3, *largest / 2);
+  }
+
+  // ---- Parameterization.
+  static const double kRatios[] = {1.5, 2.0, 2.5, 3.0};
+  static const double kLambdas[] = {0.1, 0.2, 0.3};
+  inst.bouquet_params.ratio = kRatios[rng.NextUint64(4)];
+  inst.bouquet_params.lambda = kLambdas[rng.NextUint64(3)];
+  inst.bouquet_params.anorexic = rng.NextBool(0.8);
+  inst.cost_params =
+      rng.NextBool(0.3) ? CostParams::Commercial() : CostParams::Postgres();
+
+  assert(inst.query.Validate(inst.catalog).ok());
+  assert(static_cast<int>(inst.resolutions.size()) == inst.query.NumDims());
+  return inst;
+}
+
+}  // namespace bouquet

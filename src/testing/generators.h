@@ -1,0 +1,61 @@
+// Seeded random instance generation for the property-based invariant
+// harness.
+//
+// An "instance" is everything the compile-time pipeline consumes: a random
+// schema/catalog (row counts, NDVs, Zipf-skewed equi-depth histograms), a
+// random SPJ(A) query template over it (chain or star join graph, optional
+// filters with histogram-bound constants), 1-3 error-prone selectivity
+// dimensions with random log-spans, per-dimension grid resolutions, and the
+// cost-model / bouquet parameterization. Generation is a pure function of
+// (seed, options) via the library Rng, so every instance — and hence every
+// harness failure — is exactly replayable from a seed.
+
+#ifndef BOUQUET_TESTING_GENERATORS_H_
+#define BOUQUET_TESTING_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bouquet/bouquet.h"
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// Knobs bounding the generated instance space. The shrinker minimizes
+/// failing instances by walking these downward, so every field must keep the
+/// generator total (any in-range combination yields a valid instance).
+struct FuzzGenOptions {
+  int max_tables = 5;            ///< join-graph size cap (>= 2)
+  int max_dims = 3;              ///< ESS dimensionality cap (>= 1)
+  int max_resolution = 14;       ///< per-dim grid resolution cap (>= 3)
+  uint64_t max_grid_points = 1200;  ///< total-grid-size cap (>= 27)
+  double max_zipf_theta = 1.2;   ///< histogram value-skew cap (0 = uniform)
+  bool allow_join_dims = true;   ///< permit error dims on join predicates
+  bool allow_aggregates = true;  ///< permit an SPJA aggregate block
+};
+
+/// A fully materialized random pipeline input.
+struct FuzzInstance {
+  uint64_t seed = 0;
+  Catalog catalog;
+  QuerySpec query;
+  std::vector<int> resolutions;  ///< one per error dimension
+  CostParams cost_params;
+  BouquetParams bouquet_params;
+
+  /// One-line description for failure messages, e.g.
+  /// "seed=0x2a tables=3 dims=2 grid=12x9 ratio=2 lambda=0.2".
+  std::string Describe() const;
+};
+
+/// Deterministically generates one instance. The result always passes
+/// QuerySpec::Validate against its own catalog.
+FuzzInstance GenerateFuzzInstance(uint64_t seed,
+                                  const FuzzGenOptions& options = {});
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_TESTING_GENERATORS_H_

@@ -1,0 +1,99 @@
+#include "testing/harness.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "service/template_key.h"
+
+namespace bouquet {
+
+FuzzConfig FuzzConfig::FromEnv() {
+  FuzzConfig config;
+  if (const char* iters = std::getenv("BOUQUET_FUZZ_ITERS")) {
+    config.iterations = std::max(1, std::atoi(iters));
+  }
+  if (const char* seed = std::getenv("BOUQUET_FUZZ_SEED")) {
+    config.base_seed = std::strtoull(seed, nullptr, 0);
+  }
+  if (const char* dir = std::getenv("BOUQUET_REPRO_DIR")) {
+    config.repro_dir = dir;
+  }
+  return config;
+}
+
+std::string FuzzReport::Summary() const {
+  std::string s = StrPrintf(
+      "%d instances, %llu grid points, checksum 0x%" PRIx64
+      ", max bound utilization %.3f, %zu failure(s)",
+      instances, static_cast<unsigned long long>(total_grid_points),
+      instance_checksum, max_bound_utilization, failures.size());
+  for (const auto& f : failures) {
+    s += "\n  " + f.instance + " -> " + f.detail;
+    if (!f.repro_path.empty()) s += " [repro: " + f.repro_path + "]";
+  }
+  return s;
+}
+
+FuzzReport RunFuzz(const FuzzConfig& config) {
+  FuzzReport report;
+  for (int i = 0; i < config.iterations; ++i) {
+    const uint64_t seed = config.base_seed + static_cast<uint64_t>(i);
+    const FuzzInstance instance = GenerateFuzzInstance(seed, config.gen);
+
+    OracleOptions options;
+    options.mutation = config.mutation;
+    options.differential_samples = config.differential_samples;
+    options.metamorphic = config.metamorphic_every > 0 &&
+                          i % config.metamorphic_every == 0;
+    const InvariantReport check = CheckInvariants(instance, options);
+
+    ++report.instances;
+    report.total_grid_points += check.grid_points;
+    report.instance_checksum =
+        report.instance_checksum * 1099511628211ULL ^
+        TemplateHash(TemplateSignature(instance.query, instance.resolutions,
+                                       instance.cost_params,
+                                       instance.bouquet_params));
+    if (check.mso_bound_value > 0.0) {
+      report.max_bound_utilization =
+          std::max(report.max_bound_utilization,
+                   check.mso / check.mso_bound_value);
+    }
+    if (check.ok()) continue;
+
+    FuzzFailure failure;
+    failure.spec = {seed, config.gen, config.mutation};
+    failure.instance = instance.Describe();
+    if (config.shrink) {
+      const ShrinkResult shrunk = ShrinkFailure(failure.spec);
+      failure.shrunk = shrunk.minimal;
+      failure.oracle = shrunk.oracle;
+      failure.detail = shrunk.detail;
+    } else {
+      failure.shrunk = failure.spec;
+      failure.detail = check.FirstFailure();
+      const size_t colon = failure.detail.find(':');
+      failure.oracle = colon == std::string::npos
+                           ? failure.detail
+                           : failure.detail.substr(0, colon);
+    }
+    if (!config.repro_dir.empty()) {
+      failure.repro_path = StrPrintf("%s/fuzz_0x%" PRIx64 ".repro",
+                                     config.repro_dir.c_str(), seed);
+      if (!WriteRepro(failure.shrunk, failure.oracle, failure.detail,
+                      failure.repro_path)
+               .ok()) {
+        failure.repro_path.clear();
+      }
+    }
+    report.failures.push_back(std::move(failure));
+    if (static_cast<int>(report.failures.size()) >= config.max_failures) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,179 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace bouquet {
+
+InvariantReport CheckRepro(const ReproSpec& spec) {
+  OracleOptions options;
+  options.mutation = spec.mutation;
+  options.metamorphic = false;
+  // Shrinking re-checks dozens of candidates; a light differential sample
+  // keeps that cheap while preserving the oracle set.
+  options.differential_samples = 8;
+  options.roundtrip_replays = 2;
+  return CheckInvariants(GenerateFuzzInstance(spec.seed, spec.gen), options);
+}
+
+namespace {
+
+// The downward moves, in preference order: grid size first (the dominant
+// cost), then structure, then feature flags.
+std::vector<ReproSpec> ShrinkCandidates(const ReproSpec& cur) {
+  std::vector<ReproSpec> out;
+  auto push = [&](ReproSpec next) { out.push_back(std::move(next)); };
+  if (cur.gen.max_resolution > 3) {
+    ReproSpec next = cur;
+    next.gen.max_resolution = std::max(3, cur.gen.max_resolution / 2);
+    push(next);
+  }
+  if (cur.gen.max_grid_points > 27) {
+    ReproSpec next = cur;
+    next.gen.max_grid_points = std::max<uint64_t>(27,
+                                                  cur.gen.max_grid_points / 4);
+    push(next);
+  }
+  if (cur.gen.max_tables > 2) {
+    ReproSpec next = cur;
+    next.gen.max_tables = cur.gen.max_tables - 1;
+    push(next);
+  }
+  if (cur.gen.max_dims > 1) {
+    ReproSpec next = cur;
+    next.gen.max_dims = cur.gen.max_dims - 1;
+    push(next);
+  }
+  if (cur.gen.allow_aggregates) {
+    ReproSpec next = cur;
+    next.gen.allow_aggregates = false;
+    push(next);
+  }
+  if (cur.gen.allow_join_dims) {
+    ReproSpec next = cur;
+    next.gen.allow_join_dims = false;
+    push(next);
+  }
+  if (cur.gen.max_zipf_theta > 0.0) {
+    ReproSpec next = cur;
+    next.gen.max_zipf_theta = 0.0;
+    push(next);
+  }
+  return out;
+}
+
+std::string OracleNameOf(const std::string& first_failure) {
+  const size_t colon = first_failure.find(':');
+  return colon == std::string::npos ? first_failure
+                                    : first_failure.substr(0, colon);
+}
+
+}  // namespace
+
+ShrinkResult ShrinkFailure(const ReproSpec& failing, int max_attempts) {
+  ShrinkResult result;
+  result.minimal = failing;
+
+  InvariantReport report = CheckRepro(failing);
+  ++result.attempts;
+  if (report.ok()) return result;  // nothing to shrink
+  result.oracle = OracleNameOf(report.FirstFailure());
+  result.detail = report.FirstFailure();
+
+  bool progressed = true;
+  while (progressed && result.attempts < max_attempts) {
+    progressed = false;
+    for (const ReproSpec& candidate : ShrinkCandidates(result.minimal)) {
+      if (result.attempts >= max_attempts) break;
+      const InvariantReport cand_report = CheckRepro(candidate);
+      ++result.attempts;
+      if (cand_report.ok()) continue;  // candidate no longer fails; skip
+      result.minimal = candidate;
+      result.oracle = OracleNameOf(cand_report.FirstFailure());
+      result.detail = cand_report.FirstFailure();
+      ++result.reductions;
+      progressed = true;
+      break;  // restart from the shrunk spec
+    }
+  }
+  return result;
+}
+
+Status WriteRepro(const ReproSpec& spec, const std::string& oracle,
+                  const std::string& detail, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open repro file for writing: " + path);
+  }
+  out << "# bouquet-fuzz repro v1\n";
+  out << "# oracle " << oracle << "\n";
+  out << "# detail " << detail << "\n";
+  out << StrPrintf("seed 0x%" PRIx64 "\n", spec.seed);
+  out << "max_tables " << spec.gen.max_tables << "\n";
+  out << "max_dims " << spec.gen.max_dims << "\n";
+  out << "max_resolution " << spec.gen.max_resolution << "\n";
+  out << "max_grid_points " << spec.gen.max_grid_points << "\n";
+  out << StrPrintf("max_zipf_theta %a\n", spec.gen.max_zipf_theta);
+  out << "allow_join_dims " << (spec.gen.allow_join_dims ? 1 : 0) << "\n";
+  out << "allow_aggregates " << (spec.gen.allow_aggregates ? 1 : 0) << "\n";
+  out << "mutation " << FuzzMutationName(spec.mutation) << "\n";
+  if (!out.good()) {
+    return Status::Internal("short write to repro file: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<ReproSpec> LoadRepro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open repro file: " + path);
+  }
+  ReproSpec spec;
+  bool have_seed = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key, value;
+    fields >> key >> value;
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument("malformed repro line: " + line);
+    }
+    if (key == "seed") {
+      spec.seed = std::strtoull(value.c_str(), nullptr, 0);
+      have_seed = true;
+    } else if (key == "max_tables") {
+      spec.gen.max_tables = std::atoi(value.c_str());
+    } else if (key == "max_dims") {
+      spec.gen.max_dims = std::atoi(value.c_str());
+    } else if (key == "max_resolution") {
+      spec.gen.max_resolution = std::atoi(value.c_str());
+    } else if (key == "max_grid_points") {
+      spec.gen.max_grid_points = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (key == "max_zipf_theta") {
+      spec.gen.max_zipf_theta = std::strtod(value.c_str(), nullptr);
+    } else if (key == "allow_join_dims") {
+      spec.gen.allow_join_dims = value != "0";
+    } else if (key == "allow_aggregates") {
+      spec.gen.allow_aggregates = value != "0";
+    } else if (key == "mutation") {
+      if (!ParseFuzzMutation(value, &spec.mutation)) {
+        return Status::InvalidArgument("unknown mutation: " + value);
+      }
+    } else {
+      return Status::InvalidArgument("unknown repro key: " + key);
+    }
+  }
+  if (!have_seed) {
+    return Status::InvalidArgument("repro file missing seed: " + path);
+  }
+  return spec;
+}
+
+}  // namespace bouquet

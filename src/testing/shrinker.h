@@ -1,0 +1,55 @@
+// Failure minimization and replayable .repro files.
+//
+// A harness failure is fully described by a ReproSpec: the instance seed,
+// the generator bounds, and the injected mutation (if any). Because
+// generation is a pure function of (seed, options), shrinking walks the
+// *configuration space* downward — smaller grids, fewer tables, fewer
+// dimensions, less skew — regenerating and re-checking each candidate, and
+// keeps the smallest spec that still fails. The result is dumped to a
+// line-oriented `.repro` file that LoadRepro/CheckRepro replay exactly.
+
+#ifndef BOUQUET_TESTING_SHRINKER_H_
+#define BOUQUET_TESTING_SHRINKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "testing/oracles.h"
+
+namespace bouquet {
+
+/// Everything needed to regenerate and re-check one instance.
+struct ReproSpec {
+  uint64_t seed = 0;
+  FuzzGenOptions gen;
+  FuzzMutation mutation = FuzzMutation::kNone;
+};
+
+/// Regenerates the spec's instance and runs every oracle (metamorphic rules
+/// excluded: shrinking re-checks many candidates and only needs the failing
+/// invariant to reproduce).
+InvariantReport CheckRepro(const ReproSpec& spec);
+
+struct ShrinkResult {
+  ReproSpec minimal;
+  int attempts = 0;    ///< candidate evaluations performed
+  int reductions = 0;  ///< accepted shrink steps
+  std::string oracle;  ///< failing oracle of the minimal spec
+  std::string detail;  ///< its failure detail
+};
+
+/// Bisects the failing spec to a local minimum: each accepted step must
+/// still fail some oracle. If `failing` does not actually fail, the result
+/// is the input with an empty `oracle`.
+ShrinkResult ShrinkFailure(const ReproSpec& failing, int max_attempts = 48);
+
+/// Writes / reads the versioned `.repro` format ('#'-prefixed lines carry
+/// non-replayed diagnostics such as the failing oracle).
+Status WriteRepro(const ReproSpec& spec, const std::string& oracle,
+                  const std::string& detail, const std::string& path);
+Result<ReproSpec> LoadRepro(const std::string& path);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_TESTING_SHRINKER_H_

@@ -1,0 +1,263 @@
+// Property-based invariant harness over randomized ESS instances.
+//
+// The gate turns the paper's theorems into machine-checked properties:
+// every randomized instance (random schema, query template, 1D-3D grid,
+// parameterization) must satisfy PIC monotonicity (Section 2), the
+// geometric isocost ladder (Section 3.1), the Theorem 3 MSO bound with a
+// differential brute-force PIC check, the anorexic (1+lambda) swallowing
+// bound (VLDB 2007), and serialize->deserialize->re-execute identity —
+// plus metamorphic rules (grid refinement, POSP sharding permutation) on a
+// sample of instances.
+//
+// Tier-1 runs 100 instances from a fixed seed; BOUQUET_FUZZ_ITERS scales
+// the count for the scheduled fuzz job. The mutation tests prove the
+// harness has teeth: a deliberately injected contour-ratio bug (and PIC /
+// budget corruptions) must be caught and shrunk to a replayable seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "testing/harness.h"
+
+namespace bouquet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The fuzz gate
+// ---------------------------------------------------------------------------
+
+TEST(PropertyFuzzGate, AllInvariantsHoldOnRandomInstances) {
+  FuzzConfig config = FuzzConfig::FromEnv();
+  if (config.repro_dir.empty()) {
+    config.repro_dir = ::testing::TempDir();
+  }
+  const FuzzReport report = RunFuzz(config);
+  EXPECT_EQ(report.instances, config.iterations);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  // On a green run the bound must never be fully consumed (it is a strict
+  // worst-case envelope, not a target).
+  EXPECT_LE(report.max_bound_utilization, 1.0 + 1e-6);
+  std::printf("fuzz gate: %s\n", report.Summary().c_str());
+}
+
+TEST(PropertyFuzzGate, RunIsDeterministicFromSeed) {
+  FuzzConfig config;
+  config.iterations = 5;
+  config.metamorphic_every = 0;
+  config.differential_samples = 4;
+  const FuzzReport a = RunFuzz(config);
+  const FuzzReport b = RunFuzz(config);
+  EXPECT_EQ(a.instance_checksum, b.instance_checksum);
+  EXPECT_EQ(a.total_grid_points, b.total_grid_points);
+  EXPECT_DOUBLE_EQ(a.max_bound_utilization, b.max_bound_utilization);
+  // A different base seed explores a different instance stream.
+  config.base_seed += 1000003;
+  const FuzzReport c = RunFuzz(config);
+  EXPECT_NE(a.instance_checksum, c.instance_checksum);
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(PropertyGenerators, InstancesAreValidAndDeterministic) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const FuzzInstance a = GenerateFuzzInstance(seed);
+    ASSERT_TRUE(a.query.Validate(a.catalog).ok()) << a.Describe();
+    ASSERT_GE(a.query.NumDims(), 1);
+    ASSERT_LE(a.query.NumDims(), 3);
+    ASSERT_EQ(a.resolutions.size(),
+              static_cast<size_t>(a.query.NumDims()));
+    uint64_t points = 1;
+    for (int r : a.resolutions) {
+      ASSERT_GE(r, 3);
+      points *= static_cast<uint64_t>(r);
+    }
+    ASSERT_LE(points, FuzzGenOptions().max_grid_points);
+    // Error dimensions reference distinct predicates (injection slots must
+    // not alias).
+    for (int i = 0; i < a.query.NumDims(); ++i) {
+      for (int j = i + 1; j < a.query.NumDims(); ++j) {
+        const auto& di = a.query.error_dims[i];
+        const auto& dj = a.query.error_dims[j];
+        ASSERT_FALSE(di.kind == dj.kind &&
+                     di.predicate_index == dj.predicate_index)
+            << a.Describe();
+      }
+    }
+    // Regeneration from the same seed is bit-identical in structure.
+    const FuzzInstance b = GenerateFuzzInstance(seed);
+    ASSERT_EQ(a.Describe(), b.Describe());
+    ASSERT_EQ(a.query.joins.size(), b.query.joins.size());
+    for (int d = 0; d < a.query.NumDims(); ++d) {
+      ASSERT_EQ(a.query.error_dims[d].lo, b.query.error_dims[d].lo);
+      ASSERT_EQ(a.query.error_dims[d].hi, b.query.error_dims[d].hi);
+    }
+  }
+}
+
+TEST(PropertyGenerators, OptionBoundsAreHonored) {
+  FuzzGenOptions opts;
+  opts.max_tables = 2;
+  opts.max_dims = 1;
+  opts.max_resolution = 5;
+  opts.allow_join_dims = false;
+  opts.allow_aggregates = false;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const FuzzInstance inst = GenerateFuzzInstance(seed, opts);
+    EXPECT_EQ(inst.query.tables.size(), 2u);
+    EXPECT_EQ(inst.query.NumDims(), 1);
+    EXPECT_FALSE(inst.query.aggregate.enabled);
+    EXPECT_EQ(inst.query.error_dims[0].kind, DimKind::kSelection);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracles on fixed seeds (one instance checked end to end, with the
+// expensive metamorphic rules forced on)
+// ---------------------------------------------------------------------------
+
+TEST(PropertyOracles, FixedSeedsPassEveryOracleIncludingMetamorphic) {
+  OracleOptions options;
+  options.metamorphic = true;
+  for (uint64_t seed : {7ULL, 42ULL, 0xB00ULL}) {
+    const FuzzInstance inst = GenerateFuzzInstance(seed);
+    const InvariantReport report = CheckInvariants(inst, options);
+    EXPECT_TRUE(report.ok())
+        << inst.Describe() << " -> " << report.FirstFailure();
+    EXPECT_GT(report.num_contours, 0);
+    EXPECT_GE(report.rho, 1);
+    EXPECT_GE(report.mso, 1.0 - 1e-9);
+    EXPECT_LE(report.mso, report.mso_bound_value * (1.0 + 1e-6));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation tests: the harness must catch injected bugs and shrink them
+// ---------------------------------------------------------------------------
+
+// The documented mutation test: a contour whose step cost silently drifts
+// off the geometric ladder is detected, shrunk, and dumped as a .repro
+// file that replays to the same failure.
+TEST(PropertyMutations, ContourRatioBugIsCaughtShrunkAndReplayable) {
+  FuzzConfig config;
+  config.iterations = 3;
+  config.metamorphic_every = 0;
+  config.differential_samples = 8;
+  config.mutation = FuzzMutation::kContourRatio;
+  config.repro_dir = ::testing::TempDir();
+  const FuzzReport report = RunFuzz(config);
+  ASSERT_FALSE(report.failures.empty())
+      << "injected contour-ratio bug was not detected";
+  const FuzzFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.oracle, "contour_ratio") << failure.detail;
+
+  // Shrinking only ever moves the configuration downward.
+  EXPECT_LE(failure.shrunk.gen.max_resolution, failure.spec.gen.max_resolution);
+  EXPECT_LE(failure.shrunk.gen.max_tables, failure.spec.gen.max_tables);
+  EXPECT_LE(failure.shrunk.gen.max_dims, failure.spec.gen.max_dims);
+  EXPECT_EQ(failure.shrunk.seed, failure.spec.seed);
+
+  // The .repro file replays to the same failing oracle.
+  ASSERT_FALSE(failure.repro_path.empty());
+  Result<ReproSpec> loaded = LoadRepro(failure.repro_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->seed, failure.shrunk.seed);
+  EXPECT_EQ(loaded->mutation, FuzzMutation::kContourRatio);
+  const InvariantReport replay = CheckRepro(loaded.value());
+  EXPECT_FALSE(replay.ok());
+  EXPECT_FALSE(replay.contour_ratio.ok) << replay.FirstFailure();
+}
+
+TEST(PropertyMutations, PicSpikeIsCaughtByMonotonicityOracle) {
+  OracleOptions options;
+  options.mutation = FuzzMutation::kPicSpike;
+  options.differential_samples = 0;  // isolate the monotonicity oracle
+  const FuzzInstance inst = GenerateFuzzInstance(11);
+  const InvariantReport report = CheckInvariants(inst, options);
+  EXPECT_FALSE(report.pic_monotone.ok) << inst.Describe();
+}
+
+TEST(PropertyMutations, DeflatedBudgetsVoidTheGuarantee) {
+  OracleOptions options;
+  options.mutation = FuzzMutation::kBudgetDeflate;
+  options.differential_samples = 0;
+  const FuzzInstance inst = GenerateFuzzInstance(11);
+  const InvariantReport report = CheckInvariants(inst, options);
+  EXPECT_FALSE(report.mso_bound.ok) << inst.Describe();
+}
+
+TEST(PropertyMutations, ShrinkerReachesAMinimalConfiguration) {
+  ReproSpec spec;
+  spec.seed = 23;
+  spec.mutation = FuzzMutation::kContourRatio;
+  const ShrinkResult shrunk = ShrinkFailure(spec);
+  ASSERT_EQ(shrunk.oracle, "contour_ratio") << shrunk.detail;
+  EXPECT_GE(shrunk.reductions, 1);
+  // The contour-ratio corruption is instance-independent, so shrinking
+  // should bottom out at the smallest configuration space.
+  EXPECT_EQ(shrunk.minimal.gen.max_resolution, 3);
+  EXPECT_EQ(shrunk.minimal.gen.max_tables, 2);
+  EXPECT_EQ(shrunk.minimal.gen.max_dims, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Repro files
+// ---------------------------------------------------------------------------
+
+TEST(PropertyRepro, WriteLoadRoundTrip) {
+  ReproSpec spec;
+  spec.seed = 0xDEADBEEFULL;
+  spec.gen.max_tables = 3;
+  spec.gen.max_dims = 2;
+  spec.gen.max_resolution = 6;
+  spec.gen.max_grid_points = 64;
+  spec.gen.max_zipf_theta = 0.75;
+  spec.gen.allow_join_dims = false;
+  spec.gen.allow_aggregates = false;
+  spec.mutation = FuzzMutation::kPicSpike;
+  const std::string path = ::testing::TempDir() + "/roundtrip.repro";
+  ASSERT_TRUE(WriteRepro(spec, "pic_monotone", "detail text", path).ok());
+  Result<ReproSpec> loaded = LoadRepro(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->seed, spec.seed);
+  EXPECT_EQ(loaded->gen.max_tables, spec.gen.max_tables);
+  EXPECT_EQ(loaded->gen.max_dims, spec.gen.max_dims);
+  EXPECT_EQ(loaded->gen.max_resolution, spec.gen.max_resolution);
+  EXPECT_EQ(loaded->gen.max_grid_points, spec.gen.max_grid_points);
+  EXPECT_DOUBLE_EQ(loaded->gen.max_zipf_theta, spec.gen.max_zipf_theta);
+  EXPECT_EQ(loaded->gen.allow_join_dims, spec.gen.allow_join_dims);
+  EXPECT_EQ(loaded->gen.allow_aggregates, spec.gen.allow_aggregates);
+  EXPECT_EQ(loaded->mutation, spec.mutation);
+}
+
+TEST(PropertyRepro, LoadRejectsMalformedFiles) {
+  EXPECT_FALSE(LoadRepro("/nonexistent/path.repro").ok());
+  const std::string path = ::testing::TempDir() + "/bad.repro";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("max_tables 3\n", f);  // no seed
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadRepro(path).ok());
+}
+
+// Replays a .repro file named by BOUQUET_REPRO (the documented workflow for
+// debugging a red fuzz gate); green once the underlying bug is fixed.
+TEST(PropertyRepro, ReplayReproFromEnv) {
+  const char* path = std::getenv("BOUQUET_REPRO");
+  if (path == nullptr) {
+    GTEST_SKIP() << "set BOUQUET_REPRO=<file.repro> to replay a failure";
+  }
+  Result<ReproSpec> spec = LoadRepro(path);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const InvariantReport report = CheckRepro(spec.value());
+  EXPECT_TRUE(report.ok()) << report.FirstFailure();
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -1,0 +1,132 @@
+// Coverage for service/template_key: invariance to error-dimension constant
+// bindings (the property that lets the bouquet cache amortize across a
+// form's invocations) and collision-freedom across structurally distinct
+// templates in a 10k-sample fuzz loop.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "service/template_key.h"
+#include "testing/generators.h"
+
+namespace bouquet {
+namespace {
+
+// A deterministic instance whose first error dimension is a selection
+// predicate (join dims disabled), so its constant can be rebound.
+FuzzInstance SelectionDimInstance(uint64_t seed) {
+  FuzzGenOptions opts;
+  opts.allow_join_dims = false;
+  return GenerateFuzzInstance(seed, opts);
+}
+
+std::string SignatureOf(const FuzzInstance& inst) {
+  return TemplateSignature(inst.query, inst.resolutions, inst.cost_params,
+                           inst.bouquet_params);
+}
+
+TEST(TemplateKey, ErrorDimConstantsHashToTheSameKey) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    FuzzInstance inst = SelectionDimInstance(seed);
+    const ErrorDimension& dim = inst.query.error_dims[0];
+    ASSERT_EQ(dim.kind, DimKind::kSelection);
+    SelectionPredicate& filter = inst.query.filters[dim.predicate_index];
+
+    const std::string base = SignatureOf(inst);
+    filter.constant = 12345;
+    const std::string bound_a = SignatureOf(inst);
+    filter.constant = -999;
+    const std::string bound_b = SignatureOf(inst);
+    EXPECT_EQ(base, bound_a) << "seed " << seed;
+    EXPECT_EQ(bound_a, bound_b) << "seed " << seed;
+    EXPECT_EQ(TemplateHash(base), TemplateHash(bound_b));
+  }
+}
+
+TEST(TemplateKey, DisplayNameIsExcluded) {
+  FuzzInstance inst = SelectionDimInstance(3);
+  const std::string base = SignatureOf(inst);
+  inst.query.name = "completely different display name";
+  EXPECT_EQ(base, SignatureOf(inst));
+}
+
+TEST(TemplateKey, NonErrorConstantsShiftTheKey) {
+  // Constants of error-free predicates bind the POSP geography, so they
+  // must be part of the identity.
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    FuzzInstance inst = SelectionDimInstance(seed);
+    const ErrorDimension& dim = inst.query.error_dims[0];
+    int free_filter = -1;
+    for (size_t i = 0; i < inst.query.filters.size(); ++i) {
+      if (static_cast<int>(i) != dim.predicate_index) {
+        free_filter = static_cast<int>(i);
+        break;
+      }
+    }
+    if (free_filter < 0) continue;  // instance has only the error filter
+    const std::string base = SignatureOf(inst);
+    inst.query.filters[free_filter].constant = 424242;
+    EXPECT_NE(base, SignatureOf(inst)) << "seed " << seed;
+    return;  // one instance with a free filter suffices
+  }
+  FAIL() << "no instance with a non-error filter in 40 seeds";
+}
+
+TEST(TemplateKey, StructuralPerturbationsChangeTheKey) {
+  FuzzInstance inst = GenerateFuzzInstance(17);
+  const std::string base = SignatureOf(inst);
+
+  {  // Join order is structural.
+    FuzzInstance permuted = inst;
+    ASSERT_GE(permuted.query.joins.size(), 1u);
+    std::swap(permuted.query.joins.front(), permuted.query.joins.back());
+    if (permuted.query.joins.size() > 1) {
+      EXPECT_NE(base, SignatureOf(permuted));
+    }
+  }
+  {  // Predicate column is structural.
+    FuzzInstance recol = inst;
+    recol.query.joins[0].right_column = "pk";
+    EXPECT_NE(base, SignatureOf(recol));
+  }
+  {  // Grid resolution is part of the compiled artifact's identity.
+    FuzzInstance res = inst;
+    res.resolutions[0] += 1;
+    EXPECT_NE(base, SignatureOf(res));
+  }
+  {  // Bouquet parameterization likewise.
+    FuzzInstance params = inst;
+    params.bouquet_params.lambda += 0.01;
+    EXPECT_NE(base, SignatureOf(params));
+  }
+}
+
+TEST(TemplateKey, TenThousandSampleFuzzLoopHasNoHashCollisions) {
+  // 10k randomized templates: distinct signatures must never collide in
+  // the 64-bit hash (a collision would silently alias two templates'
+  // bouquets in the service cache).
+  FuzzGenOptions opts;
+  opts.max_zipf_theta = 0.0;  // skip histogram skew; structure is the point
+  std::unordered_map<uint64_t, std::string> seen;
+  seen.reserve(1 << 15);
+  int distinct = 0;
+  for (uint64_t seed = 0; seed < 10000; ++seed) {
+    const FuzzInstance inst = GenerateFuzzInstance(seed, opts);
+    const std::string sig = SignatureOf(inst);
+    const uint64_t hash = TemplateHash(sig);
+    auto [it, inserted] = seen.emplace(hash, sig);
+    if (inserted) {
+      ++distinct;
+    } else {
+      ASSERT_EQ(it->second, sig)
+          << "hash collision between distinct templates at seed " << seed;
+    }
+  }
+  // The generator must actually be exploring template space.
+  EXPECT_GT(distinct, 9000);
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -1,0 +1,107 @@
+// Edge-case coverage for common/thread_pool: degenerate pool sizes, empty
+// and degenerate ParallelFor ranges, nesting from inside pool tasks, and
+// exception propagation through Submit futures.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace bouquet {
+namespace {
+
+TEST(ThreadPoolEdge, ZeroAndNegativeSizesClampToOneWorker) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.size(), 1);
+  EXPECT_EQ(zero.Submit([] { return 41 + 1; }).get(), 42);
+
+  ThreadPool negative(-4);
+  EXPECT_EQ(negative.size(), 1);
+  EXPECT_EQ(negative.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolEdge, ParallelForOverEmptyRangeNeverInvokesBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  const auto body = [&](uint64_t, uint64_t) { calls.fetch_add(1); };
+  pool.ParallelFor(0, 0, 8, body);        // empty
+  pool.ParallelFor(5, 5, 8, body);        // empty, nonzero begin
+  pool.ParallelFor(10, 3, 8, body);       // inverted
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolEdge, ParallelForZeroGrainIsClampedAndCoversRangeOnce) {
+  ThreadPool pool(3);
+  constexpr uint64_t kN = 97;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, 0, [&](uint64_t b, uint64_t e) {
+    ASSERT_LT(b, e);
+    for (uint64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolEdge, NestedParallelForFromPoolTaskCompletes) {
+  // A task running *on* the pool forks another ParallelFor across the same
+  // pool. The caller self-executes chunks, so this must complete even when
+  // every worker is busy (the deadlock-freedom contract the POSP service
+  // path relies on).
+  ThreadPool pool(2);
+  constexpr uint64_t kOuter = 4;
+  constexpr uint64_t kInner = 64;
+  std::atomic<uint64_t> total{0};
+  auto outer = pool.Submit([&] {
+    pool.ParallelFor(0, kOuter, 1, [&](uint64_t ob, uint64_t oe) {
+      for (uint64_t o = ob; o < oe; ++o) {
+        pool.ParallelFor(0, kInner, 8, [&](uint64_t b, uint64_t e) {
+          total.fetch_add(e - b);
+        });
+      }
+    });
+  });
+  outer.get();
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolEdge, SingleWorkerNestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::atomic<uint64_t> total{0};
+  auto fut = pool.Submit([&] {
+    pool.ParallelFor(0, 32, 4, [&](uint64_t b, uint64_t e) {
+      total.fetch_add(e - b);
+    });
+    return true;
+  });
+  EXPECT_TRUE(fut.get());
+  EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(ThreadPoolEdge, ExceptionPropagatesThroughSubmitFuture) {
+  ThreadPool pool(2);
+  auto throwing = pool.Submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(throwing.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.Submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPoolEdge, ManyConcurrentSubmitsAllResolve) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+}  // namespace
+}  // namespace bouquet
