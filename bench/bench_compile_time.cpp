@@ -1,12 +1,23 @@
 // Section 6.1: compile-time overheads of POSP generation — exhaustive vs
-// the contour-focused recursive-subdivision approach, and serial vs
-// parallel sharding (the task is embarrassingly parallel).
+// the contour-focused recursive-subdivision approach, serial vs parallel
+// sharding, and (PR 3) memoryless vs incremental compilation (invariant-
+// subplan memo + recost-first fast path).
+//
+// Also emits machine-readable BENCH_compile.json with per-template dp_calls
+// / recost_hits / wall seconds; `--smoke` runs only the fixed 2D/res-100
+// template (plus its memoryless reference) for the CI perf gate checked by
+// scripts/check_compile_smoke.py.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "ess/contour_generator.h"
 
 namespace bouquet {
@@ -14,6 +25,115 @@ namespace {
 
 using benchutil::AllSpaceNames;
 using benchutil::PrintHeader;
+
+struct TemplateReport {
+  std::string name;
+  uint64_t points = 0;
+  PospStats incremental;
+  PospStats memoryless;
+};
+
+double Reduction(const TemplateReport& r) {
+  return r.incremental.dp_calls > 0
+             ? static_cast<double>(r.memoryless.dp_calls) /
+                   static_cast<double>(r.incremental.dp_calls)
+             : 0.0;
+}
+
+double Speedup(const TemplateReport& r) {
+  return r.incremental.wall_seconds > 0.0
+             ? r.memoryless.wall_seconds / r.incremental.wall_seconds
+             : 0.0;
+}
+
+TemplateReport RunTemplate(const std::string& label, const QuerySpec& query,
+                           const Catalog& catalog, const EssGrid& grid,
+                           ThreadPool* pool) {
+  TemplateReport r;
+  r.name = label;
+  r.points = grid.num_points();
+  PospOptions inc;
+  inc.pool = pool;
+  GeneratePosp(query, catalog, CostParams::Postgres(), grid, inc,
+               &r.incremental);
+  PospOptions memless;
+  memless.pool = pool;
+  memless.incremental = false;
+  GeneratePosp(query, catalog, CostParams::Postgres(), grid, memless,
+               &r.memoryless);
+  return r;
+}
+
+void WriteBenchJson(const std::vector<TemplateReport>& reports,
+                    const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"templates\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const TemplateReport& r = reports[i];
+    std::fprintf(
+        f,
+        "    {\n"
+        "      \"name\": \"%s\",\n"
+        "      \"points\": %llu,\n"
+        "      \"incremental\": {\"dp_calls\": %lld, \"recost_hits\": %lld, "
+        "\"memo_hits\": %lld, \"audit_checks\": %lld, \"audit_failures\": "
+        "%lld, \"wall_seconds\": %.6f},\n"
+        "      \"memoryless\": {\"dp_calls\": %lld, \"wall_seconds\": "
+        "%.6f},\n"
+        "      \"dp_reduction\": %.3f,\n"
+        "      \"speedup\": %.3f\n"
+        "    }%s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.points),
+        r.incremental.dp_calls, r.incremental.recost_hits,
+        r.incremental.memo_hits, r.incremental.audit_checks,
+        r.incremental.audit_failures, r.incremental.wall_seconds,
+        r.memoryless.dp_calls, r.memoryless.wall_seconds, Reduction(r),
+        Speedup(r), i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\n  wrote %s\n", path);
+}
+
+void PrintTemplateTable(const std::vector<TemplateReport>& reports) {
+  std::printf("\n  %-16s %-9s %-10s %-11s %-10s %-9s %-9s %-8s\n", "template",
+              "points", "dp calls", "recost", "memoryless", "inc time",
+              "mem time", "speedup");
+  for (const TemplateReport& r : reports) {
+    std::printf(
+        "  %-16s %-9llu %-10lld %-11lld %-10lld %-7.2fs  %-7.2fs  %5.2fx\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.points),
+        r.incremental.dp_calls, r.incremental.recost_hits,
+        r.memoryless.dp_calls, r.incremental.wall_seconds,
+        r.memoryless.wall_seconds, Speedup(r));
+  }
+}
+
+// The CI perf gate's fixed templates: stock 2D and 3D TPC-H spaces at
+// resolution 100 (the tentpole's acceptance targets).
+std::vector<TemplateReport> RunFixedTemplates(bool smoke_only) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  ThreadPool pool(8);
+
+  std::vector<TemplateReport> reports;
+  {
+    const QuerySpec q2d = Make2DHQ8a(tpch);
+    const EssGrid grid(q2d, {100, 100});
+    reports.push_back(RunTemplate("2D_H_Q8a_res100", q2d, tpch, grid, &pool));
+  }
+  if (!smoke_only) {
+    const NamedSpace space = GetSpace("3D_H_Q5", tpch, tpcds);
+    const EssGrid grid(space.query, {100, 100, 100});
+    reports.push_back(
+        RunTemplate("3D_H_Q5_res100", space.query, tpch, grid, &pool));
+  }
+  return reports;
+}
 
 void PrintReproduction() {
   PrintHeader("Compile-time overheads: exhaustive vs contour-focused POSP",
@@ -64,11 +184,48 @@ void BM_ContourFocusedPosp3D(benchmark::State& state) {
 }
 BENCHMARK(BM_ContourFocusedPosp3D)->Unit(benchmark::kMillisecond);
 
+void BM_IncrementalPosp2D(benchmark::State& state) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const QuerySpec query = Make2DHQ8a(tpch);
+  const EssGrid grid(query, {64, 64});
+  PospOptions opts;
+  opts.incremental = state.range(0) != 0;
+  for (auto _ : state) {
+    const PlanDiagram d =
+        GeneratePosp(query, tpch, CostParams::Postgres(), grid, opts);
+    benchmark::DoNotOptimize(d.num_plans());
+  }
+}
+BENCHMARK(BM_IncrementalPosp2D)
+    ->Arg(0)  // memoryless
+    ->Arg(1)  // incremental
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace bouquet
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) {
+    // CI perf gate: just the fixed 2D/res-100 template + its memoryless
+    // reference, written to BENCH_compile.json for the baseline check.
+    const auto reports = bouquet::RunFixedTemplates(/*smoke_only=*/true);
+    bouquet::PrintTemplateTable(reports);
+    bouquet::WriteBenchJson(reports, "BENCH_compile.json");
+    return 0;
+  }
+
   bouquet::PrintReproduction();
+  bouquet::PrintHeader(
+      "Incremental POSP compilation: memoryless vs memo + recost fast path",
+      "the Section 6.1 overheads, PR 3 optimization");
+  const auto reports = bouquet::RunFixedTemplates(/*smoke_only=*/false);
+  bouquet::PrintTemplateTable(reports);
+  bouquet::WriteBenchJson(reports, "BENCH_compile.json");
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -55,6 +55,14 @@ DimVector EssGrid::SelectivityAt(uint64_t linear) const {
   return SelectivityAt(PointAt(linear));
 }
 
+void EssGrid::SelectivityAt(uint64_t linear, DimVector* out) const {
+  out->resize(dims());
+  for (int d = 0; d < dims(); ++d) {
+    const auto& ax = axes_[d];
+    (*out)[d] = ax[linear / strides_[d] % ax.size()];
+  }
+}
+
 uint64_t EssGrid::LinearIndex(const GridPoint& p) const {
   uint64_t idx = 0;
   for (int d = 0; d < dims(); ++d) {

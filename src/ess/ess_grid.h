@@ -41,6 +41,10 @@ class EssGrid {
   DimVector SelectivityAt(const GridPoint& p) const;
   DimVector SelectivityAt(uint64_t linear) const;
 
+  /// Allocation-free variant for per-point hot loops: writes the vector into
+  /// *out (resized to dims() if needed).
+  void SelectivityAt(uint64_t linear, DimVector* out) const;
+
   uint64_t LinearIndex(const GridPoint& p) const;
   GridPoint PointAt(uint64_t linear) const;
 

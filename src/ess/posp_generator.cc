@@ -2,13 +2,34 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
+#include "optimizer/dp_bound.h"
 #include "optimizer/optimizer.h"
 
 namespace bouquet {
 
 namespace {
+
+// SplitMix64: deterministic, shard-independent audit sampling keyed only by
+// (seed, linear point index).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+bool AuditSampled(uint64_t seed, uint64_t point, double fraction) {
+  if (fraction <= 0.0) return false;
+  const uint64_t h = Mix64(seed ^ (point * 0x9E3779B97F4A7C15ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < fraction;
+}
 
 struct ShardResult {
   // Per point in the shard: signature id into local_plans + cost.
@@ -16,39 +37,103 @@ struct ShardResult {
   std::vector<double> cost;
   std::vector<Plan> local_plans;
   std::unordered_map<std::string, int> sig_to_local;
-  long long calls = 0;
+  long long dp_calls = 0;
+  long long recost_hits = 0;
+  long long memo_hits = 0;
+  long long audit_checks = 0;
+  long long audit_failures = 0;
 };
 
 void RunShard(const QuerySpec& query, const Catalog& catalog,
-              CostParams params, const EssGrid& grid, uint64_t begin,
-              uint64_t end, ShardResult* out) {
+              CostParams params, const EssGrid& grid,
+              const PospOptions& options, uint64_t begin, uint64_t end,
+              ShardResult* out) {
   QueryOptimizer opt(query, catalog, params);
+  std::unique_ptr<DpLowerBound> bound;
+  if (options.incremental) {
+    bound = std::make_unique<DpLowerBound>(query, catalog, CostModel(params));
+  }
+
   out->local_plan.resize(end - begin);
   out->cost.resize(end - begin);
-  for (uint64_t i = begin; i < end; ++i) {
-    const Plan plan = opt.OptimizeAt(grid.SelectivityAt(i));
+
+  auto intern_local = [&](const Plan& plan) {
     auto it = out->sig_to_local.find(plan.signature);
-    int id;
-    if (it == out->sig_to_local.end()) {
-      id = static_cast<int>(out->local_plans.size());
-      out->local_plans.push_back(plan);
-      out->sig_to_local.emplace(plan.signature, id);
-    } else {
-      id = it->second;
+    if (it != out->sig_to_local.end()) return it->second;
+    const int id = static_cast<int>(out->local_plans.size());
+    out->local_plans.push_back(plan);
+    out->sig_to_local.emplace(plan.signature, id);
+    return id;
+  };
+
+  DimVector sels;
+  size_t last_hit = 0;  // previous point's winner: the best first guess
+  for (uint64_t i = begin; i < end; ++i) {
+    grid.SelectivityAt(i, &sels);
+    int id = -1;
+    double cost = 0.0;
+
+    if (bound != nullptr && !out->local_plans.empty()) {
+      // Fast path: certify a known plan optimal without running the DP.
+      // bound <= optimal <= recost(P) holds for every plan P, so
+      // recost(P) <= bound forces all three equal bit-for-bit — and when
+      // the bound's minimum was uniquely attained, the optimum is unique,
+      // so P is *the* plan the DP would emit. Exact-cost ties (which the
+      // DP breaks by enumeration order, unreproducible by recosting) mark
+      // the bound ambiguous and the point takes the full DP. Plan choice
+      // is piecewise-constant over the grid, so the previous point's
+      // winner almost always hits on the first recost.
+      bool ambiguous = false;
+      const double lb = bound->BoundAt(sels, &ambiguous);
+      if (!ambiguous && std::isfinite(lb)) {
+        const size_t k = out->local_plans.size();
+        for (size_t step = 0; step < k; ++step) {
+          const size_t p = (last_hit + step) % k;
+          const double c = opt.CostPlanAt(*out->local_plans[p].root, sels);
+          if (c <= lb) {
+            id = static_cast<int>(p);
+            cost = c;
+            break;
+          }
+        }
+      }
+      if (id >= 0) {
+        ++out->recost_hits;
+        if (AuditSampled(options.audit_seed, i, options.audit_fraction)) {
+          ++out->audit_checks;
+          const Plan ref = opt.OptimizeAt(sels);
+          if (ref.signature != out->local_plans[id].signature ||
+              ref.cost != cost) {
+            ++out->audit_failures;
+            // Correctness over speed: emit the DP's own answer.
+            id = intern_local(ref);
+            cost = ref.cost;
+          }
+        }
+      }
+    }
+
+    if (id < 0) {
+      const Plan plan = opt.OptimizeAt(sels);
+      ++out->dp_calls;
+      id = intern_local(plan);
+      cost = plan.cost;
     }
     out->local_plan[i - begin] = id;
-    out->cost[i - begin] = plan.cost;
+    out->cost[i - begin] = cost;
+    last_hit = static_cast<size_t>(id);
   }
-  out->calls = static_cast<long long>(end - begin);
+  out->memo_hits = opt.memo_hits();
 }
 
 // Interns shard results into the diagram in linear-shard order. Because a
 // plan's global id becomes "first shard containing it, first point within
 // that shard" — exactly its first occurrence in linear grid order — the
-// merged diagram is identical to a serial run regardless of chunking.
-long long MergeShards(const std::vector<ShardResult>& results, uint64_t chunk,
-                      PlanDiagram* diagram) {
-  long long calls = 0;
+// merged diagram is identical to a serial run regardless of chunking. (The
+// fast path preserves this: skipped points only reuse plans the shard's DP
+// already materialized, so local_plans order stays first-occurrence order.)
+void MergeShards(const std::vector<ShardResult>& results, uint64_t chunk,
+                 PlanDiagram* diagram, PospStats* agg) {
   for (size_t t = 0; t < results.size(); ++t) {
     const uint64_t begin = chunk * t;
     const ShardResult& r = results[t];
@@ -59,9 +144,13 @@ long long MergeShards(const std::vector<ShardResult>& results, uint64_t chunk,
     for (size_t i = 0; i < r.local_plan.size(); ++i) {
       diagram->Set(begin + i, local_to_global[r.local_plan[i]], r.cost[i]);
     }
-    calls += r.calls;
+    agg->dp_calls += r.dp_calls;
+    agg->recost_hits += r.recost_hits;
+    agg->memo_hits += r.memo_hits;
+    agg->audit_checks += r.audit_checks;
+    agg->audit_failures += r.audit_failures;
   }
-  return calls;
+  agg->shards += static_cast<long long>(results.size());
 }
 
 }  // namespace
@@ -73,28 +162,31 @@ PlanDiagram GeneratePosp(const QuerySpec& query, const Catalog& catalog,
   const uint64_t n = grid.num_points();
 
   PlanDiagram diagram(&grid);
-  long long calls = 0;
+  PospStats agg;
 
   if (options.pool != nullptr && n >= options.min_shard_points && n > 1) {
-    // Pool-backed sharding: enough chunks for load balance, but each chunk
-    // large enough to amortize its private optimizer's construction.
-    const uint64_t max_shards =
-        std::max<uint64_t>(1, 2 * (static_cast<uint64_t>(
-                                       options.pool->size()) +
-                                   1));
-    const uint64_t min_chunk = std::max<uint64_t>(1, options.min_shard_points);
-    const uint64_t chunk =
-        std::max(min_chunk, (n + max_shards - 1) / max_shards);
-    const uint64_t shards = (n + chunk - 1) / chunk;
+    // Pool-backed sharding: enough chunks for load balance, but never a
+    // shard smaller than min_shard_points — the tail is folded into the
+    // last shard instead of becoming its own (a single-point tail would pay
+    // a full per-shard optimizer construction for one DP call).
+    const uint64_t max_shards = std::max<uint64_t>(
+        2 * (static_cast<uint64_t>(options.pool->size()) + 1),
+        static_cast<uint64_t>(std::max(1, options.num_threads)));
+    const uint64_t min_chunk =
+        std::max<uint64_t>(1, options.min_shard_points);
+    const uint64_t shards =
+        std::min(max_shards, std::max<uint64_t>(1, n / min_chunk));
+    const uint64_t chunk = n / shards;
     std::vector<ShardResult> results(shards);
     options.pool->ParallelFor(0, shards, 1, [&](uint64_t sb, uint64_t se) {
       for (uint64_t s = sb; s < se; ++s) {
         const uint64_t begin = chunk * s;
-        const uint64_t end = std::min(n, begin + chunk);
-        RunShard(query, catalog, params, grid, begin, end, &results[s]);
+        const uint64_t end = (s + 1 == shards) ? n : begin + chunk;
+        RunShard(query, catalog, params, grid, options, begin, end,
+                 &results[s]);
       }
     });
-    calls = MergeShards(results, chunk, &diagram);
+    MergeShards(results, chunk, &diagram, &agg);
   } else if (options.pool == nullptr && options.num_threads > 1 &&
              n >= options.min_shard_points) {
     const int threads =
@@ -108,22 +200,23 @@ PlanDiagram GeneratePosp(const QuerySpec& query, const Catalog& catalog,
       const uint64_t end = std::min(n, begin + chunk);
       if (begin >= end) break;
       workers.emplace_back(RunShard, std::cref(query), std::cref(catalog),
-                           params, std::cref(grid), begin, end, &results[t]);
+                           params, std::cref(grid), std::cref(options), begin,
+                           end, &results[t]);
     }
     for (auto& w : workers) w.join();
     results.resize(workers.size());
-    calls = MergeShards(results, chunk, &diagram);
+    MergeShards(results, chunk, &diagram, &agg);
   } else {
-    QueryOptimizer opt(query, catalog, params);
-    for (uint64_t i = 0; i < n; ++i) {
-      const Plan plan = opt.OptimizeAt(grid.SelectivityAt(i));
-      diagram.Set(i, diagram.InternPlan(plan), plan.cost);
-    }
-    calls = static_cast<long long>(n);
+    // Serial: one shard spanning the whole grid (the fast path sees the
+    // longest possible prefix of known plans).
+    std::vector<ShardResult> results(1);
+    RunShard(query, catalog, params, grid, options, 0, n, &results[0]);
+    MergeShards(results, n, &diagram, &agg);
   }
 
   if (stats != nullptr) {
-    stats->optimizer_calls = calls;
+    *stats = agg;
+    stats->optimizer_calls = agg.dp_calls;
     stats->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

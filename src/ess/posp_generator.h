@@ -11,12 +11,34 @@
 // interned in order of first occurrence over the linear grid order, which is
 // invariant to how the grid is chunked (shards are merged in linear order).
 //
+// Incremental compilation (on by default): POSP diagrams are massively
+// redundant — a handful of plans tile huge grid regions (Harish et al.,
+// VLDB'07) — so each shard walks its points in linear (axis-major) order and,
+// before running the full DP, recosts its already-materialized winner plans
+// at the new point. When some candidate's recost c* <= the optimistic scalar
+// DP bound (optimizer/dp_bound), the point is served without a DP call:
+// bound <= optimal <= c* always holds (additive cost formulas are
+// float-monotone in child costs and recosting reproduces the enumerator's
+// exact float derivation), so the comparison can only succeed when all three
+// coincide bit-for-bit. The bound additionally reports whether its minimum
+// was uniquely attained; ambiguous points — where structurally different
+// plans tie at the optimum bit-exactly and the DP's argmin depends on its
+// enumeration order — always take the full DP. Skipped points reuse a
+// plan the shard's DP already materialized, so signature interning order —
+// first DP occurrence in linear order — is unchanged, and the emitted
+// diagram is byte-identical to a memoryless run. A seeded deterministic
+// audit additionally re-runs the full DP on a random sample of skipped
+// points and counts disagreements (none expected; see PospStats).
+//
 // Thread-safety: the query, catalog, and grid are only read; every shard
-// owns a private QueryOptimizer; the diagram is assembled single-threaded
-// after the shards join. No shared mutable state is reachable from workers.
+// owns a private QueryOptimizer (and DP bound); the diagram is assembled
+// single-threaded after the shards join. No shared mutable state is
+// reachable from workers.
 
 #ifndef BOUQUET_ESS_POSP_GENERATOR_H_
 #define BOUQUET_ESS_POSP_GENERATOR_H_
+
+#include <cstdint>
 
 #include "catalog/catalog.h"
 #include "common/thread_pool.h"
@@ -29,20 +51,39 @@ namespace bouquet {
 
 struct PospOptions {
   /// Ad-hoc thread count; honored exactly (no hardware_concurrency clamp) so
-  /// sharding behavior is reproducible across machines. Ignored when `pool`
-  /// is set.
+  /// sharding behavior is reproducible across machines. With a pool it only
+  /// raises the shard-count ceiling (the pool supplies the workers).
   int num_threads = 1;
   /// When set, grid rows are partitioned across this pool instead of ad-hoc
   /// threads. The pool is borrowed, not owned.
   ThreadPool* pool = nullptr;
   /// Grids smaller than this stay serial (per-shard optimizer construction
-  /// is not free). Lower it in tests to force multi-shard runs.
+  /// is not free), and no shard is ever smaller than this (the tail is
+  /// absorbed by the last shard). Lower it in tests to force multi-shard
+  /// runs.
   uint64_t min_shard_points = 256;
+  /// Master switch for the recost-first fast path + invariant-subplan memo
+  /// reuse across points. Off = the memoryless behavior (one full DP per
+  /// point); the output diagram is identical either way.
+  bool incremental = true;
+  /// Fraction of *skipped* points whose plan+cost are re-derived by a full
+  /// DP and compared (differential audit). Deterministic in (audit_seed,
+  /// point index), hence shard-independent. 0 disables the audit.
+  double audit_fraction = 0.01;
+  uint64_t audit_seed = 0x5eed5eedULL;
 };
 
 /// Statistics of a generation run (compile-time overheads, Section 6.1).
 struct PospStats {
+  /// Full DP invocations (== dp_calls; kept under its historical name for
+  /// dashboards). Audit re-derivations are counted separately.
   long long optimizer_calls = 0;
+  long long dp_calls = 0;      ///< points served by a full DP
+  long long recost_hits = 0;   ///< points served by the recost fast path
+  long long memo_hits = 0;     ///< DP subproblems reused across points
+  long long audit_checks = 0;  ///< skipped points re-derived by a full DP
+  long long audit_failures = 0;  ///< audit disagreements (expected 0)
+  long long shards = 0;          ///< parallel shards actually run
   double wall_seconds = 0.0;
 };
 

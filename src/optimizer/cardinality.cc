@@ -1,0 +1,90 @@
+#include "optimizer/cardinality.h"
+
+#include <cassert>
+
+namespace bouquet {
+
+uint64_t PlanTableMask(const PlanNode& root) {
+  if (root.is_scan()) return uint64_t{1} << root.table_idx;
+  uint64_t mask = 0;
+  if (root.left) mask |= PlanTableMask(*root.left);
+  if (root.right) mask |= PlanTableMask(*root.right);
+  return mask;
+}
+
+CardinalityContext::CardinalityContext(const QuerySpec& query,
+                                       const Catalog& catalog)
+    : query_(&query),
+      num_tables_(static_cast<int>(query.tables.size())) {
+  tables_.reserve(num_tables_);
+  for (const auto& name : query.tables) {
+    tables_.push_back(&catalog.GetTable(name));
+  }
+  table_filters_.resize(num_tables_);
+  for (size_t f = 0; f < query.filters.size(); ++f) {
+    table_filters_[query.TableIndex(query.filters[f].table)].push_back(
+        static_cast<int>(f));
+  }
+  join_lmask_.reserve(query.joins.size());
+  join_rmask_.reserve(query.joins.size());
+  for (const auto& j : query.joins) {
+    join_lmask_.push_back(uint64_t{1} << query.TableIndex(j.left_table));
+    join_rmask_.push_back(uint64_t{1} << query.TableIndex(j.right_table));
+  }
+  assert(query.error_dims.size() <= 32 && "dim mask is 32 bits");
+  dim_masks_.reserve(query.error_dims.size());
+  for (const auto& d : query.error_dims) {
+    if (d.kind == DimKind::kSelection) {
+      const auto& pred = query.filters[d.predicate_index];
+      dim_masks_.push_back(uint64_t{1} << query.TableIndex(pred.table));
+    } else {
+      dim_masks_.push_back(join_lmask_[d.predicate_index] |
+                           join_rmask_[d.predicate_index]);
+    }
+  }
+}
+
+double CardinalityContext::SubsetRows(uint64_t subset,
+                                      const SelectivityResolver& sel) const {
+  double rows = 1.0;
+  uint64_t s = subset;
+  while (s != 0) {
+    const int t = __builtin_ctzll(s);
+    s &= s - 1;
+    rows *= tables_[t]->stats.row_count;
+    for (int f : table_filters_[t]) rows *= sel.FilterSelectivity(f);
+  }
+  for (size_t j = 0; j < join_lmask_.size(); ++j) {
+    if ((join_lmask_[j] & subset) && (join_rmask_[j] & subset)) {
+      rows *= sel.JoinSelectivity(static_cast<int>(j));
+    }
+  }
+  return rows;
+}
+
+double CardinalityContext::SubsetWidth(uint64_t subset) const {
+  double width = 0.0;
+  for (uint64_t bits = subset; bits != 0; bits &= bits - 1) {
+    width += tables_[__builtin_ctzll(bits)]->stats.row_width_bytes;
+  }
+  return width;
+}
+
+double CardinalityContext::ScanRows(int table,
+                                    const SelectivityResolver& sel) const {
+  double out_sel = 1.0;
+  for (int f : table_filters_[table]) out_sel *= sel.FilterSelectivity(f);
+  return tables_[table]->stats.row_count * out_sel;
+}
+
+uint32_t CardinalityContext::SubsetDimMask(uint64_t subset) const {
+  uint32_t mask = 0;
+  for (size_t d = 0; d < dim_masks_.size(); ++d) {
+    if ((dim_masks_[d] & subset) == dim_masks_[d]) {
+      mask |= uint32_t{1} << d;
+    }
+  }
+  return mask;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,109 @@
+// Optimistic scalar DP: a cheap per-point lower bound on the optimal plan
+// cost.
+//
+// DpLowerBound runs the same DPsub recurrence as PlanEnumerator but keeps a
+// single scalar per relation subset — the minimum over all operator
+// alternatives of the cost obtained by feeding each side's scalar bound as
+// its input cost. Because every cost formula in CostModel is additive in its
+// inputs' costs (monotone non-decreasing), and subset cardinalities/widths
+// are fixed per point, the scalar is a true lower bound on the cost of every
+// DP entry the enumerator would keep for that subset.
+//
+// The one optimism knob is sort-merge presorting: a real DP entry may pay a
+// sort the bound skips. The bound only skips a sort when the required key
+// order is *achievable* for that side's subset (an index scan on the key
+// column, or a merge join on that key somewhere inside the subset) — a
+// static overapproximation of the orders the DP can actually carry. This
+// keeps the bound sound while making it bit-exactly tight whenever the
+// optimal plan takes no presorted-merge savings the bound also grants:
+// in that case every float in the bound recurrence is the same operation on
+// the same operands as in the enumerator, so bound == optimal cost exactly.
+// The incremental POSP fast path (ess/posp_generator) exploits exactly that
+// equality: it skips a full DP only when a recosted candidate's cost c*
+// satisfies c* <= bound, which — since bound <= opt <= c* always — can only
+// fire when all three coincide bit-for-bit.
+
+#ifndef BOUQUET_OPTIMIZER_DP_BOUND_H_
+#define BOUQUET_OPTIMIZER_DP_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/selectivity.h"
+#include "query/join_graph.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+/// Scalar optimistic-DP bound, bound to one (query, catalog, cost-model)
+/// triple. Not thread-safe: each POSP shard owns its own instance (the
+/// invariant-subset cache mutates on use).
+class DpLowerBound {
+ public:
+  DpLowerBound(const QuerySpec& query, const Catalog& catalog,
+               CostModel cost_model);
+
+  /// Lower bound on the optimizer's final plan cost (aggregate included for
+  /// SPJA queries) at the given ESS location. Returns +infinity when no
+  /// finite-cost plan exists, which callers must treat as "never skip".
+  ///
+  /// `ambiguous`, when given, is set to true if the bound's minimum is
+  /// attained by more than one (decomposition, operator) candidate with
+  /// bit-equal cost anywhere along the winning chain. At a point where the
+  /// bound is tight (bound == optimal cost), two structurally different
+  /// optimal plans tie exactly iff their chains diverge at some subset with
+  /// bit-equal bound candidates — so an unambiguous tight bound certifies
+  /// the DP's argmin is unique, and a recost matching the bound identifies
+  /// *the* plan the DP would emit (not merely *a* cost-equal plan). Callers
+  /// must fall back to the full DP on ambiguity: the DP breaks exact ties
+  /// by enumeration order, which recosting cannot reproduce.
+  double BoundAt(const DimVector& dims, bool* ambiguous = nullptr);
+
+  /// Number of BoundAt invocations served (stats plumbing).
+  long long invocations() const { return invocations_; }
+
+ private:
+  static constexpr int kNoOrder = -1;
+
+  // Rows in the enumerator's exact derivation: ScanRows order for
+  // singletons, SubsetRows order for composites.
+  double RowsFor(uint64_t s) const;
+
+  const QuerySpec* query_;
+  const Catalog* catalog_;
+  CostModel cm_;
+  JoinGraph graph_;
+  int num_tables_;
+  CardinalityContext card_;
+  SelectivityResolver resolver_;
+  std::vector<int> join_lorder_;
+  std::vector<int> join_rorder_;
+  std::vector<bool> connected_;   // per subset
+  std::vector<bool> invariant_;   // per subset: SubsetDimMask == 0
+  std::vector<double> width_;     // per subset, selectivity-independent
+  // Per subset: bitmask (over order_ids_) of key orders some DP entry for
+  // the subset *could* carry — overapproximated, see file comment.
+  std::vector<uint64_t> achievable_;
+  std::vector<int> order_ids_;    // encoded order -> bit, by scan of vector
+  // Scalar bound + tie-flag cache for ESS-invariant subsets (valid across
+  // points: an invariant subset's whole DP subtree is invariant).
+  std::vector<double> memo_;
+  std::vector<char> memo_ready_;
+  // Per-point scratch, sized once. rows_ entries for invariant subsets are
+  // computed once and kept (selectivity-independent). tie_[s] marks subsets
+  // whose bound minimum is not uniquely attained (see BoundAt).
+  std::vector<double> lb_;
+  std::vector<double> rows_;
+  std::vector<char> rows_ready_;
+  std::vector<char> tie_;
+  long long invocations_ = 0;
+
+  int OrderBit(int order) const;  // -1 when the order is not tracked
+};
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_OPTIMIZER_DP_BOUND_H_

@@ -27,40 +27,36 @@ PlanEnumerator::PlanEnumerator(const QuerySpec& query, const Catalog& catalog,
       catalog_(&catalog),
       cm_(cost_model),
       graph_(query),
-      num_tables_(static_cast<int>(query.tables.size())) {
-  tables_.reserve(num_tables_);
-  for (const auto& name : query.tables) {
-    tables_.push_back(&catalog.GetTable(name));
-  }
-  table_filters_.resize(num_tables_);
-  for (size_t f = 0; f < query.filters.size(); ++f) {
-    table_filters_[query.TableIndex(query.filters[f].table)].push_back(
-        static_cast<int>(f));
-  }
-  join_lmask_.reserve(query.joins.size());
-  join_rmask_.reserve(query.joins.size());
+      num_tables_(static_cast<int>(query.tables.size())),
+      card_(query, catalog) {
+  join_lorder_.reserve(query.joins.size());
+  join_rorder_.reserve(query.joins.size());
   for (const auto& j : query.joins) {
     const int lt = query.TableIndex(j.left_table);
     const int rt = query.TableIndex(j.right_table);
-    join_lmask_.push_back(uint64_t{1} << lt);
-    join_rmask_.push_back(uint64_t{1} << rt);
     join_lorder_.push_back(
-        EncodeOrder(lt, tables_[lt]->ColumnIndex(j.left_column)));
+        EncodeOrder(lt, card_.table(lt).ColumnIndex(j.left_column)));
     join_rorder_.push_back(
-        EncodeOrder(rt, tables_[rt]->ColumnIndex(j.right_column)));
+        EncodeOrder(rt, card_.table(rt).ColumnIndex(j.right_column)));
   }
   const uint64_t full = uint64_t{1} << num_tables_;
   connected_.resize(full, false);
+  invariant_.resize(full, false);
   for (uint64_t s = 1; s < full; ++s) {
     connected_[s] = graph_.IsConnectedSubset(s);
+    invariant_[s] = card_.SubsetDimMask(s) == 0;
   }
+  memo_.resize(full);
+  memo_ready_.assign(full, 0);
 }
 
 bool PlanEnumerator::OrderInteresting(int order, uint64_t subset) const {
   if (order == kNoOrder) return false;
-  for (size_t j = 0; j < join_lmask_.size(); ++j) {
-    const bool l_in = (join_lmask_[j] & subset) != 0;
-    const bool r_in = (join_rmask_[j] & subset) != 0;
+  const auto& lmask = card_.join_lmasks();
+  const auto& rmask = card_.join_rmasks();
+  for (size_t j = 0; j < lmask.size(); ++j) {
+    const bool l_in = (lmask[j] & subset) != 0;
+    const bool r_in = (rmask[j] & subset) != 0;
     if (l_in == r_in) continue;  // internal or fully external join
     if (l_in && join_lorder_[j] == order) return true;
     if (r_in && join_rorder_[j] == order) return true;
@@ -70,10 +66,10 @@ bool PlanEnumerator::OrderInteresting(int order, uint64_t subset) const {
 
 std::vector<PlanEnumerator::Entry> PlanEnumerator::BuildScanEntries(
     int table, const SelectivityResolver& sel) const {
-  const TableInfo& t = *tables_[table];
+  const TableInfo& t = card_.table(table);
   const double raw_rows = t.stats.row_count;
   const double width = t.stats.row_width_bytes;
-  const std::vector<int>& filters = table_filters_[table];
+  const std::vector<int>& filters = card_.table_filters(table);
   const uint64_t self = uint64_t{1} << table;
 
   double out_sel = 1.0;
@@ -151,32 +147,15 @@ std::vector<PlanEnumerator::Entry> PlanEnumerator::BuildScanEntries(
   return entries;
 }
 
-double PlanEnumerator::SubsetRows(uint64_t subset,
-                                  const SelectivityResolver& sel) const {
-  double rows = 1.0;
-  uint64_t s = subset;
-  while (s != 0) {
-    const int t = __builtin_ctzll(s);
-    s &= s - 1;
-    rows *= tables_[t]->stats.row_count;
-    for (int f : table_filters_[t]) rows *= sel.FilterSelectivity(f);
-  }
-  for (size_t j = 0; j < join_lmask_.size(); ++j) {
-    if ((join_lmask_[j] & subset) && (join_rmask_[j] & subset)) {
-      rows *= sel.JoinSelectivity(static_cast<int>(j));
-    }
-  }
-  return rows;
-}
+void PlanEnumerator::ComputeSubset(uint64_t s, const SelectivityResolver& sel,
+                                   std::vector<std::vector<Entry>>* dp_out)
+    const {
+  std::vector<std::vector<Entry>>& dp = *dp_out;
+  const auto& join_lmask = card_.join_lmasks();
+  const auto& join_rmask = card_.join_rmasks();
 
-Plan PlanEnumerator::Optimize(const SelectivityResolver& sel) const {
-  ++invocations_;
-  const uint64_t full = (uint64_t{1} << num_tables_) - 1;
-  std::vector<std::vector<Entry>> dp(full + 1);
-
-  for (int t = 0; t < num_tables_; ++t) {
-    dp[uint64_t{1} << t] = BuildScanEntries(t, sel);
-  }
+  const double out_rows = card_.SubsetRows(s, sel);
+  const double out_width = card_.SubsetWidth(s);
 
   // Deferred candidate: enough to materialize the plan node if it survives
   // the per-subset pruning.
@@ -190,157 +169,182 @@ Plan PlanEnumerator::Optimize(const SelectivityResolver& sel) const {
     int order = kNoOrder;
   };
 
+  Cand best_overall;
+  std::map<int, Cand> best_by_order;
+  auto consider = [&](const Cand& c) {
+    if (c.cost < best_overall.cost) best_overall = c;
+    if (c.order != kNoOrder && OrderInteresting(c.order, s)) {
+      auto it = best_by_order.find(c.order);
+      if (it == best_by_order.end() || c.cost < it->second.cost) {
+        best_by_order[c.order] = c;
+      }
+    }
+  };
+
+  for (uint64_t s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
+    const uint64_t s2 = s ^ s1;
+    if (!connected_[s1] || !connected_[s2]) continue;
+    if (dp[s1].empty() || dp[s2].empty()) continue;
+
+    // Crossing join predicates between s1 and s2.
+    int cross[64];
+    int num_cross = 0;
+    for (size_t j = 0; j < join_lmask.size(); ++j) {
+      const bool lr = (join_lmask[j] & s1) && (join_rmask[j] & s2);
+      const bool rl = (join_lmask[j] & s2) && (join_rmask[j] & s1);
+      if (lr || rl) cross[num_cross++] = static_cast<int>(j);
+    }
+    if (num_cross == 0) continue;
+
+    for (int i1 = 0; i1 < static_cast<int>(dp[s1].size()); ++i1) {
+      const Entry& l = dp[s1][i1];
+      const InputEst le{l.rows, l.cost, l.width};
+      for (int i2 = 0; i2 < static_cast<int>(dp[s2].size()); ++i2) {
+        const Entry& r = dp[s2][i2];
+        const InputEst re{r.rows, r.cost, r.width};
+
+        // Hash join: right side builds; probe (left) order survives.
+        consider({cm_.HashJoinCost(le, re, out_rows), OpType::kHashJoin,
+                  s1, i1, i2, -1, false, false, l.order});
+        // Materialized nested loops: outer order survives.
+        consider({cm_.MaterialNLJoinCost(le, re, out_rows),
+                  OpType::kMaterialNLJoin, s1, i1, i2, -1, false, false,
+                  l.order});
+        // Sort-merge join: any crossing predicate can be the key; inputs
+        // already sorted on their key side skip the sort.
+        for (int ci = 0; ci < num_cross; ++ci) {
+          const int j = cross[ci];
+          const bool left_holds_l = (join_lmask[j] & s1) != 0;
+          const int lkey = left_holds_l ? join_lorder_[j] : join_rorder_[j];
+          const int rkey = left_holds_l ? join_rorder_[j] : join_lorder_[j];
+          const bool lp = l.order == lkey;
+          const bool rp = r.order == rkey;
+          consider({cm_.MergeJoinCost(le, re, out_rows, lp, rp),
+                    OpType::kMergeJoin, s1, i1, i2, j, lp, rp, lkey});
+        }
+        // Index nested loops: inner must be a single base table with an
+        // index on a crossing join column; outer order survives. Only the
+        // base-table entry (i2 == 0 semantics irrelevant: inner rebuilt).
+        if ((s2 & (s2 - 1)) == 0 && i2 == 0) {
+          const int t2 = __builtin_ctzll(s2);
+          const TableInfo& ti = card_.table(t2);
+          const double raw = ti.stats.row_count;
+          const int inner_quals =
+              static_cast<int>(card_.table_filters(t2).size());
+          for (int ci = 0; ci < num_cross; ++ci) {
+            const int j = cross[ci];
+            const int inner_order = (join_lmask[j] & s2) != 0
+                                        ? join_lorder_[j]
+                                        : join_rorder_[j];
+            const ColumnInfo& col = ti.columns[inner_order % (1 << 16)];
+            if (!col.has_index) continue;
+            const double prefilter =
+                l.rows * raw * sel.JoinSelectivity(j);
+            consider({cm_.IndexNLJoinCost(le, raw, prefilter,
+                                          inner_quals + num_cross - 1,
+                                          out_rows),
+                      OpType::kIndexNLJoin, s1, i1, i2, j, false, false,
+                      l.order});
+          }
+        }
+      }
+    }
+  }
+
+  if (!std::isfinite(best_overall.cost)) return;
+
+  // Materialize the survivors: the cheapest overall plus each strictly
+  // order-distinct winner.
+  auto materialize = [&](const Cand& c) {
+    const uint64_t s2 = s ^ c.s1;
+    auto node = std::make_shared<PlanNode>();
+    node->op = c.op;
+    node->left = dp[c.s1][c.e1].plan;
+    for (size_t j = 0; j < join_lmask.size(); ++j) {
+      const bool lr = (join_lmask[j] & c.s1) && (join_rmask[j] & s2);
+      const bool rl = (join_lmask[j] & s2) && (join_rmask[j] & c.s1);
+      if (lr || rl) node->join_idxs.push_back(static_cast<int>(j));
+    }
+    if (c.op == OpType::kMergeJoin) {
+      // The merge key must be join_idxs[0] (executor contract).
+      auto it = std::find(node->join_idxs.begin(), node->join_idxs.end(),
+                          c.key_join);
+      assert(it != node->join_idxs.end());
+      std::iter_swap(node->join_idxs.begin(), it);
+      node->left_presorted = c.lp;
+      node->right_presorted = c.rp;
+    }
+    if (c.op == OpType::kIndexNLJoin) {
+      node->index_join = c.key_join;
+      // Inner child is an index-lookup scan node on the base table.
+      const int t2 = __builtin_ctzll(s2);
+      auto inner = std::make_shared<PlanNode>();
+      inner->op = OpType::kIndexScan;
+      inner->table_idx = t2;
+      inner->filter_idxs = card_.table_filters(t2);
+      inner->index_filter = -1;  // lookup key is the join, not a filter
+      inner->est_rows = dp[s2][0].rows;
+      inner->est_cost = 0.0;  // charged inside the join
+      inner->width = dp[s2][0].width;
+      node->right = std::move(inner);
+    } else {
+      node->right = dp[s2][c.e2].plan;
+    }
+    node->est_rows = out_rows;
+    node->est_cost = c.cost;
+    node->width = out_width;
+    Entry e;
+    e.plan = std::move(node);
+    e.rows = out_rows;
+    e.cost = c.cost;
+    e.width = out_width;
+    e.order = c.order;
+    return e;
+  };
+
+  dp[s].push_back(materialize(best_overall));
+  for (const auto& [order, cand] : best_by_order) {
+    if (order == best_overall.order &&
+        cand.cost >= best_overall.cost * (1 - 1e-12)) {
+      continue;  // the overall winner already carries this order
+    }
+    dp[s].push_back(materialize(cand));
+  }
+}
+
+Plan PlanEnumerator::Optimize(const SelectivityResolver& sel) const {
+  ++invocations_;
+  const uint64_t full = (uint64_t{1} << num_tables_) - 1;
+  std::vector<std::vector<Entry>> dp(full + 1);
+
+  for (int t = 0; t < num_tables_; ++t) {
+    const uint64_t s = uint64_t{1} << t;
+    if (invariant_[s] && memo_ready_[s]) {
+      dp[s] = memo_[s];
+      ++memo_hits_;
+    } else {
+      dp[s] = BuildScanEntries(t, sel);
+      if (invariant_[s]) {
+        memo_[s] = dp[s];
+        memo_ready_[s] = 1;
+      }
+    }
+  }
+
   // Ascending subset order respects DP dependencies (submask < mask).
   for (uint64_t s = 3; s <= full; ++s) {
     if ((s & (s - 1)) == 0) continue;  // singleton
     if (!connected_[s]) continue;
-
-    const double out_rows = SubsetRows(s, sel);
-    double out_width = 0.0;
-    for (uint64_t bits = s; bits != 0; bits &= bits - 1) {
-      out_width += tables_[__builtin_ctzll(bits)]->stats.row_width_bytes;
+    if (invariant_[s] && memo_ready_[s]) {
+      dp[s] = memo_[s];
+      ++memo_hits_;
+      continue;
     }
-
-    Cand best_overall;
-    std::map<int, Cand> best_by_order;
-    auto consider = [&](const Cand& c) {
-      if (c.cost < best_overall.cost) best_overall = c;
-      if (c.order != kNoOrder && OrderInteresting(c.order, s)) {
-        auto it = best_by_order.find(c.order);
-        if (it == best_by_order.end() || c.cost < it->second.cost) {
-          best_by_order[c.order] = c;
-        }
-      }
-    };
-
-    for (uint64_t s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
-      const uint64_t s2 = s ^ s1;
-      if (!connected_[s1] || !connected_[s2]) continue;
-      if (dp[s1].empty() || dp[s2].empty()) continue;
-
-      // Crossing join predicates between s1 and s2.
-      int cross[64];
-      int num_cross = 0;
-      for (size_t j = 0; j < join_lmask_.size(); ++j) {
-        const bool lr = (join_lmask_[j] & s1) && (join_rmask_[j] & s2);
-        const bool rl = (join_lmask_[j] & s2) && (join_rmask_[j] & s1);
-        if (lr || rl) cross[num_cross++] = static_cast<int>(j);
-      }
-      if (num_cross == 0) continue;
-
-      for (int i1 = 0; i1 < static_cast<int>(dp[s1].size()); ++i1) {
-        const Entry& l = dp[s1][i1];
-        const InputEst le{l.rows, l.cost, l.width};
-        for (int i2 = 0; i2 < static_cast<int>(dp[s2].size()); ++i2) {
-          const Entry& r = dp[s2][i2];
-          const InputEst re{r.rows, r.cost, r.width};
-
-          // Hash join: right side builds; probe (left) order survives.
-          consider({cm_.HashJoinCost(le, re, out_rows), OpType::kHashJoin,
-                    s1, i1, i2, -1, false, false, l.order});
-          // Materialized nested loops: outer order survives.
-          consider({cm_.MaterialNLJoinCost(le, re, out_rows),
-                    OpType::kMaterialNLJoin, s1, i1, i2, -1, false, false,
-                    l.order});
-          // Sort-merge join: any crossing predicate can be the key; inputs
-          // already sorted on their key side skip the sort.
-          for (int ci = 0; ci < num_cross; ++ci) {
-            const int j = cross[ci];
-            const bool left_holds_l = (join_lmask_[j] & s1) != 0;
-            const int lkey = left_holds_l ? join_lorder_[j] : join_rorder_[j];
-            const int rkey = left_holds_l ? join_rorder_[j] : join_lorder_[j];
-            const bool lp = l.order == lkey;
-            const bool rp = r.order == rkey;
-            consider({cm_.MergeJoinCost(le, re, out_rows, lp, rp),
-                      OpType::kMergeJoin, s1, i1, i2, j, lp, rp, lkey});
-          }
-          // Index nested loops: inner must be a single base table with an
-          // index on a crossing join column; outer order survives. Only the
-          // base-table entry (i2 == 0 semantics irrelevant: inner rebuilt).
-          if ((s2 & (s2 - 1)) == 0 && i2 == 0) {
-            const int t2 = __builtin_ctzll(s2);
-            const TableInfo& ti = *tables_[t2];
-            const double raw = ti.stats.row_count;
-            const int inner_quals =
-                static_cast<int>(table_filters_[t2].size());
-            for (int ci = 0; ci < num_cross; ++ci) {
-              const int j = cross[ci];
-              const int inner_order = (join_lmask_[j] & s2) != 0
-                                          ? join_lorder_[j]
-                                          : join_rorder_[j];
-              const ColumnInfo& col = ti.columns[inner_order % (1 << 16)];
-              if (!col.has_index) continue;
-              const double prefilter =
-                  l.rows * raw * sel.JoinSelectivity(j);
-              consider({cm_.IndexNLJoinCost(le, raw, prefilter,
-                                            inner_quals + num_cross - 1,
-                                            out_rows),
-                        OpType::kIndexNLJoin, s1, i1, i2, j, false, false,
-                        l.order});
-            }
-          }
-        }
-      }
-    }
-
-    if (!std::isfinite(best_overall.cost)) continue;
-
-    // Materialize the survivors: the cheapest overall plus each strictly
-    // order-distinct winner.
-    auto materialize = [&](const Cand& c) {
-      const uint64_t s2 = s ^ c.s1;
-      auto node = std::make_shared<PlanNode>();
-      node->op = c.op;
-      node->left = dp[c.s1][c.e1].plan;
-      for (size_t j = 0; j < join_lmask_.size(); ++j) {
-        const bool lr = (join_lmask_[j] & c.s1) && (join_rmask_[j] & s2);
-        const bool rl = (join_lmask_[j] & s2) && (join_rmask_[j] & c.s1);
-        if (lr || rl) node->join_idxs.push_back(static_cast<int>(j));
-      }
-      if (c.op == OpType::kMergeJoin) {
-        // The merge key must be join_idxs[0] (executor contract).
-        auto it = std::find(node->join_idxs.begin(), node->join_idxs.end(),
-                            c.key_join);
-        assert(it != node->join_idxs.end());
-        std::iter_swap(node->join_idxs.begin(), it);
-        node->left_presorted = c.lp;
-        node->right_presorted = c.rp;
-      }
-      if (c.op == OpType::kIndexNLJoin) {
-        node->index_join = c.key_join;
-        // Inner child is an index-lookup scan node on the base table.
-        const int t2 = __builtin_ctzll(s2);
-        auto inner = std::make_shared<PlanNode>();
-        inner->op = OpType::kIndexScan;
-        inner->table_idx = t2;
-        inner->filter_idxs = table_filters_[t2];
-        inner->index_filter = -1;  // lookup key is the join, not a filter
-        inner->est_rows = dp[s2][0].rows;
-        inner->est_cost = 0.0;  // charged inside the join
-        inner->width = dp[s2][0].width;
-        node->right = std::move(inner);
-      } else {
-        node->right = dp[s2][c.e2].plan;
-      }
-      node->est_rows = out_rows;
-      node->est_cost = c.cost;
-      node->width = out_width;
-      Entry e;
-      e.plan = std::move(node);
-      e.rows = out_rows;
-      e.cost = c.cost;
-      e.width = out_width;
-      e.order = c.order;
-      return e;
-    };
-
-    dp[s].push_back(materialize(best_overall));
-    for (const auto& [order, cand] : best_by_order) {
-      if (order == best_overall.order &&
-          cand.cost >= best_overall.cost * (1 - 1e-12)) {
-        continue;  // the overall winner already carries this order
-      }
-      dp[s].push_back(materialize(cand));
+    ComputeSubset(s, sel, &dp);
+    if (invariant_[s]) {
+      // Cache even the empty outcome: it is equally deterministic.
+      memo_[s] = dp[s];
+      memo_ready_[s] = 1;
     }
   }
 

@@ -14,6 +14,15 @@
 // outer side's order. The DP therefore keeps, per relation subset, the
 // cheapest plan overall plus the cheapest plan per sort order that can
 // still benefit a pending join (so a future merge join can skip a sort).
+//
+// Invariant-subplan memoization: a DP subproblem whose tables, filters, and
+// internal joins touch no error-prone predicate (CardinalityContext::
+// SubsetDimMask == 0) has entries that are independent of the injected ESS
+// location. Those entry vectors are computed once per enumerator and reused
+// verbatim by every later Optimize() call — bit-identical by construction,
+// since the cached vectors are exactly what a fresh run would recompute from
+// the same inputs. Plan nodes are immutable shared trees, so reuse across
+// returned plans is safe.
 
 #ifndef BOUQUET_OPTIMIZER_ENUMERATOR_H_
 #define BOUQUET_OPTIMIZER_ENUMERATOR_H_
@@ -22,6 +31,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
 #include "optimizer/selectivity.h"
@@ -45,8 +55,12 @@ class PlanEnumerator {
   /// accounting, Section 6.1).
   long long invocations() const { return invocations_; }
 
+  /// Number of DP subproblems served from the invariant-subplan memo
+  /// instead of being re-enumerated (summed over all Optimize() calls).
+  long long memo_hits() const { return memo_hits_; }
+
  private:
-  // Sort orders are encoded as table_idx * 256 + column_idx; kNoOrder for
+  // Sort orders are encoded as table_idx * 65536 + column_idx; kNoOrder for
   // unordered streams.
   static constexpr int kNoOrder = -1;
 
@@ -60,7 +74,11 @@ class PlanEnumerator {
 
   std::vector<Entry> BuildScanEntries(int table,
                                       const SelectivityResolver& sel) const;
-  double SubsetRows(uint64_t subset, const SelectivityResolver& sel) const;
+  // Enumerates every join decomposition of subset `s` into (*dp)[s]
+  // (the relocated DP loop body; leaves (*dp)[s] empty when no finite-cost
+  // plan exists).
+  void ComputeSubset(uint64_t s, const SelectivityResolver& sel,
+                     std::vector<std::vector<Entry>>* dp) const;
   // True when a stream sorted on `order` could still feed a merge join with
   // a relation outside `subset`.
   bool OrderInteresting(int order, uint64_t subset) const;
@@ -70,14 +88,15 @@ class PlanEnumerator {
   CostModel cm_;
   JoinGraph graph_;
   int num_tables_;
-  std::vector<const TableInfo*> tables_;           // by query table index
-  std::vector<std::vector<int>> table_filters_;    // filter idxs per table
-  std::vector<uint64_t> join_lmask_;               // bit of left table
-  std::vector<uint64_t> join_rmask_;               // bit of right table
-  std::vector<int> join_lorder_;                   // encoded left column
-  std::vector<int> join_rorder_;                   // encoded right column
-  std::vector<bool> connected_;                    // per subset
+  CardinalityContext card_;            // shared cardinality derivations
+  std::vector<int> join_lorder_;       // encoded left column
+  std::vector<int> join_rorder_;       // encoded right column
+  std::vector<bool> connected_;        // per subset
+  std::vector<bool> invariant_;        // per subset: SubsetDimMask == 0
+  mutable std::vector<std::vector<Entry>> memo_;  // invariant subsets only
+  mutable std::vector<char> memo_ready_;
   mutable long long invocations_ = 0;
+  mutable long long memo_hits_ = 0;
 };
 
 }  // namespace bouquet

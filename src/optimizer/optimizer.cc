@@ -10,7 +10,8 @@ QueryOptimizer::QueryOptimizer(const QuerySpec& query, const Catalog& catalog,
       catalog_(&catalog),
       cm_(params),
       enumerator_(query, catalog, cm_),
-      resolver_(query, catalog) {}
+      resolver_(query, catalog),
+      card_(query, catalog) {}
 
 Result<std::unique_ptr<QueryOptimizer>> QueryOptimizer::Create(
     const QuerySpec& query, const Catalog& catalog, CostParams params) {
@@ -32,13 +33,13 @@ Plan QueryOptimizer::OptimizeDefault() {
 double QueryOptimizer::CostPlanAt(const PlanNode& root,
                                   const DimVector& dims) {
   resolver_.Inject(dims);
-  return RecostPlanTotal(root, cm_, resolver_);
+  return RecostPlanTotal(root, cm_, resolver_, card_);
 }
 
 PlanCostDetail QueryOptimizer::RecostPlanAt(const PlanNode& root,
                                             const DimVector& dims) {
   resolver_.Inject(dims);
-  return RecostPlan(root, cm_, resolver_);
+  return RecostPlan(root, cm_, resolver_, card_);
 }
 
 DimVector QueryOptimizer::DefaultDims() const {

@@ -13,6 +13,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/enumerator.h"
 #include "optimizer/plan.h"
@@ -66,12 +67,17 @@ class QueryOptimizer {
   /// Total DP invocations served (compile-time overhead metric).
   long long invocations() const { return enumerator_.invocations(); }
 
+  /// DP subproblems served from the enumerator's invariant-subplan memo
+  /// instead of being re-enumerated (cross-point reuse metric).
+  long long memo_hits() const { return enumerator_.memo_hits(); }
+
  private:
   const QuerySpec* query_;
   const Catalog* catalog_;
   CostModel cm_;
   PlanEnumerator enumerator_;
   SelectivityResolver resolver_;
+  CardinalityContext card_;  // shared by all recosting calls
 };
 
 }  // namespace bouquet

@@ -14,10 +14,15 @@ struct RecostState {
   const SelectivityResolver* sel;
   const QuerySpec* query;
   const Catalog* catalog;
+  const CardinalityContext* ctx;
   std::vector<NodeEstimate>* out;  // may be null
 };
 
-NodeEstimate RecostRec(const PlanNode& node, RecostState* st) {
+// Returns the subtree's estimate and accumulates its base-table mask into
+// *mask_out, so join nodes can derive rows/width exactly as the enumerator
+// did (from the subset, not from re-associated child products).
+NodeEstimate RecostRec(const PlanNode& node, RecostState* st,
+                       uint64_t* mask_out) {
   // Reserve this node's preorder slot before descending.
   size_t slot = 0;
   if (st->out != nullptr) {
@@ -30,8 +35,8 @@ NodeEstimate RecostRec(const PlanNode& node, RecostState* st) {
   const CostModel& cm = *st->cm;
 
   if (node.is_scan()) {
-    const TableInfo& t =
-        st->catalog->GetTable(st->query->tables[node.table_idx]);
+    *mask_out = uint64_t{1} << node.table_idx;
+    const TableInfo& t = st->ctx->table(node.table_idx);
     const double raw = t.stats.row_count;
     const double width = t.stats.row_width_bytes;
     double out_sel = 1.0;
@@ -53,7 +58,9 @@ NodeEstimate RecostRec(const PlanNode& node, RecostState* st) {
     }
   } else if (node.is_aggregate()) {
     assert(node.left);
-    const NodeEstimate in = RecostRec(*node.left, st);
+    uint64_t in_mask = 0;
+    const NodeEstimate in = RecostRec(*node.left, st, &in_mask);
+    *mask_out = in_mask;
     const double groups =
         st->query->aggregate.EstimateGroups(*st->catalog, in.rows);
     est.rows = groups;
@@ -61,12 +68,14 @@ NodeEstimate RecostRec(const PlanNode& node, RecostState* st) {
     est.cost = st->cm->AggregateCost({in.rows, in.cost, in.width}, groups);
   } else {
     assert(node.left && node.right);
-    const NodeEstimate l = RecostRec(*node.left, st);
-    const NodeEstimate r = RecostRec(*node.right, st);
-    double join_sel = 1.0;
-    for (int j : node.join_idxs) join_sel *= sel.JoinSelectivity(j);
-    est.rows = l.rows * r.rows * join_sel;
-    est.width = l.width + r.width;
+    uint64_t lmask = 0, rmask = 0;
+    const NodeEstimate l = RecostRec(*node.left, st, &lmask);
+    const NodeEstimate r = RecostRec(*node.right, st, &rmask);
+    const uint64_t mask = lmask | rmask;
+    *mask_out = mask;
+    // Enumerator derivation: subset cardinality/width from the table mask.
+    est.rows = st->ctx->SubsetRows(mask, sel);
+    est.width = st->ctx->SubsetWidth(mask);
     const InputEst le{l.rows, l.cost, l.width};
     const InputEst re{r.rows, r.cost, r.width};
     switch (node.op) {
@@ -81,8 +90,7 @@ NodeEstimate RecostRec(const PlanNode& node, RecostState* st) {
         est.cost = cm.MaterialNLJoinCost(le, re, est.rows);
         break;
       case OpType::kIndexNLJoin: {
-        const TableInfo& t = st->catalog->GetTable(
-            st->query->tables[node.right->table_idx]);
+        const TableInfo& t = st->ctx->table(node.right->table_idx);
         const double raw = t.stats.row_count;
         assert(node.index_join >= 0);
         const double prefilter =
@@ -105,18 +113,35 @@ NodeEstimate RecostRec(const PlanNode& node, RecostState* st) {
 }  // namespace
 
 PlanCostDetail RecostPlan(const PlanNode& root, const CostModel& cm,
-                          const SelectivityResolver& sel) {
+                          const SelectivityResolver& sel,
+                          const CardinalityContext& ctx) {
   PlanCostDetail detail;
-  RecostState st{&cm, &sel, &sel.query(), &sel.catalog(), &detail.nodes};
-  const NodeEstimate top = RecostRec(root, &st);
+  RecostState st{&cm, &sel, &sel.query(), &sel.catalog(), &ctx,
+                 &detail.nodes};
+  uint64_t mask = 0;
+  const NodeEstimate top = RecostRec(root, &st, &mask);
   detail.total_cost = top.cost;
   return detail;
 }
 
 double RecostPlanTotal(const PlanNode& root, const CostModel& cm,
+                       const SelectivityResolver& sel,
+                       const CardinalityContext& ctx) {
+  RecostState st{&cm, &sel, &sel.query(), &sel.catalog(), &ctx, nullptr};
+  uint64_t mask = 0;
+  return RecostRec(root, &st, &mask).cost;
+}
+
+PlanCostDetail RecostPlan(const PlanNode& root, const CostModel& cm,
+                          const SelectivityResolver& sel) {
+  const CardinalityContext ctx(sel.query(), sel.catalog());
+  return RecostPlan(root, cm, sel, ctx);
+}
+
+double RecostPlanTotal(const PlanNode& root, const CostModel& cm,
                        const SelectivityResolver& sel) {
-  RecostState st{&cm, &sel, &sel.query(), &sel.catalog(), nullptr};
-  return RecostRec(root, &st).cost;
+  const CardinalityContext ctx(sel.query(), sel.catalog());
+  return RecostPlanTotal(root, cm, sel, ctx);
 }
 
 }  // namespace bouquet

@@ -5,12 +5,22 @@
 // model the enumerator used. This is the paper's "abstract plan costing"
 // engine hook (Section 5.4) and is the workhorse for the POSP infimum curve,
 // contour plan coverage, native-optimizer supremum, and bouquet simulation.
+//
+// Derivation identity: recosting follows the *exact floating-point
+// derivation* of the DP enumerator — join cardinalities and widths come from
+// CardinalityContext::SubsetRows/SubsetWidth over the subtree's table mask
+// (not from re-associated child products), scan cardinalities from the
+// BuildScanEntries order. Consequently, recosting a plan tree the enumerator
+// materialized yields bit-for-bit the cost the enumerator assigned it; the
+// incremental POSP fast path (ess/posp_generator) depends on this equality
+// and tests/test_recost_differential.cc enforces it.
 
 #ifndef BOUQUET_OPTIMIZER_RECOST_H_
 #define BOUQUET_OPTIMIZER_RECOST_H_
 
 #include <vector>
 
+#include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
 #include "optimizer/selectivity.h"
@@ -30,11 +40,21 @@ struct PlanCostDetail {
   std::vector<NodeEstimate> nodes;  ///< preorder, root first
 };
 
-/// Recosts the tree under the resolver's current selectivities.
+/// Recosts the tree under the resolver's current selectivities. The context
+/// must be built over the same (query, catalog) as the resolver.
 PlanCostDetail RecostPlan(const PlanNode& root, const CostModel& cm,
-                          const SelectivityResolver& sel);
+                          const SelectivityResolver& sel,
+                          const CardinalityContext& ctx);
 
 /// Cost-only variant (no per-node vector), cheaper for bulk sweeps.
+double RecostPlanTotal(const PlanNode& root, const CostModel& cm,
+                       const SelectivityResolver& sel,
+                       const CardinalityContext& ctx);
+
+/// Convenience overloads that build a CardinalityContext per call. Fine for
+/// cold paths; hot loops should hold a context (QueryOptimizer does).
+PlanCostDetail RecostPlan(const PlanNode& root, const CostModel& cm,
+                          const SelectivityResolver& sel);
 double RecostPlanTotal(const PlanNode& root, const CostModel& cm,
                        const SelectivityResolver& sel);
 

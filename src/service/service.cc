@@ -119,6 +119,11 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
     ++stats_.cache_misses;
     ++stats_.compilations;
     stats_.compile_seconds += c->compile_seconds;
+    stats_.posp_dp_calls += c->posp_stats.dp_calls;
+    stats_.posp_recost_hits += c->posp_stats.recost_hits;
+    stats_.posp_memo_hits += c->posp_stats.memo_hits;
+    stats_.posp_audit_checks += c->posp_stats.audit_checks;
+    stats_.posp_audit_failures += c->posp_stats.audit_failures;
     return c;
   }
 

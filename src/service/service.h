@@ -103,6 +103,15 @@ struct ServiceStats {
   uint64_t shared_compiles = 0;   ///< deduplicated by single-flight
   uint64_t compilations = 0;
   uint64_t warm_starts = 0;
+  /// POSP compilation counters, summed over this service's compilations
+  /// (see PospStats): full DP invocations, points served by the recost
+  /// fast path, DP subproblems reused from the invariant-subplan memo, and
+  /// differential-audit outcomes.
+  long long posp_dp_calls = 0;
+  long long posp_recost_hits = 0;
+  long long posp_memo_hits = 0;
+  long long posp_audit_checks = 0;
+  long long posp_audit_failures = 0;
   double compile_seconds = 0.0;   ///< sum over compilations only
   double execute_seconds = 0.0;
   double latency_seconds = 0.0;

@@ -407,6 +407,45 @@ OracleResult CheckMetamorphic(const FuzzInstance& inst, const EssGrid& grid,
       Fail(&r, "pooled POSP diverged from serial: " + why);
       return r;
     }
+    // Rule 1b: the incremental fast path is invisible in the output — a
+    // memoryless run (one full DP per point, no memo, no recost skips)
+    // produces a byte-identical diagram, and a high-rate differential audit
+    // of the skipped points finds no disagreement.
+    PospOptions memoryless;
+    memoryless.incremental = false;
+    PospStats memoryless_stats;
+    const PlanDiagram d_memoryless =
+        GeneratePosp(inst.query, inst.catalog, inst.cost_params, grid,
+                     memoryless, &memoryless_stats);
+    if (!DiagramsIdentical(diagram, d_memoryless, &why)) {
+      Fail(&r, "memoryless POSP diverged from incremental: " + why);
+      return r;
+    }
+    PospOptions audited;
+    audited.audit_fraction = 0.25;
+    PospStats audited_stats;
+    const PlanDiagram d_audited =
+        GeneratePosp(inst.query, inst.catalog, inst.cost_params, grid,
+                     audited, &audited_stats);
+    if (!DiagramsIdentical(diagram, d_audited, &why)) {
+      Fail(&r, "audited incremental POSP diverged: " + why);
+      return r;
+    }
+    if (audited_stats.audit_failures != 0) {
+      Fail(&r, StrPrintf("differential audit caught %lld fast-path "
+                         "disagreements",
+                         audited_stats.audit_failures));
+      return r;
+    }
+    if (audited_stats.dp_calls + audited_stats.recost_hits !=
+            static_cast<long long>(grid.num_points()) ||
+        memoryless_stats.dp_calls !=
+            static_cast<long long>(grid.num_points())) {
+      Fail(&r, "POSP point accounting broken (dp_calls + recost_hits != "
+               "points)");
+      return r;
+    }
+
     QueryOptimizer opt_threads(inst.query, inst.catalog, inst.cost_params);
     QueryOptimizer opt_pool(inst.query, inst.catalog, inst.cost_params);
     const PlanBouquet b_threads =

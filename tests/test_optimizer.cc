@@ -127,6 +127,26 @@ TEST_F(OptimizerTest, InvocationCounter) {
   EXPECT_EQ(opt.invocations(), before + 2);
 }
 
+TEST_F(OptimizerTest, InvariantSubplanMemoIsTransparent) {
+  // Two optimizers over the same query: one re-optimizing many points (memo
+  // warm after the first call), one fresh per point. Results must be
+  // bit-identical — the memo only reuses subproblems whose costs cannot
+  // depend on the injected selectivities.
+  QueryOptimizer warm(query_, catalog_, CostParams::Postgres());
+  const DimVector points[] = {{0.001}, {0.01}, {0.1}, {0.5}, {0.9}, {0.01}};
+  for (const DimVector& dims : points) {
+    QueryOptimizer fresh(query_, catalog_, CostParams::Postgres());
+    const Plan a = warm.OptimizeAt(dims);
+    const Plan b = fresh.OptimizeAt(dims);
+    EXPECT_EQ(a.signature, b.signature);
+    EXPECT_EQ(a.cost, b.cost);  // bit-exact, not approximate
+    EXPECT_EQ(a.rows, b.rows);
+  }
+  // The 1D EqQuery's error dim touches one table; every other singleton and
+  // every subset avoiding it is memoized after the first optimization.
+  EXPECT_GT(warm.memo_hits(), 0);
+}
+
 TEST_F(OptimizerTest, RecostDetailAlignsPreorder) {
   QueryOptimizer opt(query_, catalog_, CostParams::Postgres());
   const Plan plan = opt.OptimizeAt({0.1});

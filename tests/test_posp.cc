@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "ess/pic.h"
 #include "ess/posp_generator.h"
 #include "optimizer/optimizer.h"
@@ -49,9 +50,66 @@ TEST_F(PospTest, StatsReported) {
   PospStats stats;
   GeneratePosp(query_, catalog_, CostParams::Postgres(), grid_, PospOptions{},
                &stats);
-  EXPECT_EQ(stats.optimizer_calls,
+  // Every point is served by either a full DP or the recost fast path.
+  EXPECT_EQ(stats.dp_calls + stats.recost_hits,
             static_cast<long long>(grid_.num_points()));
+  EXPECT_EQ(stats.optimizer_calls, stats.dp_calls);
+  EXPECT_GT(stats.recost_hits, 0);
+  EXPECT_EQ(stats.audit_failures, 0);
+  EXPECT_EQ(stats.shards, 1);
   EXPECT_GE(stats.wall_seconds, 0.0);
+
+  // Memoryless mode restores the historical one-DP-per-point behavior.
+  PospOptions memoryless;
+  memoryless.incremental = false;
+  PospStats mstats;
+  GeneratePosp(query_, catalog_, CostParams::Postgres(), grid_, memoryless,
+               &mstats);
+  EXPECT_EQ(mstats.dp_calls, static_cast<long long>(grid_.num_points()));
+  EXPECT_EQ(mstats.recost_hits, 0);
+  EXPECT_EQ(mstats.audit_checks, 0);
+}
+
+TEST_F(PospTest, IncrementalMatchesMemoryless) {
+  PospOptions memoryless;
+  memoryless.incremental = false;
+  const PlanDiagram reference = GeneratePosp(
+      query_, catalog_, CostParams::Postgres(), grid_, memoryless);
+  PospStats stats;
+  const PlanDiagram incremental = GeneratePosp(
+      query_, catalog_, CostParams::Postgres(), grid_, PospOptions{}, &stats);
+  ASSERT_EQ(reference.num_plans(), incremental.num_plans());
+  for (int p = 0; p < reference.num_plans(); ++p) {
+    EXPECT_EQ(reference.plan(p).signature, incremental.plan(p).signature);
+  }
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) {
+    EXPECT_EQ(reference.plan_at(i), incremental.plan_at(i));
+    // Bit-exact, not approximate: skips only fire on proven equality.
+    EXPECT_EQ(reference.cost_at(i), incremental.cost_at(i));
+  }
+  EXPECT_GT(stats.recost_hits, 0);
+}
+
+TEST_F(PospTest, AuditSamplingRunsAndPasses) {
+  PospOptions audited;
+  audited.audit_fraction = 1.0;  // audit every skipped point
+  PospStats stats;
+  const PlanDiagram d = GeneratePosp(query_, catalog_, CostParams::Postgres(),
+                                     grid_, audited, &stats);
+  EXPECT_GT(stats.recost_hits, 0);
+  EXPECT_EQ(stats.audit_checks, stats.recost_hits);
+  EXPECT_EQ(stats.audit_failures, 0);
+
+  PospOptions unaudited;
+  unaudited.audit_fraction = 0.0;
+  PospStats ustats;
+  const PlanDiagram d2 = GeneratePosp(
+      query_, catalog_, CostParams::Postgres(), grid_, unaudited, &ustats);
+  EXPECT_EQ(ustats.audit_checks, 0);
+  for (uint64_t i = 0; i < grid_.num_points(); ++i) {
+    EXPECT_EQ(d.cost_at(i), d2.cost_at(i));
+    EXPECT_EQ(d.plan_at(i), d2.plan_at(i));
+  }
 }
 
 TEST_F(PospTest, ParallelEqualsSerial) {
@@ -66,6 +124,30 @@ TEST_F(PospTest, ParallelEqualsSerial) {
     EXPECT_DOUBLE_EQ(serial.cost_at(i), parallel.cost_at(i));
     EXPECT_EQ(serial.plan(serial.plan_at(i)).signature,
               parallel.plan(parallel.plan_at(i)).signature);
+  }
+}
+
+TEST_F(PospTest, PoolShardingNeverCreatesSubMinimumTails) {
+  // Regression: 65 points with a 16-point shard floor used to produce a
+  // 5th single-point tail shard (ceil-chunking); the shard count must now
+  // be clamped so every shard gets at least min_shard_points.
+  const EssGrid grid(query_, {65});
+  ThreadPool pool(3);
+  PospOptions pooled;
+  pooled.pool = &pool;
+  pooled.min_shard_points = 16;
+  PospStats stats;
+  const PlanDiagram d = GeneratePosp(query_, catalog_, CostParams::Postgres(),
+                                     grid, pooled, &stats);
+  EXPECT_GT(stats.shards, 1);
+  EXPECT_LE(stats.shards,
+            static_cast<long long>(grid.num_points() / 16));
+  const PlanDiagram serial =
+      GeneratePosp(query_, catalog_, CostParams::Postgres(), grid);
+  for (uint64_t i = 0; i < grid.num_points(); ++i) {
+    EXPECT_EQ(serial.cost_at(i), d.cost_at(i));
+    EXPECT_EQ(serial.plan(serial.plan_at(i)).signature,
+              d.plan(d.plan_at(i)).signature);
   }
 }
 

@@ -1,0 +1,88 @@
+// Differential guard for the incremental POSP fast path's core assumption:
+// RecostPlanTotal reproduces the DP enumerator's cost *bit-for-bit* for
+// every plan the enumerator materializes, at every selectivity assignment.
+// (The fast path certifies optimality by comparing a recost against a DP
+// lower bound with exact float equality as the fixpoint; any re-association
+// between the two derivations would silently disable or — worse —
+// mis-certify skips.)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ess/ess_grid.h"
+#include "ess/posp_generator.h"
+#include "optimizer/dp_bound.h"
+#include "optimizer/optimizer.h"
+#include "workloads/spaces.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+// Deterministic 64-bit mix for seeded point sampling.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// At `samples` seeded grid points: (a) the DP's winning cost equals the
+// recost of its winning plan exactly; (b) every POSP plan recosted at the
+// point costs at least the winner (the DP optimum is a true lower bound
+// over the diagram's plan set); (c) the scalar DP bound never exceeds the
+// optimum.
+void CheckSpace(const QuerySpec& query, const Catalog& catalog,
+                const EssGrid& grid, uint64_t samples, uint64_t seed) {
+  const CostParams params = CostParams::Postgres();
+  const PlanDiagram diagram = GeneratePosp(query, catalog, params, grid);
+  QueryOptimizer opt(query, catalog, params);
+  DpLowerBound bound(query, catalog, CostModel(params));
+
+  const uint64_t n = grid.num_points();
+  DimVector sels;
+  for (uint64_t k = 0; k < samples; ++k) {
+    const uint64_t i = Mix64(seed ^ k) % n;
+    grid.SelectivityAt(i, &sels);
+    const Plan p = opt.OptimizeAt(sels);
+    const double direct = opt.CostPlanAt(*p.root, sels);
+    EXPECT_EQ(p.cost, direct)
+        << "recost diverged from DP cost at point " << i;
+    for (int pl = 0; pl < diagram.num_plans(); ++pl) {
+      const double c = diagram.plan(pl).root
+                           ? opt.CostPlanAt(*diagram.plan(pl).root, sels)
+                           : 0.0;
+      EXPECT_GE(c, p.cost) << "plan " << pl << " undercut the DP optimum at "
+                           << "point " << i;
+    }
+    const double lb = bound.BoundAt(sels);
+    EXPECT_LE(lb, p.cost) << "DP bound exceeded the optimum at point " << i;
+  }
+}
+
+TEST(RecostDifferentialTest, EqQuery1DAt1kSeededPoints) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  const QuerySpec query = MakeEqQuery(catalog);
+  const EssGrid grid(query, {1000});
+  CheckSpace(query, catalog, grid, 1000, 0xD1FFE8ULL);
+}
+
+TEST(RecostDifferentialTest, Tpch2DJoinSpace) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  const QuerySpec query = Make2DHQ8a(catalog);
+  const EssGrid grid(query, {32, 32});
+  CheckSpace(query, catalog, grid, 200, 0xBEEF5ULL);
+}
+
+TEST(RecostDifferentialTest, Tpch3DSpace) {
+  const Catalog tpch = MakeTpchCatalog(1.0);
+  const Catalog tpcds = MakeTpcdsCatalog(100.0);
+  const NamedSpace space = GetSpace("3D_H_Q5", tpch, tpcds);
+  const EssGrid grid(space.query, {8, 8, 8});
+  CheckSpace(space.query, tpch, grid, 100, 0xC0FFEEULL);
+}
+
+}  // namespace
+}  // namespace bouquet

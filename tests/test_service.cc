@@ -190,8 +190,11 @@ TEST_F(ServiceTest, PoolParallelPospIdenticalToSerial) {
   const PlanDiagram parallel = GeneratePosp(
       query_, catalog_, CostParams::Postgres(), grid, opts, &stats);
 
-  EXPECT_EQ(stats.optimizer_calls,
+  // Every point is accounted for by a full DP or a certified recost skip;
+  // sharding must not lose or duplicate points.
+  EXPECT_EQ(stats.dp_calls + stats.recost_hits,
             static_cast<long long>(grid.num_points()));
+  EXPECT_EQ(stats.audit_failures, 0);
   ASSERT_EQ(parallel.num_plans(), serial.num_plans());
   for (uint64_t i = 0; i < grid.num_points(); ++i) {
     // Bit-identical: same interned plan ids, signatures, and costs.
