@@ -16,28 +16,31 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     assert(!stopping_ && "Post after ThreadPool destruction began");
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // Inline predicate loop: both operands are GUARDED_BY(mu_), so the
+      // analysis proves the condition-variable predicate runs under the
+      // lock (a lambda-based wait would hide that from it).
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain the queue before shutting down so fire-and-forget helpers
       // (e.g. ParallelFor stragglers) always run their (no-op) epilogue.
       if (queue_.empty()) return;
@@ -64,8 +67,11 @@ void ThreadPool::ParallelFor(
     std::atomic<uint64_t> done{0};
     uint64_t total, begin, end, grain;
     std::function<void(uint64_t, uint64_t)> body;
-    std::mutex mu;
-    std::condition_variable cv;
+    // mu orders the final done/cv handshake only; `done` itself is an
+    // atomic (acq_rel publishes body effects to the joining waiter), so it
+    // carries no GUARDED_BY.
+    Mutex mu;
+    CondVar cv;
   };
   auto st = std::make_shared<LoopState>();
   st->total = total;
@@ -82,8 +88,10 @@ void ThreadPool::ParallelFor(
       const uint64_t e = std::min(st->end, b + st->grain);
       st->body(b, e);
       if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->total) {
-        std::lock_guard<std::mutex> lock(st->mu);
-        st->cv.notify_all();
+        // Lock before notifying: the waiter checks the predicate under mu,
+        // so this cannot slip between its check and its block.
+        MutexLock lock(&st->mu);
+        st->cv.NotifyAll();
       }
     }
   };
@@ -95,10 +103,10 @@ void ThreadPool::ParallelFor(
   for (uint64_t i = 0; i < helpers; ++i) Post(run_chunks);
   run_chunks();
 
-  std::unique_lock<std::mutex> lock(st->mu);
-  st->cv.wait(lock, [&st] {
-    return st->done.load(std::memory_order_acquire) == st->total;
-  });
+  MutexLock lock(&st->mu);
+  while (st->done.load(std::memory_order_acquire) != st->total) {
+    st->cv.Wait(&st->mu);
+  }
 }
 
 }  // namespace bouquet

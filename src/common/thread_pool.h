@@ -16,21 +16,23 @@
 // thread, including pool workers. Tasks must not block waiting for a task
 // queued *behind* them (use ParallelFor, whose caller self-executes, for
 // fork/join patterns). The destructor drains already-queued tasks, then
-// joins.
+// joins. The queue and stop flag are GUARDED_BY(mu_) — the lock discipline
+// is enforced at compile time via common/synchronization.h, not just by
+// TSan at runtime.
 
 #ifndef BOUQUET_COMMON_THREAD_POOL_H_
 #define BOUQUET_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace bouquet {
 
@@ -70,10 +72,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bouquet

@@ -33,7 +33,7 @@ BouquetCache::Shard& BouquetCache::ShardFor(const std::string& key) {
 std::shared_ptr<const CompiledBouquet> BouquetCache::Get(
     const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -44,21 +44,24 @@ std::shared_ptr<const CompiledBouquet> BouquetCache::Get(
   return it->second->second;
 }
 
+void BouquetCache::EvictIfFullLocked(Shard& shard) {
+  if (shard.lru.size() < per_shard_capacity_) return;
+  shard.index.erase(shard.lru.back().first);
+  shard.lru.pop_back();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void BouquetCache::Put(const std::string& key,
                        std::shared_ptr<const CompiledBouquet> value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (shard.lru.size() >= per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
+  EvictIfFullLocked(shard);
   shard.lru.emplace_front(key, std::move(value));
   shard.index.emplace(key, shard.lru.begin());
   inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -67,7 +70,7 @@ void BouquetCache::Put(const std::string& key,
 size_t BouquetCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->lru.size();
   }
   return total;
@@ -85,7 +88,7 @@ CacheStats BouquetCache::stats() const {
 
 void BouquetCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->lru.clear();
     shard->index.clear();
   }

@@ -14,7 +14,9 @@
 // locking. Entries are handed out as shared_ptr<const CompiledBouquet>, so
 // an evicted bundle stays alive until its last in-flight request drops it.
 //
-// Thread-safety: all methods may be called concurrently.
+// Thread-safety: all methods may be called concurrently. Each shard's LRU
+// list and key index are GUARDED_BY the shard mutex (statically enforced
+// via common/synchronization.h); the counters are lock-free atomics.
 
 #ifndef BOUQUET_SERVICE_BOUQUET_CACHE_H_
 #define BOUQUET_SERVICE_BOUQUET_CACHE_H_
@@ -23,12 +25,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bouquet/bouquet.h"
+#include "common/synchronization.h"
 #include "bouquet/simulator.h"
 #include "ess/ess_grid.h"
 #include "ess/plan_diagram.h"
@@ -93,14 +95,19 @@ class BouquetCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     // Front = most recently used. The map points into the list.
     std::list<std::pair<std::string, std::shared_ptr<const CompiledBouquet>>>
-        lru;
-    std::unordered_map<std::string, decltype(lru)::iterator> index;
+        lru GUARDED_BY(mu);
+    std::unordered_map<std::string, decltype(lru)::iterator> index
+        GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);
+
+  /// Pops the shard's LRU entry when it is at capacity. Split out so the
+  /// eviction policy carries an explicit capability contract.
+  void EvictIfFullLocked(Shard& shard) REQUIRES(shard.mu);
 
   size_t capacity_;
   size_t per_shard_capacity_;

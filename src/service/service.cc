@@ -60,6 +60,17 @@ std::shared_ptr<const CompiledBouquet> BouquetService::Compile(
   return c;
 }
 
+void BouquetService::RecordCompileStatsLocked(const CompiledBouquet& c) {
+  ++stats_.cache_misses;
+  ++stats_.compilations;
+  stats_.compile_seconds += c.compile_seconds;
+  stats_.posp_dp_calls += c.posp_stats.dp_calls;
+  stats_.posp_recost_hits += c.posp_stats.recost_hits;
+  stats_.posp_memo_hits += c.posp_stats.memo_hits;
+  stats_.posp_audit_checks += c.posp_stats.audit_checks;
+  stats_.posp_audit_failures += c.posp_stats.audit_failures;
+}
+
 Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
     const QuerySpec& query, ServiceResult* result) {
   const std::string key = KeyFor(query);
@@ -71,7 +82,7 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
       result->cache_hit = true;
       result->compile_seconds = SecondsSince(t0);
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++stats_.cache_hits;
     return c;
   }
@@ -83,7 +94,7 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
   std::shared_future<std::shared_ptr<const CompiledBouquet>> fut;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(&inflight_mu_);
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       fut = it->second;
@@ -93,7 +104,7 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
         result->cache_hit = true;
         result->compile_seconds = SecondsSince(t0);
       }
-      std::lock_guard<std::mutex> slock(stats_mu_);
+      MutexLock slock(&stats_mu_);
       ++stats_.cache_hits;
       return c;
     } else {
@@ -107,7 +118,7 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
     auto c = Compile(query);
     cache_.Put(key, c);
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      MutexLock lock(&inflight_mu_);
       inflight_.erase(key);
     }
     promise.set_value(c);
@@ -115,15 +126,8 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
       result->compiled = true;
       result->compile_seconds = SecondsSince(t0);
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.cache_misses;
-    ++stats_.compilations;
-    stats_.compile_seconds += c->compile_seconds;
-    stats_.posp_dp_calls += c->posp_stats.dp_calls;
-    stats_.posp_recost_hits += c->posp_stats.recost_hits;
-    stats_.posp_memo_hits += c->posp_stats.memo_hits;
-    stats_.posp_audit_checks += c->posp_stats.audit_checks;
-    stats_.posp_audit_failures += c->posp_stats.audit_failures;
+    MutexLock lock(&stats_mu_);
+    RecordCompileStatsLocked(*c);
     return c;
   }
 
@@ -133,7 +137,7 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
     result->shared_compile = true;
     result->compile_seconds = SecondsSince(t0);
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   ++stats_.shared_compiles;
   return c;
 }
@@ -175,6 +179,15 @@ Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
         "kRealData requires ServiceOptions::database");
   }
 
+  // Admit the request into the counters *before* GetOrCompile bumps the
+  // hit/miss/shared counters: a stats() snapshot taken mid-request must
+  // never show cache_hits + cache_misses + shared_compiles > requests
+  // (it used to, transiently, which let CacheHitRate() exceed 1.0).
+  {
+    MutexLock lock(&stats_mu_);
+    ++stats_.requests;
+  }
+
   auto bundle_or = GetOrCompile(request.query, &r);
   if (!bundle_or.ok()) return bundle_or.status();
   std::shared_ptr<const CompiledBouquet> c = std::move(bundle_or).value();
@@ -196,8 +209,7 @@ Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
   r.compiled_bundle = std::move(c);
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
+    MutexLock lock(&stats_mu_);
     stats_.execute_seconds += r.execute_seconds;
     stats_.latency_seconds += r.latency_seconds;
   }
@@ -235,14 +247,14 @@ Status BouquetService::WarmStart(const QuerySpec& query,
                         options_.sim_options);
   cache_.Put(KeyFor(query), c);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++stats_.warm_starts;
   }
   return Status::Ok();
 }
 
 ServiceStats BouquetService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 

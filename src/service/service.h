@@ -34,7 +34,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +43,7 @@
 #include "bouquet/simulator.h"
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "common/thread_pool.h"
 #include "service/bouquet_cache.h"
 #include "storage/index.h"
@@ -158,18 +158,25 @@ class BouquetService {
   std::shared_ptr<const CompiledBouquet> Compile(const QuerySpec& query);
   uint64_t SnapToGrid(const EssGrid& grid, const DimVector& actual) const;
 
+  /// Folds one compilation's timings and POSP counters into stats_.
+  void RecordCompileStatsLocked(const CompiledBouquet& c) REQUIRES(stats_mu_);
+
   const Catalog* catalog_;
   ServiceOptions options_;
   ThreadPool pool_;
   BouquetCache cache_;
 
-  std::mutex inflight_mu_;
+  // Lock order (see DESIGN.md "Concurrency contracts"): single-flight
+  // inflight_mu_ may be held while taking a cache-shard mutex (the
+  // double-checked Get) or stats_mu_; never the reverse. stats_mu_ is a
+  // leaf: nothing else is acquired under it.
+  Mutex inflight_mu_;
   std::unordered_map<std::string,
                      std::shared_future<std::shared_ptr<const CompiledBouquet>>>
-      inflight_;
+      inflight_ GUARDED_BY(inflight_mu_);
 
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;
+  mutable Mutex stats_mu_ ACQUIRED_AFTER(inflight_mu_);
+  ServiceStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace bouquet

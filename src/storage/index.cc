@@ -52,12 +52,23 @@ int64_t SortedIndex::CountRange(int64_t lo, int64_t hi) const {
   return last - first;
 }
 
-Database::Database(Database&& other) noexcept
-    : tables_(std::move(other.tables_)),
-      hash_indexes_(std::move(other.hash_indexes_)),
-      sorted_indexes_(std::move(other.sorted_indexes_)) {}
+Database::Database(Database&& other) noexcept {
+  // Locking our own fresh mutex is redundant at runtime but lets the
+  // analysis prove the guarded-map writes; other's lock is load-bearing
+  // (its cached indexes must not move out from under a racing reader).
+  WriterMutexLock self(&index_mu_);
+  WriterMutexLock theirs(&other.index_mu_);
+  tables_ = std::move(other.tables_);
+  hash_indexes_ = std::move(other.hash_indexes_);
+  sorted_indexes_ = std::move(other.sorted_indexes_);
+}
 
 Database& Database::operator=(Database&& other) noexcept {
+  if (this == &other) return *this;
+  // Self-then-other order: fine because moves are documented load-time
+  // single-threaded (no cross-assignment cycle exists to deadlock).
+  WriterMutexLock self(&index_mu_);
+  WriterMutexLock theirs(&other.index_mu_);
   tables_ = std::move(other.tables_);
   hash_indexes_ = std::move(other.hash_indexes_);
   sorted_indexes_ = std::move(other.sorted_indexes_);
@@ -68,7 +79,11 @@ DataTable* Database::AddTable(DataTable table) {
   for (auto& t : tables_) {
     if (t->name() == table.name()) {
       *t = std::move(table);
-      // Invalidate cached indexes for the replaced table.
+      // Invalidate cached indexes for the replaced table under the writer
+      // lock: erasing these maps used to run unlocked, racing concurrent
+      // hash_index()/sorted_index() lookups of *other* tables (the maps
+      // are shared even when the keys differ).
+      WriterMutexLock lock(&index_mu_);
       for (auto it = hash_indexes_.begin(); it != hash_indexes_.end();) {
         it = it->first.first == t->name() ? hash_indexes_.erase(it)
                                           : std::next(it);
@@ -101,9 +116,17 @@ const DataTable& Database::table(const std::string& name) const {
 
 const HashIndex& Database::hash_index(const std::string& table_name,
                                       int col) {
-  auto key = std::make_pair(table_name, col);
-  std::lock_guard<std::mutex> lock(index_mu_);
-  auto it = hash_indexes_.find(key);
+  const auto key = std::make_pair(table_name, col);
+  {
+    // Fast path: cache hits only need the shared lock, so concurrent
+    // driver executions never serialize on already-built indexes.
+    ReaderMutexLock lock(&index_mu_);
+    const auto& cache = hash_indexes_;
+    auto it = cache.find(key);
+    if (it != cache.end()) return *it->second;
+  }
+  WriterMutexLock lock(&index_mu_);
+  auto it = hash_indexes_.find(key);  // re-check: another writer may have won
   if (it == hash_indexes_.end()) {
     it = hash_indexes_
              .emplace(key, std::make_unique<HashIndex>(
@@ -115,8 +138,14 @@ const HashIndex& Database::hash_index(const std::string& table_name,
 
 const SortedIndex& Database::sorted_index(const std::string& table_name,
                                           int col) {
-  auto key = std::make_pair(table_name, col);
-  std::lock_guard<std::mutex> lock(index_mu_);
+  const auto key = std::make_pair(table_name, col);
+  {
+    ReaderMutexLock lock(&index_mu_);
+    const auto& cache = sorted_indexes_;
+    auto it = cache.find(key);
+    if (it != cache.end()) return *it->second;
+  }
+  WriterMutexLock lock(&index_mu_);
   auto it = sorted_indexes_.find(key);
   if (it == sorted_indexes_.end()) {
     it = sorted_indexes_

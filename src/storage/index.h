@@ -11,11 +11,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/synchronization.h"
 #include "storage/table.h"
 
 namespace bouquet {
@@ -54,15 +54,19 @@ class SortedIndex {
 ///
 /// Thread-safety: once loading is done (no more AddTable calls), concurrent
 /// readers are safe — `table()` is read-only, and the lazy index caches
-/// behind `hash_index()`/`sorted_index()` are mutex-protected (a returned
-/// index reference stays valid and immutable for the Database's lifetime).
-/// AddTable itself must not race with readers: it may drop cached indexes
-/// of the replaced table.
+/// behind `hash_index()`/`sorted_index()` are guarded by a reader/writer
+/// lock (cache hits take it shared, so concurrent driver executions do not
+/// serialize; a returned index reference stays valid and immutable until
+/// the table is replaced or the Database dies). AddTable must not race with
+/// readers *of the replaced table* — it mutates that table in place and
+/// drops its cached indexes — but its cache invalidation takes the writer
+/// lock, so a concurrent lookup on a different table is safe.
 class Database {
  public:
   Database() = default;
-  /// Movable for load-time convenience only — like AddTable, a move must
-  /// not race with readers (the mutex is not transferred).
+  /// Movable for load-time convenience only — a move must not race with
+  /// readers of either operand (the mutex is not transferred, but both
+  /// sides' caches are locked while the maps move).
   Database(Database&& other) noexcept;
   Database& operator=(Database&& other) noexcept;
 
@@ -84,13 +88,16 @@ class Database {
 
  private:
   // Guards the two lazy index caches (concurrent driver executions).
-  std::mutex index_mu_;
+  // Hits are shared-lock lookups; misses upgrade to the writer lock to
+  // build and cache. tables_ is deliberately unguarded: it is read-only
+  // after loading (AddTable/moves are documented single-threaded).
+  mutable SharedMutex index_mu_;
   // Deque-like stability via unique_ptr.
   std::vector<std::unique_ptr<DataTable>> tables_;
   std::map<std::pair<std::string, int>, std::unique_ptr<HashIndex>>
-      hash_indexes_;
+      hash_indexes_ GUARDED_BY(index_mu_);
   std::map<std::pair<std::string, int>, std::unique_ptr<SortedIndex>>
-      sorted_indexes_;
+      sorted_indexes_ GUARDED_BY(index_mu_);
 };
 
 }  // namespace bouquet

@@ -1,0 +1,92 @@
+# Meta-test for the negative-compilation harness (run via `ctest`, see
+# tests/static/CMakeLists.txt). Recompiles every probe in BOTH modes and
+# asserts the full matrix:
+#
+#                      | control_*.cc | negative probes
+#   enforcement OFF    |   compiles   |   compiles        (macros no-op)
+#   enforcement ON(*)  |   compiles   |   MUST NOT compile
+#
+#   (*) only checkable when the compiler is Clang; on other compilers the
+#       ON half is reported as skipped (the CI static-analysis job runs
+#       this test under Clang, so the skip never hides a rotted gate on
+#       the gating platform).
+#
+# Usage:
+#   cmake -DCXX_COMPILER=... -DCXX_COMPILER_ID=... -DSRC_INCLUDE_DIR=...
+#         -DPROBE_DIR=... -DWORK_DIR=... -P check_probes.cmake
+
+foreach(v CXX_COMPILER CXX_COMPILER_ID SRC_INCLUDE_DIR PROBE_DIR WORK_DIR)
+  if(NOT DEFINED ${v})
+    message(FATAL_ERROR "check_probes.cmake: missing -D${v}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+file(GLOB _probes RELATIVE ${PROBE_DIR} ${PROBE_DIR}/*.cc)
+if(NOT _probes)
+  message(FATAL_ERROR "no probes found in ${PROBE_DIR}")
+endif()
+
+set(_base_flags -std=c++20 -I${SRC_INCLUDE_DIR} -c)
+set(_enforce_flags -Wthread-safety -Wthread-safety-beta
+                   -Werror=thread-safety)
+
+# compile(<probe> <enforce: ON|OFF> <result-var>)
+function(compile_probe probe enforce out_var)
+  set(_flags ${_base_flags})
+  if(enforce)
+    list(APPEND _flags ${_enforce_flags})
+  endif()
+  execute_process(
+      COMMAND ${CXX_COMPILER} ${_flags} ${PROBE_DIR}/${probe}
+              -o ${WORK_DIR}/probe.o
+      RESULT_VARIABLE _rc
+      OUTPUT_VARIABLE _out
+      ERROR_VARIABLE _err)
+  if(_rc EQUAL 0)
+    set(${out_var} TRUE PARENT_SCOPE)
+  else()
+    set(${out_var} FALSE PARENT_SCOPE)
+    set(${out_var}_DIAG "${_err}" PARENT_SCOPE)
+  endif()
+endfunction()
+
+set(_failures "")
+
+foreach(p ${_probes})
+  # OFF half: every probe compiles with the plain toolchain.
+  compile_probe(${p} FALSE _off_ok)
+  if(NOT _off_ok)
+    list(APPEND _failures
+        "'${p}' does not compile without enforcement (macros not no-ops?):\n${_off_ok_DIAG}")
+  endif()
+
+  # ON half: needs Clang for the analysis to exist.
+  if(CXX_COMPILER_ID MATCHES "Clang")
+    compile_probe(${p} TRUE _on_ok)
+    if(p MATCHES "^control_")
+      if(NOT _on_ok)
+        list(APPEND _failures
+            "control '${p}' fails under enforcement (harness broken):\n${_on_ok_DIAG}")
+      endif()
+    else()
+      if(_on_ok)
+        list(APPEND _failures
+            "negative probe '${p}' COMPILES under -Werror=thread-safety — the gate has rotted")
+      endif()
+    endif()
+  endif()
+endforeach()
+
+if(NOT CXX_COMPILER_ID MATCHES "Clang")
+  message(STATUS
+      "check_probes: compiler is ${CXX_COMPILER_ID}; enforcement half "
+      "skipped (verified the no-op half only — run under Clang, as the CI "
+      "static-analysis job does, to check rejection)")
+endif()
+
+if(_failures)
+  string(JOIN "\n" _msg ${_failures})
+  message(FATAL_ERROR "negative-compilation gate violations:\n${_msg}")
+endif()
+message(STATUS "check_probes: all probe expectations hold")

@@ -1,0 +1,69 @@
+// POSITIVE control probe: disciplined use of every wrapper the negative
+// probes rely on. This must compile under BOTH modes — if it fails under
+// enforcement, a negative probe's failure means the harness (include paths,
+// flags, the wrappers themselves) is broken, not that the gate works.
+
+#include "common/synchronization.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Increment() {
+    bouquet::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Snapshot() {
+    bouquet::MutexLock lock(&mu_);
+    return value_;
+  }
+
+  // RETURN_CAPABILITY lets callers lock through an accessor.
+  bouquet::Mutex* mutex() RETURN_CAPABILITY(mu_) { return &mu_; }
+
+  int SnapshotViaAccessor() {
+    bouquet::MutexLock lock(mutex());
+    return value_;
+  }
+
+  void WaitNonZero() {
+    bouquet::MutexLock lock(&mu_);
+    while (value_ == 0) cv_.Wait(&mu_);
+  }
+
+  void SignalAll() { cv_.NotifyAll(); }
+
+ private:
+  bouquet::Mutex mu_;
+  bouquet::CondVar cv_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+class SharedRegistry {
+ public:
+  int Read() {
+    bouquet::ReaderMutexLock lock(&smu_);
+    return shared_value_;
+  }
+
+  void Write(int v) EXCLUDES(smu_) {
+    bouquet::WriterMutexLock lock(&smu_);
+    shared_value_ = v;
+  }
+
+ private:
+  bouquet::SharedMutex smu_;
+  int shared_value_ GUARDED_BY(smu_) = 0;
+};
+
+}  // namespace
+
+int ProbeEntry() {
+  Registry r;
+  r.Increment();
+  r.SignalAll();
+  SharedRegistry s;
+  s.Write(7);
+  return r.Snapshot() + r.SnapshotViaAccessor() + s.Read();
+}

@@ -1,0 +1,28 @@
+// NEGATIVE probe: reads a GUARDED_BY field without holding its mutex.
+//
+// Under enforcement (Clang + -Werror=thread-safety) this file MUST NOT
+// compile — if it does, the thread-safety gate has silently rotted (see
+// tests/static/CMakeLists.txt and check_probes.cmake). Without enforcement
+// (GCC, or BOUQUET_THREAD_SAFETY=OFF) it must compile cleanly, proving the
+// annotations are true no-ops.
+
+#include "common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): reads value_ with mu_ not held.
+  int UnlockedRead() { return value_; }
+
+ private:
+  bouquet::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int ProbeEntry() {
+  Counter c;
+  return c.UnlockedRead();
+}

@@ -1,0 +1,28 @@
+// NEGATIVE probe: calls a REQUIRES(mu) helper without holding the mutex.
+//
+// Under enforcement (Clang + -Werror=thread-safety) this file MUST NOT
+// compile; without enforcement it must compile cleanly. This mirrors the
+// *Locked() helper convention used by BouquetService / BouquetCache.
+
+#include "common/synchronization.h"
+
+namespace {
+
+class Queue {
+ public:
+  // BUG (deliberate): capability precondition not satisfied.
+  void Push() { PushLocked(); }
+
+ private:
+  void PushLocked() REQUIRES(mu_) { ++depth_; }
+
+  bouquet::Mutex mu_;
+  int depth_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void ProbeEntry() {
+  Queue q;
+  q.Push();
+}

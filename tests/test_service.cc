@@ -12,6 +12,7 @@
 #include <future>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bouquet/serialize.h"
@@ -301,6 +302,62 @@ TEST_F(ServiceTest, SingleFlightDedupUnderConcurrency) {
   EXPECT_EQ(s.cache_misses, 1u);
   EXPECT_EQ(s.requests, static_cast<uint64_t>(N));
   EXPECT_EQ(service.cache().size(), 1u);
+}
+
+// Regression (stats admission ordering): requests used to be counted at the
+// *end* of Run while GetOrCompile bumped cache_hits mid-request, so a
+// concurrent stats() snapshot could observe cache_hits + cache_misses +
+// shared_compiles > requests — i.e. CacheHitRate() > 1. Requests are now
+// admitted into the counters before the cache is consulted, making the
+// snapshot invariant hold at every instant.
+TEST_F(ServiceTest, StatsSnapshotNeverOvercountsHits) {
+  ServiceOptions opts = FastOptions();
+  opts.num_threads = 4;
+  BouquetService service(catalog_, opts);
+
+  // Precompile the template so the workload below is all fast cache hits
+  // (maximizing snapshot chances inside the hit window).
+  {
+    ServiceRequest req;
+    req.query = query_;
+    req.actual_selectivities = {0.05};
+    ASSERT_TRUE(service.Run(req).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      const ServiceStats s = service.stats();
+      if (s.cache_hits + s.cache_misses + s.shared_compiles > s.requests) {
+        violated.store(true);
+      }
+      if (s.CacheHitRate() > 1.0) violated.store(true);
+    }
+  });
+
+  const int kThreads = 4, kIters = 150;
+  std::vector<std::thread> runners;
+  runners.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    runners.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        ServiceRequest req;
+        req.query = query_;
+        req.actual_selectivities = {0.001 * ((t * kIters + i) % 900 + 1)};
+        EXPECT_TRUE(service.Run(req).ok());
+      }
+    });
+  }
+  for (auto& r : runners) r.join();
+  stop.store(true);
+  snapshotter.join();
+
+  EXPECT_FALSE(violated.load())
+      << "stats snapshot showed more cache outcomes than admitted requests";
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.requests, static_cast<uint64_t>(kThreads * kIters + 1));
+  EXPECT_EQ(s.cache_hits, static_cast<uint64_t>(kThreads * kIters));
 }
 
 TEST_F(ServiceTest, DistinctTemplatesCompileSeparately) {

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "storage/datagen.h"
@@ -90,6 +93,60 @@ TEST(DatabaseTest, AddReplaceInvalidatesIndexes) {
   db.AddTable(std::move(t2));
   const HashIndex& idx2 = db.hash_index("t", 0);
   EXPECT_EQ(idx2.Lookup(2).size(), 1u);
+}
+
+// Regression (thread-safety capability migration): AddTable's cached-index
+// invalidation used to erase from the shared index maps WITHOUT taking
+// index_mu_, racing concurrent hash_index()/sorted_index() lookups of
+// *other* tables — the maps are shared even when the keys differ. The
+// GUARDED_BY annotations flagged it statically; under TSan this test
+// reproduced the race before the fix.
+TEST(DatabaseTest, AddTableInvalidationDoesNotRaceOtherTableLookups) {
+  Database db;
+  db.AddTable(SmallTable());  // table "t": repeatedly replaced
+  DataTable stable("s", {"k"});
+  for (int i = 0; i < 16; ++i) stable.AppendRow({i % 4});
+  db.AddTable(std::move(stable));  // table "s": concurrently indexed
+
+  // Prewarm so the readers stay on the cache-hit path (the shared maps are
+  // what the fixed race is about; a cold miss would additionally scan the
+  // table registry, which AddTable legitimately mutates).
+  db.hash_index("s", 0);
+  db.sorted_index("s", 0);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(2);
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&db, &stop] {
+      while (!stop.load()) {
+        EXPECT_EQ(db.hash_index("s", 0).Lookup(1).size(), 4u);
+        EXPECT_EQ(db.sorted_index("s", 0).CountRange(0, 3), 16);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    db.AddTable(SmallTable());  // replace "t" -> invalidates its caches
+    db.hash_index("t", 0);      // repopulate so the next erase has work
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+}
+
+// Cache hits take the shared lock, so concurrent lookups of already-built
+// indexes return the same instances (built exactly once per (table, col)).
+TEST(DatabaseTest, ConcurrentLookupsShareOneBuiltIndex) {
+  Database db;
+  db.AddTable(SmallTable());
+  const HashIndex* first = &db.hash_index("t", 0);
+  std::vector<const HashIndex*> seen(8, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(seen.size());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    threads.emplace_back([&db, &seen, i] { seen[i] = &db.hash_index("t", 0); });
+  }
+  for (auto& t : threads) t.join();
+  for (const HashIndex* p : seen) EXPECT_EQ(p, first);
 }
 
 TEST(DatabaseTest, SyncCatalogAll) {

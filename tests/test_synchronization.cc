@@ -1,0 +1,171 @@
+// Runtime tests for the capability wrappers in common/synchronization.h:
+// mutual exclusion, try-lock semantics, reader/writer concurrency, and the
+// CondVar handshake. The *static* half of the contract — that the
+// annotations reject lock-discipline violations at compile time — is
+// covered by tests/static/ (negative-compilation probes + meta-test).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/synchronization.h"
+
+namespace bouquet {
+namespace {
+
+TEST(MutexTest, MutexLockProvidesMutualExclusion) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<int> observed{-1};
+  std::thread other([&] {
+    if (mu.TryLock()) {
+      observed.store(1);
+      mu.Unlock();
+    } else {
+      observed.store(0);
+    }
+  });
+  other.join();
+  EXPECT_EQ(observed.load(), 0);
+  mu.Unlock();
+
+  // Released: a fresh attempt succeeds.
+  std::thread retry([&] {
+    ASSERT_TRUE(mu.TryLock());
+    mu.Unlock();
+  });
+  retry.join();
+}
+
+TEST(SharedMutexTest, ReadersOverlapWriterExcludes) {
+  SharedMutex smu;
+  int value = 0;
+
+  // Two readers must be able to hold the shared capability at once.
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> max_overlap{0};
+  std::atomic<bool> release{false};
+  auto reader = [&] {
+    ReaderMutexLock lock(&smu);
+    const int inside = readers_inside.fetch_add(1) + 1;
+    int prev = max_overlap.load();
+    while (prev < inside && !max_overlap.compare_exchange_weak(prev, inside)) {
+    }
+    while (!release.load()) std::this_thread::yield();
+    readers_inside.fetch_sub(1);
+  };
+  std::thread r1(reader), r2(reader);
+  // Wait until both are inside (bounded spin; the assertion below is the
+  // real check).
+  for (int spin = 0; spin < 100000 && max_overlap.load() < 2; ++spin) {
+    std::this_thread::yield();
+  }
+  release.store(true);
+  r1.join();
+  r2.join();
+  EXPECT_EQ(max_overlap.load(), 2) << "readers serialized unexpectedly";
+
+  // A writer takes the exclusive capability and its effect is visible.
+  {
+    WriterMutexLock lock(&smu);
+    value = 42;
+  }
+  ReaderMutexLock lock(&smu);
+  EXPECT_EQ(value, 42);
+}
+
+TEST(SharedMutexTest, TryLockSharedFailsUnderWriter) {
+  SharedMutex smu;
+  smu.Lock();
+  std::atomic<int> got{-1};
+  std::thread t([&] {
+    if (smu.TryLockShared()) {
+      got.store(1);
+      smu.UnlockShared();
+    } else {
+      got.store(0);
+    }
+  });
+  t.join();
+  EXPECT_EQ(got.load(), 0);
+  smu.Unlock();
+}
+
+TEST(CondVarTest, WaitWakesOnPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int produced = 0;
+
+  std::thread consumer([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    EXPECT_EQ(produced, 99);
+  });
+
+  {
+    MutexLock lock(&mu);
+    produced = 99;
+    ready = true;
+  }
+  cv.NotifyAll();
+  consumer.join();
+}
+
+TEST(CondVarTest, NotifyOneWakesAWaiter) {
+  Mutex mu;
+  CondVar cv;
+  int tokens = 0;
+  constexpr int kWaiters = 4;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (tokens == 0) cv.Wait(&mu);
+      --tokens;
+    });
+  }
+  for (int i = 0; i < kWaiters; ++i) {
+    {
+      MutexLock lock(&mu);
+      ++tokens;
+    }
+    cv.NotifyOne();
+  }
+  // Stragglers (a NotifyOne can race a not-yet-waiting thread) are caught
+  // by a final broadcast; every waiter eventually consumes one token.
+  cv.NotifyAll();
+  for (auto& w : waiters) w.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(tokens, 0);
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -101,6 +104,47 @@ TEST(ThreadPoolEdge, ManyConcurrentSubmitsAllResolve) {
   for (int i = 0; i < 256; ++i) {
     EXPECT_EQ(futures[i].get(), i * i);
   }
+}
+
+// Shutdown-drain contract: every task queued before the destructor begins
+// runs to completion (ParallelFor straggler helpers rely on this for their
+// no-op epilogues). The queue and stop flag are GUARDED_BY(mu_) since the
+// capability migration, so the destructor's handshake with the workers'
+// condition-variable predicate is verified statically as well.
+TEST(ThreadPoolEdge, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    // A slow first task piles the rest up in the queue, so destruction
+    // begins with most tasks still queued rather than running.
+    pool.Post([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ran.fetch_add(1);
+    });
+    for (int i = 1; i < kTasks; ++i) {
+      pool.Post([&] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+// ParallelFor straggler helpers may still be queued when the loop's caller
+// has already returned and dropped its shared LoopState reference; the
+// drain keeps them alive until they run their no-op epilogue.
+TEST(ThreadPoolEdge, ParallelForStragglersSurvivePoolShutdown) {
+  std::atomic<uint64_t> covered{0};
+  {
+    ThreadPool pool(3);
+    for (int round = 0; round < 8; ++round) {
+      pool.ParallelFor(0, 64, 1, [&](uint64_t b, uint64_t e) {
+        covered.fetch_add(e - b);
+      });
+    }
+    // Destructor runs immediately after: late helpers of the final rounds
+    // are likely still queued and must drain without touching freed state.
+  }
+  EXPECT_EQ(covered.load(), 8u * 64u);
 }
 
 }  // namespace
