@@ -5,7 +5,12 @@
 // every later invocation from the cache. A warm-start round-trip shows how
 // a restarted server skips cold compilation entirely.
 //
-// Build & run:  ./build/examples/bouquet_server
+// The run is fully observable: every request becomes a span tree in an
+// obs::Tracer (exported as JSONL when a path is given) and the service
+// feeds an obs::MetricsRegistry whose Prometheus-text dump — the /metrics
+// endpoint of a real server — is printed before exit.
+//
+// Build & run:  ./build/examples/bouquet_server [trace.jsonl]
 
 #include <algorithm>
 #include <cstdio>
@@ -13,18 +18,24 @@
 #include <vector>
 
 #include "bouquet/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/service.h"
 #include "service/template_key.h"
 #include "workloads/spaces.h"
 #include "workloads/tpch.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bouquet;
 
   const Catalog catalog = MakeTpchCatalog(1.0);
+  obs::Tracer tracer(1 << 15);
+  obs::MetricsRegistry metrics;
   ServiceOptions opts;
   opts.num_threads = 8;
   opts.grid_resolution = 24;
+  opts.tracer = &tracer;
+  opts.metrics = &metrics;
 
   // Three "forms": same join graph, different error spaces.
   std::vector<QuerySpec> templates;
@@ -114,5 +125,20 @@ int main() {
                   restarted.stats().compilations),
               1000.0 * res->latency_seconds);
   std::remove(path);
+
+  // --- Observability dump: the /metrics endpoint + the JSONL trace. -----
+  std::printf("\n--- metrics (Prometheus text format) ---\n%s",
+              metrics.ExportPrometheus().c_str());
+  std::printf("--- trace: %zu spans buffered, %llu dropped ---\n",
+              tracer.Snapshot().size(),
+              static_cast<unsigned long long>(tracer.dropped()));
+  if (argc > 1) {
+    const Status st = tracer.ExportJsonlFile(argv[1]);
+    if (!st.ok()) {
+      std::printf("trace export failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", argv[1]);
+  }
   return 0;
 }

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Validates an obs::Tracer JSONL export against scripts/trace_schema.json.
+
+Usage: check_trace_schema.py TRACE.jsonl [--schema trace_schema.json]
+
+Checks, per line/span:
+  * the line parses as a JSON object with exactly the required fields;
+  * field types match the schema (ids are non-negative ints, span_id > 0,
+    name is a non-empty string, start/dur are non-negative numbers);
+  * attrs values are numbers or the strings "inf"/"-inf"/"nan" (the JSONL
+    encoding of non-finite doubles); sattrs values are strings;
+  * span_id values are unique.
+
+Cross-span checks:
+  * every non-zero parent_id refers to a span in the export, and the child's
+    trace_id matches its parent's (referential integrity of the span tree;
+    parents referencing spans evicted from the ring buffer are reported as
+    warnings only when --allow-dropped is given, errors otherwise);
+  * the budget invariant: on every span the schema lists, finite charged
+    must satisfy charged <= budget * (1 + epsilon) + granule_slack.
+
+Exit code 0 = valid, 1 = any error. Stdlib only (no pip installs).
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+REQUIRED_FIELDS = ("span_id", "parent_id", "trace_id", "name", "start",
+                   "dur", "attrs", "sattrs")
+NONFINITE_STRINGS = ("inf", "-inf", "nan")
+
+
+def load_schema(path):
+    with open(path, "r", encoding="utf-8") as f:
+        schema = json.load(f)
+    for key in ("required_fields", "budget_invariant", "known_span_names"):
+        if key not in schema:
+            raise ValueError(f"schema {path} is missing '{key}'")
+    return schema
+
+
+def attr_number(value):
+    """Numeric value of an attrs entry, decoding the non-finite strings."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str) and value in NONFINITE_STRINGS:
+        return float(value)  # float("inf") / float("-inf") / float("nan")
+    return None
+
+
+def check_span(obj, lineno, errors):
+    """Per-span structural checks; returns True if usable for later passes."""
+    if not isinstance(obj, dict):
+        errors.append(f"line {lineno}: not a JSON object")
+        return False
+    ok = True
+    for field in REQUIRED_FIELDS:
+        if field not in obj:
+            errors.append(f"line {lineno}: missing field '{field}'")
+            ok = False
+    if not ok:
+        return False
+    extras = set(obj) - set(REQUIRED_FIELDS)
+    if extras:
+        errors.append(f"line {lineno}: unexpected fields {sorted(extras)}")
+        ok = False
+    for field in ("span_id", "parent_id", "trace_id"):
+        v = obj[field]
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            errors.append(f"line {lineno}: {field} must be a non-negative "
+                          f"integer, got {v!r}")
+            ok = False
+    if isinstance(obj["span_id"], int) and obj["span_id"] == 0:
+        errors.append(f"line {lineno}: span_id must be positive")
+        ok = False
+    if not isinstance(obj["name"], str) or not obj["name"]:
+        errors.append(f"line {lineno}: name must be a non-empty string")
+        ok = False
+    for field in ("start", "dur"):
+        v = obj[field]
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            errors.append(f"line {lineno}: {field} must be a number")
+            ok = False
+        elif not math.isfinite(v) or v < 0:
+            errors.append(f"line {lineno}: {field} must be finite and "
+                          f">= 0, got {v!r}")
+            ok = False
+    if not isinstance(obj["attrs"], dict):
+        errors.append(f"line {lineno}: attrs must be an object")
+        ok = False
+    else:
+        for k, v in obj["attrs"].items():
+            if attr_number(v) is None:
+                errors.append(f"line {lineno}: attrs[{k!r}] must be a number "
+                              f"or one of {NONFINITE_STRINGS}, got {v!r}")
+                ok = False
+    if not isinstance(obj["sattrs"], dict):
+        errors.append(f"line {lineno}: sattrs must be an object")
+        ok = False
+    else:
+        for k, v in obj["sattrs"].items():
+            if not isinstance(v, str):
+                errors.append(f"line {lineno}: sattrs[{k!r}] must be a "
+                              f"string, got {v!r}")
+                ok = False
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="JSONL trace file to validate")
+    ap.add_argument("--schema",
+                    default=os.path.join(os.path.dirname(
+                        os.path.abspath(__file__)), "trace_schema.json"))
+    ap.add_argument("--allow-dropped", action="store_true",
+                    help="demote dangling parent references to warnings "
+                         "(for exports from a wrapped ring buffer)")
+    ap.add_argument("--require-names", nargs="*", default=[],
+                    help="span names that must each appear at least once")
+    args = ap.parse_args()
+
+    schema = load_schema(args.schema)
+    inv = schema["budget_invariant"]
+    budget_names = set(inv["applies_to"])
+    epsilon = float(inv["epsilon"])
+    slack = float(inv.get("granule_slack", 0.0))
+    known_names = set(schema["known_span_names"])
+
+    errors, warnings = [], []
+    spans = []
+    seen_ids = {}
+    with open(args.trace, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {lineno}: invalid JSON: {e}")
+                continue
+            if not check_span(obj, lineno, errors):
+                continue
+            sid = obj["span_id"]
+            if sid in seen_ids:
+                errors.append(f"line {lineno}: duplicate span_id {sid} "
+                              f"(first seen on line {seen_ids[sid]})")
+            else:
+                seen_ids[sid] = lineno
+            if obj["name"] not in known_names:
+                warnings.append(f"line {lineno}: unknown span name "
+                                f"{obj['name']!r} (not in schema)")
+            spans.append((lineno, obj))
+
+    if not spans and not errors:
+        errors.append("trace contains no spans")
+
+    by_id = {obj["span_id"]: obj for _, obj in spans}
+    for lineno, obj in spans:
+        pid = obj["parent_id"]
+        if pid != 0:
+            parent = by_id.get(pid)
+            if parent is None:
+                msg = (f"line {lineno}: parent_id {pid} not in export "
+                       f"(span {obj['span_id']} {obj['name']!r})")
+                (warnings if args.allow_dropped else errors).append(msg)
+            elif parent["trace_id"] != obj["trace_id"]:
+                errors.append(f"line {lineno}: trace_id {obj['trace_id']} "
+                              f"differs from parent's "
+                              f"{parent['trace_id']}")
+        if obj["name"] in budget_names:
+            if attr_number(obj["attrs"].get("build_failed")):
+                continue  # aborted before charging: no budget/charged attrs
+            budget = attr_number(obj["attrs"].get("budget"))
+            charged = attr_number(obj["attrs"].get("charged"))
+            if budget is None or charged is None:
+                errors.append(f"line {lineno}: {obj['name']} span must carry "
+                              f"numeric budget and charged attrs")
+                continue
+            if math.isfinite(budget) and math.isfinite(charged):
+                if charged > budget * (1.0 + epsilon) + slack:
+                    errors.append(
+                        f"line {lineno}: budget invariant violated: "
+                        f"charged={charged} > budget={budget} * "
+                        f"(1+{epsilon}) + {slack}")
+            elif math.isfinite(budget) and not math.isfinite(charged):
+                errors.append(f"line {lineno}: non-finite charged "
+                              f"{charged} under finite budget {budget}")
+
+    present = {obj["name"] for _, obj in spans}
+    for name in args.require_names:
+        if name not in present:
+            errors.append(f"required span name {name!r} never appears")
+
+    for w in warnings:
+        print(f"warning: {w}", file=sys.stderr)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    n_checked = sum(1 for _, o in spans if o["name"] in budget_names)
+    if errors:
+        print(f"{args.trace}: INVALID ({len(errors)} errors, "
+              f"{len(spans)} spans)", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: OK ({len(spans)} spans, {n_checked} budget-checked,"
+          f" {len(warnings)} warnings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,9 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/str_util.h"
+#include "optimizer/plan_signature.h"
+
 namespace bouquet {
 
 namespace {
@@ -14,6 +17,16 @@ constexpr double kRelEps = 1e-9;
 double Seconds(std::chrono::steady_clock::time_point a,
                std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+// "0.001,0.04,1" — the q_run snapshot attribute attached to trace events.
+std::string FormatQrun(const DimVector& qrun) {
+  std::string out;
+  for (size_t d = 0; d < qrun.size(); ++d) {
+    if (d > 0) out += ",";
+    out += FormatSci(qrun[d], 4);
+  }
+  return out;
 }
 
 // Does the subtree evaluate any error dimension that is not yet learned,
@@ -48,16 +61,85 @@ ExecContext BouquetDriver::MakeContext() {
   return ctx;
 }
 
+void BouquetDriver::SetObservability(obs::Tracer* tracer,
+                                     obs::MetricsRegistry* metrics,
+                                     const obs::Span* parent) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (parent != nullptr && parent->enabled()) {
+    trace_parent_ = parent->id();
+    trace_id_ = parent->trace_id();
+  } else {
+    trace_parent_ = 0;
+    trace_id_ = 0;
+  }
+  ins_ = Instruments{};
+  if (metrics_ == nullptr) return;
+  ins_.executions = metrics_->GetCounter(
+      "bouquet_driver_executions_total",
+      "Plan executions issued by the driver (partial, spill, and final)");
+  ins_.contour_crossings = metrics_->GetCounter(
+      "bouquet_driver_contour_crossings_total",
+      "Isocost contours abandoned without the query completing");
+  ins_.spills = metrics_->GetCounter(
+      "bouquet_driver_spills_total",
+      "Spill-mode (subtree-only) learning executions");
+  ins_.fallbacks = metrics_->GetCounter(
+      "bouquet_driver_fallbacks_total",
+      "Safety-net unbounded executions after every contour budget was "
+      "exhausted");
+  ins_.dims_learned = metrics_->GetCounter(
+      "bouquet_driver_dims_learned_total",
+      "Error dimensions learned exactly from instrumentation counters");
+  ins_.budget_utilization = metrics_->GetHistogram(
+      "bouquet_driver_budget_utilization",
+      "charged/budget ratio per budget-limited execution",
+      obs::BudgetUtilizationBuckets());
+}
+
+void BouquetDriver::ObserveStep(const DriverStep& step, obs::Span* span) {
+  if (span != nullptr && span->enabled()) {
+    span->Num("contour", step.contour)
+        .Num("plan_id", step.plan_id)
+        .Num("budget", step.budget)
+        .Num("charged", step.charged)
+        .Num("wall_seconds", step.wall_seconds)
+        .Flag("completed", step.completed)
+        .Flag("spilled", step.spilled)
+        .Num("learned_dim", step.learned_dim)
+        .Str("signature", step.plan_signature);
+    span->End();
+  }
+  if (ins_.executions != nullptr) ins_.executions->Inc();
+  if (step.spilled && ins_.spills != nullptr) ins_.spills->Inc();
+  if (ins_.budget_utilization != nullptr && std::isfinite(step.budget) &&
+      step.budget > 0.0) {
+    ins_.budget_utilization->Observe(step.charged / step.budget);
+  }
+}
+
 DriverResult BouquetDriver::RunBasic() {
   DriverResult res;
   const auto t0 = std::chrono::steady_clock::now();
+  obs::Span run = obs::Tracer::BeginUnder(tracer_, "driver.run_basic",
+                                          trace_parent_, trace_id_);
 
   for (size_t k = 0; k < bouquet_->contours.size(); ++k) {
     const BouquetContour& contour = bouquet_->contours[k];
     res.contours_crossed = static_cast<int>(k);
+    obs::Span contour_span =
+        obs::Tracer::Begin(tracer_, "driver.contour", &run);
+    contour_span.Num("contour", static_cast<double>(k))
+        .Num("budget", contour.budget)
+        .Num("num_plans", static_cast<double>(contour.plan_ids.size()));
     for (int plan_id : contour.plan_ids) {
       const Plan& plan = diagram_->plan(plan_id);
+      obs::Span step_span =
+          obs::Tracer::Begin(tracer_, "driver.step", &contour_span);
       ExecContext ctx = MakeContext();
+      ctx.tracer = tracer_;
+      ctx.trace_parent = step_span.id();
+      ctx.trace_id = step_span.trace_id();
       std::vector<Row> rows;
       const auto t1 = std::chrono::steady_clock::now();
       const ExecutionOutcome out =
@@ -75,39 +157,61 @@ DriverResult BouquetDriver::RunBasic() {
       res.total_cost_units += out.cost_charged;
       ++res.num_executions;
       res.steps.push_back(step);
+      ObserveStep(step, &step_span);
 
       if (out.status == ExecResult::kDone) {
         res.completed = true;
         res.final_plan = plan_id;
+        res.final_plan_signature = plan.signature;
         res.rows = std::move(rows);
         res.wall_seconds = Seconds(t0, t2);
+        run.Num("contours_crossed", res.contours_crossed)
+            .Num("executions", res.num_executions)
+            .Num("total_cost_units", res.total_cost_units)
+            .Flag("completed", true);
         return res;
       }
       // Aborted: intermediate results jettisoned (rows discarded).
     }
+    // This contour's budgets were all exhausted: cross to the next one.
+    if (ins_.contour_crossings != nullptr) ins_.contour_crossings->Inc();
   }
 
-  // Safety net: unbounded execution of the plan covering the ESS max corner
-  // on the last contour (the plan guaranteed to handle the largest q_a).
-  const BouquetContour& last = bouquet_->contours.back();
-  const uint64_t corner = diagram_->grid().LinearIndex(
-      diagram_->grid().MaxCorner());
-  int fallback = last.plan_ids.front();
-  for (size_t i = 0; i < last.points.size(); ++i) {
-    if (last.points[i] == corner) {
-      fallback = last.plan_at[i];
-      break;
+  // Safety net: every contour budget was exhausted (the true q_a lies above
+  // the last contour, possible when the grid under-resolves the ESS). Run
+  // the plan covering the ESS max corner — the plan guaranteed to handle the
+  // largest q_a — without a budget. The diagram-level assignment is used
+  // directly so this also works when the bouquet has no contours at all
+  // (e.g. a degenerate cost range produced zero IC steps).
+  if (ins_.fallbacks != nullptr) ins_.fallbacks->Inc();
+  const uint64_t corner =
+      diagram_->grid().LinearIndex(diagram_->grid().MaxCorner());
+  int fallback = diagram_->plan_at(corner);
+  if (!bouquet_->contours.empty()) {
+    const BouquetContour& last = bouquet_->contours.back();
+    for (size_t i = 0; i < last.points.size(); ++i) {
+      if (last.points[i] == corner) {
+        fallback = last.plan_at[i];
+        break;
+      }
     }
   }
+  // All contours were crossed without completing; the fallback runs beyond
+  // them (contour index = contours.size() marks "past the last contour").
+  res.contours_crossed = static_cast<int>(bouquet_->contours.size());
   const Plan& plan = diagram_->plan(fallback);
+  obs::Span step_span = obs::Tracer::Begin(tracer_, "driver.step", &run);
   ExecContext ctx = MakeContext();
+  ctx.tracer = tracer_;
+  ctx.trace_parent = step_span.id();
+  ctx.trace_id = step_span.trace_id();
   std::vector<Row> rows;
   const auto t1 = std::chrono::steady_clock::now();
   const ExecutionOutcome out = ExecutePlan(
       *plan.root, &ctx, std::numeric_limits<double>::infinity(), &rows);
   const auto t2 = std::chrono::steady_clock::now();
   DriverStep step;
-  step.contour = static_cast<int>(bouquet_->contours.size()) - 1;
+  step.contour = res.contours_crossed;
   step.plan_id = fallback;
   step.plan_signature = plan.signature;
   step.budget = std::numeric_limits<double>::infinity();
@@ -117,12 +221,19 @@ DriverResult BouquetDriver::RunBasic() {
   res.steps.push_back(step);
   ++res.num_executions;
   res.total_cost_units += out.cost_charged;
+  ObserveStep(step, &step_span);
   // A build failure (e.g. abstract predicates without constants) must not
   // masquerade as a successful empty result.
   res.completed = out.status == ExecResult::kDone;
   res.final_plan = fallback;
+  if (res.completed) res.final_plan_signature = plan.signature;
   res.rows = std::move(rows);
   res.wall_seconds = Seconds(t0, t2);
+  run.Num("contours_crossed", res.contours_crossed)
+      .Num("executions", res.num_executions)
+      .Num("total_cost_units", res.total_cost_units)
+      .Flag("completed", res.completed)
+      .Flag("fallback", true);
   return res;
 }
 
@@ -235,6 +346,8 @@ DriverResult BouquetDriver::RunOptimized() {
   const EssGrid& grid = diagram_->grid();
   const int dims = q.NumDims();
   const auto t0 = std::chrono::steady_clock::now();
+  obs::Span run = obs::Tracer::BeginUnder(tracer_, "driver.run_optimized",
+                                          trace_parent_, trace_id_);
 
   DimVector qrun(dims);
   std::vector<bool> learned(dims, false);
@@ -245,9 +358,38 @@ DriverResult BouquetDriver::RunOptimized() {
                        [](bool b) { return b; });
   };
 
+  // Records q_run movement and newly-learned dimensions after a harvest
+  // (trace event + dims-learned counter), comparing against `before`.
+  auto observe_harvest = [&](const std::vector<bool>& before, bool moved) {
+    int newly = 0;
+    for (int d = 0; d < dims; ++d) {
+      if (learned[d] && !before[d]) ++newly;
+    }
+    if (newly > 0 && ins_.dims_learned != nullptr) {
+      ins_.dims_learned->Inc(static_cast<uint64_t>(newly));
+    }
+    if (tracer_ != nullptr && (moved || newly > 0)) {
+      obs::Span ev = obs::Tracer::Begin(tracer_, "driver.qrun", &run);
+      ev.Str("q_run", FormatQrun(qrun))
+          .Num("dims_learned",
+               static_cast<double>(
+                   std::count(learned.begin(), learned.end(), true)));
+      for (int d = 0; d < dims; ++d) {
+        if (learned[d] && !before[d]) {
+          ev.Num("learned_dim", static_cast<double>(d));
+        }
+      }
+      ev.End();
+    }
+  };
+
   auto final_execution = [&](std::chrono::steady_clock::time_point t_begin) {
     const Plan plan = opt_->OptimizeAt(qrun);
+    obs::Span step_span = obs::Tracer::Begin(tracer_, "driver.step", &run);
     ExecContext ctx = MakeContext();
+    ctx.tracer = tracer_;
+    ctx.trace_parent = step_span.id();
+    ctx.trace_id = step_span.trace_id();
     std::vector<Row> rows;
     const auto t1 = std::chrono::steady_clock::now();
     const ExecutionOutcome out = ExecutePlan(
@@ -255,8 +397,13 @@ DriverResult BouquetDriver::RunOptimized() {
     const auto t2 = std::chrono::steady_clock::now();
     DriverStep step;
     step.contour = res.contours_crossed;
+    // The plan optimal at the discovered q_run need not belong to the POSP,
+    // so FindPlan may legitimately return the -1 sentinel. The signature is
+    // recorded as the plan's canonical identity either way; -1 here means
+    // "not interned in the diagram", never "unknown plan".
     step.plan_id = diagram_->FindPlan(plan.signature);
     step.plan_signature = plan.signature;
+    assert(!plan.signature.empty() && "final plan must carry a signature");
     step.budget = std::numeric_limits<double>::infinity();
     step.charged = out.cost_charged;
     step.wall_seconds = Seconds(t1, t2);
@@ -264,12 +411,32 @@ DriverResult BouquetDriver::RunOptimized() {
     res.steps.push_back(step);
     ++res.num_executions;
     res.total_cost_units += out.cost_charged;
+    ObserveStep(step, &step_span);
     res.completed = out.status == ExecResult::kDone;
     res.final_plan = step.plan_id;
+    if (res.completed) res.final_plan_signature = plan.signature;
     res.rows = std::move(rows);
     res.wall_seconds = Seconds(t_begin, t2);
-    HarvestSelectivities(*plan.root, &ctx, &qrun, &learned);
+    const std::vector<bool> before = learned;
+    const bool moved = HarvestSelectivities(*plan.root, &ctx, &qrun, &learned);
+    observe_harvest(before, moved);
     res.discovered_selectivities = qrun;
+    run.Num("contours_crossed", res.contours_crossed)
+        .Num("executions", res.num_executions)
+        .Num("total_cost_units", res.total_cost_units)
+        .Flag("completed", res.completed)
+        .Str("q_run", FormatQrun(qrun));
+  };
+
+  // Crossing to contour k+1 without completing: metric + trace event.
+  auto observe_crossing = [&](size_t from_k, const char* why) {
+    if (ins_.contour_crossings != nullptr) ins_.contour_crossings->Inc();
+    if (tracer_ != nullptr) {
+      obs::Span ev = obs::Tracer::Begin(tracer_, "driver.contour_jump", &run);
+      ev.Num("from_contour", static_cast<double>(from_k))
+          .Str("reason", why);
+      ev.End();
+    }
   };
 
   size_t k = 0;
@@ -285,6 +452,7 @@ DriverResult BouquetDriver::RunOptimized() {
     // Early skip: optimal cost at the lower-bound location already exceeds
     // this contour's budget.
     if (opt_->OptimizeAt(qrun).cost > budget * (1.0 + kRelEps)) {
+      observe_crossing(k, "early_skip");
       ++k;
       continue;
     }
@@ -318,6 +486,7 @@ DriverResult BouquetDriver::RunOptimized() {
         remaining.push_back(plan);
       }
       if (remaining.empty()) {
+        observe_crossing(k, "contour_exhausted");
         ++k;
         break;
       }
@@ -374,7 +543,11 @@ DriverResult BouquetDriver::RunOptimized() {
       }
       const bool spill_is_full = spill_root == plan.root.get();
 
+      obs::Span step_span = obs::Tracer::Begin(tracer_, "driver.step", &run);
       ExecContext ctx = MakeContext();
+      ctx.tracer = tracer_;
+      ctx.trace_parent = step_span.id();
+      ctx.trace_id = step_span.trace_id();
       std::vector<Row> rows;
       const auto t1 = std::chrono::steady_clock::now();
       ExecutionOutcome out;
@@ -399,28 +572,44 @@ DriverResult BouquetDriver::RunOptimized() {
       res.steps.push_back(step);
       ++res.num_executions;
       res.total_cost_units += out.cost_charged;
+      ObserveStep(step, &step_span);
 
       if (out.status == ExecResult::kDone && !step.spilled) {
         // A generic execution finished: this is the query result. Harvest
         // the completed run's counters first — they pin down the actual
         // selectivities exactly (useful for workload error logs).
-        HarvestSelectivities(*plan.root, &ctx, &qrun, &learned);
+        const std::vector<bool> before = learned;
+        const bool moved =
+            HarvestSelectivities(*plan.root, &ctx, &qrun, &learned);
+        observe_harvest(before, moved);
         res.completed = true;
         res.final_plan = chosen;
+        res.final_plan_signature = plan.signature;
         res.rows = std::move(rows);
         res.wall_seconds = Seconds(t0, t2);
         res.discovered_selectivities = qrun;
+        run.Num("contours_crossed", res.contours_crossed)
+            .Num("executions", res.num_executions)
+            .Num("total_cost_units", res.total_cost_units)
+            .Flag("completed", true)
+            .Str("q_run", FormatQrun(qrun));
         return res;
       }
 
       const PlanNode& harvest_root =
           step.spilled ? *spill_root : *plan.root;
-      HarvestSelectivities(harvest_root, &ctx, &qrun, &learned);
+      {
+        const std::vector<bool> before = learned;
+        const bool moved =
+            HarvestSelectivities(harvest_root, &ctx, &qrun, &learned);
+        observe_harvest(before, moved);
+      }
       executed.push_back(chosen);
 
       // Early contour change once the optimal cost at q_run exceeds the
       // budget.
       if (opt_->OptimizeAt(qrun).cost > budget * (1.0 + kRelEps)) {
+        observe_crossing(k, "qrun_advanced");
         ++k;
         advanced = true;
       }
@@ -429,13 +618,20 @@ DriverResult BouquetDriver::RunOptimized() {
 
   // All contours exhausted: execute the optimal plan at the discovered
   // location to completion.
+  res.contours_crossed = static_cast<int>(bouquet_->contours.size());
   final_execution(t0);
   return res;
 }
 
 DriverResult BouquetDriver::RunSinglePlan(const PlanNode& root) {
   DriverResult res;
+  obs::Span run = obs::Tracer::BeginUnder(tracer_, "driver.run_single",
+                                          trace_parent_, trace_id_);
+  obs::Span step_span = obs::Tracer::Begin(tracer_, "driver.step", &run);
   ExecContext ctx = MakeContext();
+  ctx.tracer = tracer_;
+  ctx.trace_parent = step_span.id();
+  ctx.trace_id = step_span.trace_id();
   const auto t1 = std::chrono::steady_clock::now();
   const ExecutionOutcome out = ExecutePlan(
       root, &ctx, std::numeric_limits<double>::infinity(), &res.rows);
@@ -444,6 +640,26 @@ DriverResult BouquetDriver::RunSinglePlan(const PlanNode& root) {
   res.total_cost_units = out.cost_charged;
   res.wall_seconds = Seconds(t1, t2);
   res.num_executions = 1;
+
+  // Plan identity: native runs execute arbitrary roots, so the plan may or
+  // may not be interned in the diagram — FindPlan's -1 sentinel is valid.
+  const std::string signature = PlanSignature(root);
+  res.final_plan = diagram_->FindPlan(signature);
+  if (res.completed) res.final_plan_signature = signature;
+
+  DriverStep step;
+  step.contour = -1;  // no contour: unbudgeted native run
+  step.plan_id = res.final_plan;
+  step.plan_signature = signature;
+  step.budget = std::numeric_limits<double>::infinity();
+  step.charged = out.cost_charged;
+  step.wall_seconds = res.wall_seconds;
+  step.completed = res.completed;
+  res.steps.push_back(step);
+  ObserveStep(step, &step_span);
+  run.Num("executions", 1.0)
+      .Num("total_cost_units", res.total_cost_units)
+      .Flag("completed", res.completed);
   return res;
 }
 

@@ -16,6 +16,8 @@
 #include "bouquet/bouquet.h"
 #include "executor/builder.h"
 #include "executor/exec_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 
 namespace bouquet {
@@ -40,7 +42,13 @@ struct DriverResult {
   double wall_seconds = 0.0;
   int num_executions = 0;
   int contours_crossed = 0;
+  /// Diagram plan id of the completing plan, or -1 (the sentinel) when that
+  /// plan is not interned in the diagram — which legitimately happens when
+  /// the optimized run's final execution optimizes at the discovered q_run
+  /// and finds a plan outside the POSP. `final_plan_signature` is the
+  /// canonical identity in either case and is always set on completion.
   int final_plan = -1;
+  std::string final_plan_signature;
   std::vector<Row> rows;  ///< the query result
   std::vector<DriverStep> steps;
   /// Optimized runs only: the final q_run lower bounds per error dimension
@@ -78,11 +86,32 @@ class BouquetDriver {
   DriverResult RunOptimized();
 
   /// Executes a single plan to completion without budget (the NAT baseline
-  /// and the oracle "optimal at q_a" comparison of Table 3).
+  /// and the oracle "optimal at q_a" comparison of Table 3). Emits exactly
+  /// one DriverStep (contour -1 = "no contour, native run") so aggregations
+  /// over `steps` count native runs like every other execution path.
   DriverResult RunSinglePlan(const PlanNode& root);
+
+  /// Attaches observability sinks (either may be null). Spans nest under
+  /// `parent` when given (e.g. the service's request span); pass nullptr
+  /// for a self-rooted trace. Metric instruments are resolved once here so
+  /// the run loops only touch pre-bound counters.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics,
+                        const obs::Span* parent = nullptr);
 
  private:
   ExecContext MakeContext();
+  // Pre-resolved metric instruments (null when no registry is attached).
+  struct Instruments {
+    obs::Counter* executions = nullptr;
+    obs::Counter* contour_crossings = nullptr;
+    obs::Counter* spills = nullptr;
+    obs::Counter* fallbacks = nullptr;
+    obs::Counter* dims_learned = nullptr;
+    obs::Histogram* budget_utilization = nullptr;
+  };
+  // Fills `span` (started before the execution so operator spans nest
+  // under it) with the step's record, ends it, and updates the metrics.
+  void ObserveStep(const DriverStep& step, obs::Span* span);
   // Updates q_run lower bounds from the instrumentation of a finished or
   // aborted execution of `plan_root`; returns true if any bound moved.
   bool HarvestSelectivities(const PlanNode& plan_root, ExecContext* ctx,
@@ -92,6 +121,11 @@ class BouquetDriver {
   const PlanDiagram* diagram_;
   QueryOptimizer* opt_;
   Database* db_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments ins_;
+  uint64_t trace_parent_ = 0;  ///< parent span id for the run root span
+  uint64_t trace_id_ = 0;
 };
 
 }  // namespace bouquet

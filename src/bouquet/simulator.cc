@@ -345,4 +345,29 @@ double BouquetSimulator::SubOpt(const SimResult& result, uint64_t qa) const {
   return result.total_cost / optimal;
 }
 
+void BouquetSimulator::EmitTrace(const SimResult& result, uint64_t qa,
+                                 obs::Tracer* tracer,
+                                 const obs::Span* parent) const {
+  if (tracer == nullptr) return;
+  obs::Span run = tracer->StartSpan("sim.run", parent);
+  for (const SimStep& step : result.steps) {
+    obs::Span s = tracer->StartSpan("sim.step", &run);
+    s.Num("contour", step.contour)
+        .Num("plan_id", step.plan_id)
+        .Num("budget", step.budget)
+        .Num("charged", step.charged)
+        .Flag("completed", step.completed)
+        .Num("learned_dim", step.learned_dim);
+    s.End();
+  }
+  run.Num("qa", static_cast<double>(qa))
+      .Num("executions", result.num_executions)
+      .Num("total_cost_units", result.total_cost)
+      .Num("final_plan", result.final_plan)
+      .Num("subopt", SubOpt(result, qa))
+      .Flag("completed", result.completed)
+      .Flag("fallback", result.fallback_used);
+  run.End();
+}
+
 }  // namespace bouquet

@@ -21,6 +21,7 @@
 
 #include "bouquet/bouquet.h"
 #include "ess/plan_diagram.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 
 namespace bouquet {
@@ -92,6 +93,14 @@ class BouquetSimulator {
 
   /// Sub-optimality of a run: total cost / actual optimal cost at q_a.
   double SubOpt(const SimResult& result, uint64_t qa) const;
+
+  /// Replays a finished run into the tracer as a "sim.run" span with one
+  /// "sim.step" child per SimStep (null tracer = no-op). The simulator has
+  /// no wall clock of its own, so durations are zero; the value is the
+  /// structure: budgets, charges, learned dims, and the final SubOpt,
+  /// nested under `parent` (e.g. the service's request span).
+  void EmitTrace(const SimResult& result, uint64_t qa, obs::Tracer* tracer,
+                 const obs::Span* parent = nullptr) const;
 
   /// Estimated cost of a bouquet plan at a grid point.
   double EstimatedCost(int plan_id, uint64_t point) const;

@@ -8,10 +8,12 @@
 #ifndef BOUQUET_EXECUTOR_EXEC_CONTEXT_H_
 #define BOUQUET_EXECUTOR_EXEC_CONTEXT_H_
 
+#include <cstdint>
 #include <limits>
 
 #include "catalog/catalog.h"
 #include "executor/instrument.h"
+#include "obs/trace.h"
 #include "optimizer/cost_model.h"
 #include "query/query_spec.h"
 #include "storage/index.h"
@@ -52,6 +54,13 @@ struct ExecContext {
   const CostModel* cost_model = nullptr;
   CostMeter meter;
   Instrumentation instr;
+  /// Optional observability sink (null = tracing off, zero overhead).
+  /// When set, ExecutePlan/ExecuteSpilled emit an "exec.plan" span under
+  /// (trace_parent, trace_id) and every finished operator node becomes an
+  /// "exec.node" child span via the instrumentation finish hook.
+  obs::Tracer* tracer = nullptr;
+  uint64_t trace_parent = 0;
+  uint64_t trace_id = 0;
 };
 
 }  // namespace bouquet

@@ -5,11 +5,19 @@
 // execution and run-time selectivity monitoring cheap to add. The bouquet
 // driver reads these counters to maintain the running selectivity location
 // q_run (Section 5.2).
+//
+// For the observability layer (src/obs) the registry additionally carries
+// optional per-node wall timing (first touch -> completion) and a
+// finished-node hook, so every operator that runs to completion can be
+// emitted as a trace span without the operators knowing about tracing.
+// Both are off by default and cost nothing when unused.
 
 #ifndef BOUQUET_EXECUTOR_INSTRUMENT_H_
 #define BOUQUET_EXECUTOR_INSTRUMENT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "optimizer/plan.h"
@@ -21,20 +29,61 @@ struct NodeCounters {
   int64_t tuples_out = 0;      ///< rows emitted by the node so far
   int64_t tuples_scanned = 0;  ///< base rows examined (scans only)
   bool finished = false;       ///< node ran to completion
+  /// First touch -> completion, seconds; 0 unless timing was enabled and
+  /// the node finished.
+  double wall_seconds = 0.0;
+  /// First-touch stamp (only meaningful while timing is enabled).
+  std::chrono::steady_clock::time_point first_touch;
 };
 
 /// Registry of counters keyed by plan node identity.
 class Instrumentation {
  public:
-  NodeCounters& ForNode(const PlanNode* node) { return counters_[node]; }
+  /// Invoked (synchronously, on the executing thread) when a node finishes.
+  using FinishHook =
+      std::function<void(const PlanNode* node, const NodeCounters& counters)>;
+
+  NodeCounters& ForNode(const PlanNode* node) {
+    auto [it, inserted] = counters_.try_emplace(node);
+    if (inserted && timing_) {
+      it->second.first_touch = std::chrono::steady_clock::now();
+    }
+    return it->second;
+  }
+
+  /// Marks a node complete: sets `finished`, stamps `wall_seconds` (when
+  /// timing is enabled), and fires the finish hook (when set). Operators
+  /// call this instead of writing `finished` directly.
+  void FinishNode(const PlanNode* node) {
+    NodeCounters& nc = ForNode(node);
+    nc.finished = true;
+    if (timing_) {
+      nc.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - nc.first_touch)
+                            .count();
+    }
+    if (finish_hook_) finish_hook_(node, nc);
+  }
 
   /// Counters for a node, or nullptr if it never executed.
   const NodeCounters* Find(const PlanNode* node) const;
 
+  /// Enables first-touch/finish wall timing for subsequently created
+  /// counters (typically set once by the tracing driver before execution).
+  void EnableTiming(bool on) { timing_ = on; }
+  bool timing_enabled() const { return timing_; }
+
+  void SetFinishHook(FinishHook hook) { finish_hook_ = std::move(hook); }
+
+  /// Clears counters; timing flag and hook persist across executions of the
+  /// same context (Reset is "jettison intermediate results", not "forget
+  /// how to observe").
   void Reset() { counters_.clear(); }
 
  private:
   std::unordered_map<const PlanNode*, NodeCounters> counters_;
+  bool timing_ = false;
+  FinishHook finish_hook_;
 };
 
 }  // namespace bouquet

@@ -95,7 +95,7 @@ class SeqScanOp : public Operator {
       *out = row_buf_;
       return ExecResult::kRow;
     }
-    nc.finished = true;
+    ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
     return ExecResult::kDone;
   }
 
@@ -155,7 +155,7 @@ class IndexScanOp : public Operator {
       *out = row_buf_;
       return ExecResult::kRow;
     }
-    nc.finished = true;
+    ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
     return ExecResult::kDone;
   }
 
@@ -253,7 +253,7 @@ class HashJoinOp : public Operator {
       const ExecResult st = left_->Next(&probe_row_);
       if (st == ExecResult::kAborted) return ExecResult::kAborted;
       if (st == ExecResult::kDone) {
-        nc.finished = true;
+        ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
         return ExecResult::kDone;
       }
       if (!ctx_->meter.Charge(hash_op + probe_spill_charge_)) {
@@ -345,7 +345,7 @@ class MergeJoinOp : public Operator {
       li_ = gl_end_;
       ri_ = gr_end_;
       if (li_ >= lrows_.size() || ri_ >= rrows_.size()) {
-        nc.finished = true;
+        ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
         return ExecResult::kDone;
       }
       if (!ctx_->meter.Charge(p.cpu_operator_cost)) {
@@ -512,7 +512,7 @@ class IndexNLJoinOp : public Operator {
       const ExecResult st = left_->Next(&outer_row_);
       if (st == ExecResult::kAborted) return ExecResult::kAborted;
       if (st == ExecResult::kDone) {
-        nc.finished = true;
+        ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
         return ExecResult::kDone;
       }
       if (!ctx_->meter.Charge(descent)) return ExecResult::kAborted;
@@ -583,7 +583,7 @@ class MaterialNLJoinOp : public Operator {
         const ExecResult st = left_->Next(&outer_row_);
         if (st == ExecResult::kAborted) return ExecResult::kAborted;
         if (st == ExecResult::kDone) {
-          nc.finished = true;
+          ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
           return ExecResult::kDone;
         }
         have_outer_ = true;
@@ -698,7 +698,7 @@ class HashAggregateOp : public Operator {
     }
 
     if (emit_ == groups_.end()) {
-      nc.finished = true;
+      ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
       return ExecResult::kDone;
     }
     if (!ctx_->meter.Charge(p.cpu_tuple_cost)) return ExecResult::kAborted;

@@ -1,0 +1,142 @@
+// Runtime observability, part 2: a process-local metrics registry.
+//
+// Counters, gauges, and fixed-bucket histograms, named in the Prometheus
+// style (snake_case, `_total` suffix for counters) and exportable both as
+// Prometheus text exposition format (the examples/bouquet_server "/metrics"
+// dump) and as a JSON object (machine-friendly for the bench harness and
+// EXPERIMENTS.md table regeneration).
+//
+// Instruments are created once via Get* and returned as stable raw pointers
+// owned by the registry (valid for the registry's lifetime), so the hot
+// path is a single relaxed atomic add — no map lookup, no lock. The
+// registry's name index is GUARDED_BY a Mutex from the capability layer
+// (common/synchronization.h); histograms serialize their bucket updates
+// through their own leaf Mutex.
+//
+// Thread-safety: all methods of all classes here may be called from any
+// thread concurrently.
+
+#ifndef BOUQUET_OBS_METRICS_H_
+#define BOUQUET_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/synchronization.h"
+
+namespace bouquet {
+namespace obs {
+
+/// Monotonically increasing count (lock-free).
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (lock-free).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // CAS loop instead of C++20 atomic<double>::fetch_add for portability
+    // across the GCC/Clang versions the CI matrix builds with.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (cumulative buckets on export, Prometheus-style:
+/// bucket i counts observations <= bounds[i], plus an implicit +Inf).
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; the +Inf bucket is implicit.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;    ///< upper bounds, +Inf excluded
+    std::vector<uint64_t> counts;  ///< per-bucket (non-cumulative), +Inf last
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  const std::vector<double> bounds_;
+  mutable Mutex mu_;
+  std::vector<uint64_t> counts_ GUARDED_BY(mu_);
+  uint64_t count_ GUARDED_BY(mu_) = 0;
+  double sum_ GUARDED_BY(mu_) = 0.0;
+};
+
+/// Named instruments with Prometheus/JSON export. Re-requesting an existing
+/// name returns the same instrument (help/bounds of the first registration
+/// win), so independent subsystems can share counters by name.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  /// Prometheus text exposition format (HELP/TYPE comments, cumulative
+  /// histogram buckets with an +Inf bucket, _sum and _count series).
+  std::string ExportPrometheus() const;
+
+  /// One JSON object keyed by metric name; histograms expand to
+  /// {"buckets":[{"le":..,"count":..},...],"count":..,"sum":..}.
+  std::string ExportJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindLocked(const std::string& name) REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  /// Registration order, preserved in exports for stable diffs.
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
+};
+
+/// Default compile-latency buckets (seconds): compile times range from
+/// sub-millisecond warm paths to tens of seconds for 3D grids.
+std::vector<double> CompileLatencyBuckets();
+
+/// Default buckets for charged/budget utilization ratios; budgets are only
+/// ever exceeded by one operator quantum, so the tail above 1.0 is short.
+std::vector<double> BudgetUtilizationBuckets();
+
+/// Default buckets for per-run sub-optimality (theory bound: 4rho(1+lambda)).
+std::vector<double> SubOptimalityBuckets();
+
+}  // namespace obs
+}  // namespace bouquet
+
+#endif  // BOUQUET_OBS_METRICS_H_

@@ -1,0 +1,180 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/str_util.h"
+
+namespace bouquet {
+namespace obs {
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// A double as a JSON value; non-finite values become quoted strings.
+std::string JsonNumber(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  return StrPrintf("%.17g", v);
+}
+
+}  // namespace
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    ev_ = std::move(other.ev_);
+    start_tp_ = other.start_tp_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span& Span::Num(const char* key, double value) {
+  if (tracer_ != nullptr) ev_.num_attrs.emplace_back(key, value);
+  return *this;
+}
+
+Span& Span::Str(const char* key, std::string value) {
+  if (tracer_ != nullptr) ev_.str_attrs.emplace_back(key, std::move(value));
+  return *this;
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  ev_.dur_s = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_tp_)
+                  .count();
+  tracer_->Push(std::move(ev_));
+  tracer_ = nullptr;
+}
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Span Tracer::StartSpan(const char* name, const Span* parent) {
+  const bool linked = parent != nullptr && parent->enabled();
+  return StartSpanUnder(name, linked ? parent->id() : 0,
+                        linked ? parent->trace_id() : 0);
+}
+
+Span Tracer::StartSpanUnder(const char* name, uint64_t parent_id,
+                            uint64_t trace_id) {
+  Span s;
+  s.tracer_ = this;
+  s.start_tp_ = std::chrono::steady_clock::now();
+  s.ev_.span_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  s.ev_.parent_id = parent_id;
+  // Root spans anchor a fresh trace; children inherit the root's id.
+  s.ev_.trace_id = parent_id == 0 ? s.ev_.span_id : trace_id;
+  s.ev_.name = name;
+  s.ev_.start_s = SinceEpoch(s.start_tp_);
+  return s;
+}
+
+void Tracer::Push(TraceEvent event) {
+  MutexLock lock(&mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  full_ = true;
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (full_) {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  MutexLock lock(&mu_);
+  return dropped_;
+}
+
+void Tracer::Clear() {
+  MutexLock lock(&mu_);
+  ring_.clear();
+  head_ = 0;
+  full_ = false;
+  dropped_ = 0;
+}
+
+void Tracer::ExportJsonl(std::ostream& os) const {
+  for (const TraceEvent& e : Snapshot()) {
+    os << "{\"span_id\":" << e.span_id << ",\"parent_id\":" << e.parent_id
+       << ",\"trace_id\":" << e.trace_id << ",\"name\":\""
+       << JsonEscape(e.name) << "\",\"start\":" << JsonNumber(e.start_s)
+       << ",\"dur\":" << JsonNumber(e.dur_s) << ",\"attrs\":{";
+    for (size_t i = 0; i < e.num_attrs.size(); ++i) {
+      if (i > 0) os << ',';
+      os << '"' << JsonEscape(e.num_attrs[i].first)
+         << "\":" << JsonNumber(e.num_attrs[i].second);
+    }
+    os << "},\"sattrs\":{";
+    for (size_t i = 0; i < e.str_attrs.size(); ++i) {
+      if (i > 0) os << ',';
+      os << '"' << JsonEscape(e.str_attrs[i].first) << "\":\""
+         << JsonEscape(e.str_attrs[i].second) << '"';
+    }
+    os << "}}\n";
+  }
+}
+
+Status Tracer::ExportJsonlFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    return Status::Internal("cannot open trace export file: " + path);
+  }
+  ExportJsonl(os);
+  os.flush();
+  if (!os.good()) return Status::Internal("trace export write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace bouquet

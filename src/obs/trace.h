@@ -1,0 +1,155 @@
+// Runtime observability, part 1: a lightweight nested-span tracer.
+//
+// The bouquet guarantees (MSO <= 4rho(1+lambda), Theorem 3; q_run learning,
+// Section 5.2) are statements about what the run-time phase *did*: budgets
+// charged, contours crossed, spills issued, dimensions learned. The Tracer
+// records exactly that as a tree of spans — compile -> request -> contour ->
+// plan-execution step -> operator — into a fixed-capacity in-memory ring
+// buffer (oldest spans dropped under pressure, never blocking the hot path)
+// with JSONL export for offline analysis and schema-checked CI validation
+// (scripts/check_trace_schema.py).
+//
+// Usage (null-safe: a null Tracer* yields disabled no-op spans, so
+// instrumented code needs no branching):
+//
+//   obs::Span run = obs::Tracer::Begin(tracer, "driver.run_basic");
+//   obs::Span step = obs::Tracer::Begin(tracer, "driver.step", &run);
+//   step.Num("budget", b).Num("charged", c).Flag("completed", done);
+//   step.End();   // stamps duration, pushes into the ring buffer
+//
+// Thread-safety: a Span is owned by one thread; Tracer::Push (called by
+// Span::End) and the snapshot/export methods lock the ring-buffer Mutex and
+// may be called from any thread concurrently (the concurrent BouquetService
+// shares one tracer across all request threads).
+
+#ifndef BOUQUET_OBS_TRACE_H_
+#define BOUQUET_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+
+namespace bouquet {
+namespace obs {
+
+/// One completed span. Numeric attributes carry the quantitative record
+/// (budget, charged, plan_id, ...); string attributes carry identities
+/// (plan signature, q_run snapshot).
+struct TraceEvent {
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span
+  uint64_t trace_id = 0;   ///< shared by a root span and its descendants
+  std::string name;
+  double start_s = 0.0;  ///< seconds since the tracer's epoch
+  double dur_s = 0.0;
+  std::vector<std::pair<std::string, double>> num_attrs;
+  std::vector<std::pair<std::string, std::string>> str_attrs;
+};
+
+class Tracer;
+
+/// Movable handle for an in-flight span. A default-constructed (or
+/// null-tracer) span is disabled: every method is a cheap no-op.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  bool enabled() const { return tracer_ != nullptr; }
+  uint64_t id() const { return ev_.span_id; }
+  uint64_t trace_id() const { return ev_.trace_id; }
+
+  Span& Num(const char* key, double value);
+  Span& Flag(const char* key, bool value) {
+    return Num(key, value ? 1.0 : 0.0);
+  }
+  Span& Str(const char* key, std::string value);
+
+  /// Stamps the duration and hands the event to the tracer. Idempotent
+  /// (the destructor calls it too).
+  void End();
+
+ private:
+  friend class Tracer;
+  Tracer* tracer_ = nullptr;
+  TraceEvent ev_;
+  std::chrono::steady_clock::time_point start_tp_;
+};
+
+/// Fixed-capacity ring buffer of completed spans.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 8192);
+
+  /// Starts a span; `parent` (optional) provides the parent/trace linkage.
+  Span StartSpan(const char* name, const Span* parent = nullptr);
+
+  /// Starts a span under explicit ids — for spans whose parent handle is
+  /// not reachable at the call site (e.g. the executor's finished-node hook
+  /// parenting under the driver's step span).
+  Span StartSpanUnder(const char* name, uint64_t parent_id,
+                      uint64_t trace_id);
+
+  /// Null-safe factory: a null tracer yields a disabled span.
+  static Span Begin(Tracer* tracer, const char* name,
+                    const Span* parent = nullptr) {
+    return tracer == nullptr ? Span() : tracer->StartSpan(name, parent);
+  }
+  static Span BeginUnder(Tracer* tracer, const char* name,
+                         uint64_t parent_id, uint64_t trace_id) {
+    return tracer == nullptr ? Span()
+                             : tracer->StartSpanUnder(name, parent_id,
+                                                      trace_id);
+  }
+
+  /// Completed spans, oldest first. (Copy: safe to inspect while other
+  /// threads keep tracing.)
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// One JSON object per line:
+  ///   {"span_id":..,"parent_id":..,"trace_id":..,"name":"..","start":..,
+  ///    "dur":..,"attrs":{..},"sattrs":{..}}
+  /// Non-finite numeric attribute values are exported as the strings
+  /// "inf"/"-inf"/"nan" (JSON numbers cannot represent them); consumers —
+  /// and scripts/check_trace_schema.py — accept both forms.
+  void ExportJsonl(std::ostream& os) const;
+  Status ExportJsonlFile(const std::string& path) const;
+
+  size_t capacity() const { return capacity_; }
+  /// Spans evicted from the ring buffer since construction/Clear.
+  uint64_t dropped() const;
+  void Clear();
+
+ private:
+  friend class Span;
+  void Push(TraceEvent event);
+  double SinceEpoch(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double>(tp - epoch_).count();
+  }
+
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);  ///< chronological, wraps
+  size_t head_ GUARDED_BY(mu_) = 0;  ///< next write slot once full
+  bool full_ GUARDED_BY(mu_) = false;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace bouquet
+
+#endif  // BOUQUET_OBS_TRACE_H_

@@ -78,6 +78,10 @@ BouquetProfile ComputeBouquetProfile(const BouquetSimulator& simulator,
 double MaxHarm(const std::vector<double>& subopt,
                const std::vector<double>& native_worst) {
   assert(subopt.size() == native_worst.size());
+  // Empty input: no location can be harmed, so MaxHarm is 0 ("no harm"),
+  // not the -1 lower bound of the harm expression (which only makes sense
+  // once at least one location exists).
+  if (subopt.empty()) return 0.0;
   double mh = -1.0;
   for (size_t i = 0; i < subopt.size(); ++i) {
     assert(native_worst[i] > 0.0);
@@ -101,15 +105,25 @@ std::vector<double> EnhancementDistribution(
     const std::vector<double>& subopt,
     const std::vector<double>& native_worst, int num_buckets) {
   assert(subopt.size() == native_worst.size());
+  // At least the harm bucket and one enhancement bucket must exist; callers
+  // asking for fewer get the minimum shape rather than UB below.
+  num_buckets = std::max(num_buckets, 2);
   std::vector<double> buckets(num_buckets, 0.0);
   for (size_t i = 0; i < subopt.size(); ++i) {
-    const double enhancement = native_worst[i] / subopt[i];
     int b;
-    if (enhancement < 1.0) {
-      b = 0;  // harm
+    if (subopt[i] <= 0.0) {
+      // Degenerate entry (e.g. an uninitialized profile slot): the
+      // enhancement ratio is infinite, which belongs in the top bucket —
+      // std::log10(inf) would otherwise produce an out-of-range index.
+      b = num_buckets - 1;
     } else {
-      b = 1 + static_cast<int>(std::floor(std::log10(enhancement)));
-      b = std::min(b, num_buckets - 1);
+      const double enhancement = native_worst[i] / subopt[i];
+      if (enhancement < 1.0) {
+        b = 0;  // harm
+      } else {
+        b = 1 + static_cast<int>(std::floor(std::log10(enhancement)));
+        b = std::min(b, num_buckets - 1);
+      }
     }
     buckets[b] += 1.0;
   }

@@ -51,7 +51,8 @@ BouquetProfile ComputeBouquetProfile(const BouquetSimulator& simulator,
 
 /// MaxHarm (Equation 5): max over q_a of subopt(q_a)/native_worst(q_a) - 1.
 /// `subopt` is the policy's per-q_a sub-optimality (worst-case for
-/// estimate-based policies, SubOpt(*,q_a) for the bouquet).
+/// estimate-based policies, SubOpt(*,q_a) for the bouquet). Empty inputs
+/// yield 0.0 (no location, no harm).
 double MaxHarm(const std::vector<double>& subopt,
                const std::vector<double>& native_worst);
 
@@ -62,7 +63,9 @@ double HarmFraction(const std::vector<double>& subopt,
 /// Figure 16: histogram over q_a of the robustness enhancement factor
 /// native_worst(q_a)/subopt(q_a), bucketed by decades:
 /// bucket 0: < 1x (harm), bucket 1: [1,10), bucket 2: [10,100), ...
-/// Returns bucket fractions (sum = 1).
+/// Returns bucket fractions (sum = 1). `num_buckets` is clamped to >= 2
+/// (harm + one enhancement decade); non-positive subopt entries count as
+/// infinite enhancement and land in the top bucket.
 std::vector<double> EnhancementDistribution(
     const std::vector<double>& subopt,
     const std::vector<double>& native_worst, int num_buckets = 5);

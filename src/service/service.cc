@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -23,7 +24,44 @@ BouquetService::BouquetService(const Catalog& catalog, ServiceOptions options)
     : catalog_(&catalog),
       options_(options),
       pool_(options.num_threads),
-      cache_(options.cache_capacity, options.cache_shards) {}
+      cache_(options.cache_capacity, options.cache_shards) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    ins_.requests =
+        m->GetCounter("service_requests_total", "Requests served");
+    ins_.cache_hits = m->GetCounter("service_cache_hits_total",
+                                    "Requests served from the bouquet cache");
+    ins_.cache_misses =
+        m->GetCounter("service_cache_misses_total",
+                      "Requests that compiled their template bundle");
+    ins_.shared_compiles =
+        m->GetCounter("service_shared_compiles_total",
+                      "Requests deduplicated onto another compile "
+                      "(single-flight followers)");
+    ins_.compile_seconds =
+        m->GetHistogram("service_compile_seconds",
+                        "Template compile latency (leader compiles only)",
+                        obs::CompileLatencyBuckets());
+    ins_.cache_hit_rate = m->GetGauge(
+        "service_cache_hit_rate", "cache_hits / requests, cumulative");
+    ins_.suboptimality = m->GetHistogram(
+        "bouquet_suboptimality",
+        "Per-run SubOpt = total cost / optimal cost at q_a (simulated runs)",
+        obs::SubOptimalityBuckets());
+    ins_.plan_executions = m->GetCounter(
+        "bouquet_executions_total",
+        "Plan executions issued across all requests (both modes)");
+    ins_.contour_crossings =
+        m->GetCounter("bouquet_contour_crossings_total",
+                      "Isocost contours crossed without completing, summed "
+                      "over requests");
+    ins_.spills = m->GetCounter(
+        "bouquet_spills_total", "Spill-mode learning executions issued");
+    ins_.fallbacks = m->GetCounter(
+        "bouquet_fallbacks_total",
+        "Simulated runs that violated the guarantee and fell back");
+  }
+}
 
 std::vector<int> BouquetService::ResolutionsFor(const QuerySpec& query) const {
   const int dims = query.NumDims();
@@ -72,7 +110,7 @@ void BouquetService::RecordCompileStatsLocked(const CompiledBouquet& c) {
 }
 
 Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
-    const QuerySpec& query, ServiceResult* result) {
+    const QuerySpec& query, ServiceResult* result, const obs::Span* parent) {
   const std::string key = KeyFor(query);
   if (result != nullptr) result->template_hash = TemplateHash(key);
   const auto t0 = std::chrono::steady_clock::now();
@@ -82,6 +120,7 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
       result->cache_hit = true;
       result->compile_seconds = SecondsSince(t0);
     }
+    if (ins_.cache_hits != nullptr) ins_.cache_hits->Inc();
     MutexLock lock(&stats_mu_);
     ++stats_.cache_hits;
     return c;
@@ -104,6 +143,7 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
         result->cache_hit = true;
         result->compile_seconds = SecondsSince(t0);
       }
+      if (ins_.cache_hits != nullptr) ins_.cache_hits->Inc();
       MutexLock slock(&stats_mu_);
       ++stats_.cache_hits;
       return c;
@@ -115,7 +155,16 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
   }
 
   if (leader) {
+    obs::Span compile_span =
+        obs::Tracer::Begin(options_.tracer, "service.compile", parent);
     auto c = Compile(query);
+    if (compile_span.enabled()) {
+      compile_span.Num("compile_seconds", c->compile_seconds)
+          .Num("num_plans", static_cast<double>(c->diagram->num_plans()))
+          .Num("num_contours",
+               static_cast<double>(c->bouquet->contours.size()));
+      compile_span.End();
+    }
     cache_.Put(key, c);
     {
       MutexLock lock(&inflight_mu_);
@@ -125,6 +174,10 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
     if (result != nullptr) {
       result->compiled = true;
       result->compile_seconds = SecondsSince(t0);
+    }
+    if (ins_.cache_misses != nullptr) ins_.cache_misses->Inc();
+    if (ins_.compile_seconds != nullptr) {
+      ins_.compile_seconds->Observe(c->compile_seconds);
     }
     MutexLock lock(&stats_mu_);
     RecordCompileStatsLocked(*c);
@@ -137,6 +190,7 @@ Result<std::shared_ptr<const CompiledBouquet>> BouquetService::GetOrCompile(
     result->shared_compile = true;
     result->compile_seconds = SecondsSince(t0);
   }
+  if (ins_.shared_compiles != nullptr) ins_.shared_compiles->Inc();
   MutexLock lock(&stats_mu_);
   ++stats_.shared_compiles;
   return c;
@@ -187,8 +241,13 @@ Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
     MutexLock lock(&stats_mu_);
     ++stats_.requests;
   }
+  if (ins_.requests != nullptr) ins_.requests->Inc();
 
-  auto bundle_or = GetOrCompile(request.query, &r);
+  obs::Span req_span = obs::Tracer::Begin(options_.tracer, "service.request");
+  req_span.Num("mode",
+               request.mode == ExecutionMode::kSimulate ? 0.0 : 1.0);
+
+  auto bundle_or = GetOrCompile(request.query, &r, &req_span);
   if (!bundle_or.ok()) return bundle_or.status();
   std::shared_ptr<const CompiledBouquet> c = std::move(bundle_or).value();
 
@@ -196,22 +255,70 @@ Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
   if (request.mode == ExecutionMode::kSimulate) {
     const uint64_t qa = SnapToGrid(*c->grid, request.actual_selectivities);
     r.sim = c->simulator->RunOptimized(qa);
+    c->simulator->EmitTrace(r.sim, qa, options_.tracer, &req_span);
+    if (ins_.suboptimality != nullptr) {
+      ins_.suboptimality->Observe(c->simulator->SubOpt(r.sim, qa));
+    }
   } else {
     // Per-request optimizer + driver: both are bound to this request's
     // constants and neither is shared across threads.
     QueryOptimizer run_opt(request.query, *catalog_, options_.cost_params);
     BouquetDriver driver(*c->bouquet, *c->diagram, &run_opt,
                          options_.database);
+    driver.SetObservability(options_.tracer, options_.metrics, &req_span);
     r.real = driver.RunOptimized();
   }
   r.execute_seconds = SecondsSince(e0);
   r.latency_seconds = SecondsSince(t0);
   r.compiled_bundle = std::move(c);
 
+  if (req_span.enabled()) {
+    req_span.Num("template_hash", static_cast<double>(r.template_hash))
+        .Flag("cache_hit", r.cache_hit)
+        .Flag("compiled", r.compiled)
+        .Flag("shared_compile", r.shared_compile)
+        .Num("compile_seconds", r.compile_seconds)
+        .Num("execute_seconds", r.execute_seconds);
+    req_span.End();
+  }
+
+  // Per-request run-phase aggregates, folded into both the ServiceStats
+  // snapshot and (when attached) the metrics registry.
+  uint64_t executions = 0, crossings = 0, spills = 0, fallbacks = 0;
+  if (request.mode == ExecutionMode::kSimulate) {
+    executions = static_cast<uint64_t>(r.sim.num_executions);
+    crossings = static_cast<uint64_t>(std::max(r.sim.final_contour, 0));
+    for (const SimStep& s : r.sim.steps) {
+      // The simulator stamps learned_dim on every step, including the
+      // completing one; only aborted steps actually spill-learned.
+      if (!s.completed && s.learned_dim >= 0) ++spills;
+    }
+    if (r.sim.fallback_used) fallbacks = 1;
+  } else {
+    executions = static_cast<uint64_t>(r.real.num_executions);
+    crossings = static_cast<uint64_t>(std::max(r.real.contours_crossed, 0));
+    for (const DriverStep& s : r.real.steps) {
+      if (s.spilled) ++spills;
+    }
+  }
+  if (ins_.plan_executions != nullptr) {
+    ins_.plan_executions->Inc(executions);
+    ins_.contour_crossings->Inc(crossings);
+    ins_.spills->Inc(spills);
+    ins_.fallbacks->Inc(fallbacks);
+  }
+
   {
     MutexLock lock(&stats_mu_);
     stats_.execute_seconds += r.execute_seconds;
     stats_.latency_seconds += r.latency_seconds;
+    stats_.plan_executions += executions;
+    stats_.contour_crossings += crossings;
+    stats_.spills += spills;
+    stats_.fallbacks += fallbacks;
+    if (ins_.cache_hit_rate != nullptr) {
+      ins_.cache_hit_rate->Set(stats_.CacheHitRate());
+    }
   }
   return r;
 }

@@ -45,6 +45,8 @@
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/bouquet_cache.h"
 #include "storage/index.h"
 
@@ -63,6 +65,12 @@ struct ServiceOptions {
   SimOptions sim_options;
   /// Optional real-data backend for ExecutionMode::kRealData requests.
   Database* database = nullptr;
+  /// Optional observability sinks (borrowed; must outlive the service; null
+  /// = off). Requests become "service.request" span trees — compiles,
+  /// driver/simulator steps, and operator spans nest underneath — and the
+  /// registry gains service_* and bouquet_driver_* instruments.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 enum class ExecutionMode {
@@ -115,6 +123,14 @@ struct ServiceStats {
   double compile_seconds = 0.0;   ///< sum over compilations only
   double execute_seconds = 0.0;
   double latency_seconds = 0.0;
+  /// Run-time-phase aggregates summed over finished requests (both modes):
+  /// plan executions issued, contours crossed without completing, spill-mode
+  /// learning executions, and guarantee fallbacks (simulated runs only —
+  /// the real-data driver reports fallbacks via its own metric counter).
+  uint64_t plan_executions = 0;
+  uint64_t contour_crossings = 0;
+  uint64_t spills = 0;
+  uint64_t fallbacks = 0;
 
   double CacheHitRate() const {
     return requests == 0 ? 0.0
@@ -139,9 +155,11 @@ class BouquetService {
 
   /// Returns the compiled bundle for the query's template, compiling it
   /// (single-flight) on a miss. `result`, when given, receives the
-  /// cache_hit/shared_compile/compiled/compile_seconds fields.
+  /// cache_hit/shared_compile/compiled/compile_seconds fields. When tracing
+  /// is on, a leader compile emits a "service.compile" span under `parent`.
   Result<std::shared_ptr<const CompiledBouquet>> GetOrCompile(
-      const QuerySpec& query, ServiceResult* result = nullptr);
+      const QuerySpec& query, ServiceResult* result = nullptr,
+      const obs::Span* parent = nullptr);
 
   /// Loads a bundle previously written by SaveBouquetToFile and installs it
   /// under the query's template key. The file's grid resolution must match
@@ -161,8 +179,26 @@ class BouquetService {
   /// Folds one compilation's timings and POSP counters into stats_.
   void RecordCompileStatsLocked(const CompiledBouquet& c) REQUIRES(stats_mu_);
 
+  // Pre-resolved metric instruments (null without options_.metrics).
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* shared_compiles = nullptr;
+    obs::Histogram* compile_seconds = nullptr;
+    obs::Gauge* cache_hit_rate = nullptr;
+    obs::Histogram* suboptimality = nullptr;
+    // Run-phase aggregates covering both execution modes (the real-data
+    // driver additionally exposes its own finer-grained bouquet_driver_*).
+    obs::Counter* plan_executions = nullptr;
+    obs::Counter* contour_crossings = nullptr;
+    obs::Counter* spills = nullptr;
+    obs::Counter* fallbacks = nullptr;
+  };
+
   const Catalog* catalog_;
   ServiceOptions options_;
+  Instruments ins_;
   ThreadPool pool_;
   BouquetCache cache_;
 

@@ -180,6 +180,99 @@ TEST(DriverJoinDimTest, LearnsJoinSelectivityFromData) {
   EXPECT_GE(res.discovered_selectivities[0], truth * 0.2);
 }
 
+TEST_F(DriverTest, RunSinglePlanEmitsStepAndIdentity) {
+  // Regression: RunSinglePlan used to return with final_plan == -1, an
+  // empty signature, and no DriverStep at all, so NAT baselines vanished
+  // from any aggregation over steps.
+  const Plan plan = opt_->OptimizeAt(achieved_);
+  BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult res = driver.RunSinglePlan(*plan.root);
+  ASSERT_TRUE(res.completed);
+  EXPECT_FALSE(res.final_plan_signature.empty());
+  EXPECT_EQ(res.final_plan_signature, plan.signature);
+  // The optimal plan at a grid-adjacent location is interned in the POSP
+  // diagram iff its signature matches one of the diagram's plans; either
+  // way final_plan must agree with FindPlan, not stay at a stale default.
+  EXPECT_EQ(res.final_plan, diagram_->FindPlan(plan.signature));
+  ASSERT_EQ(res.steps.size(), 1u);
+  const DriverStep& step = res.steps.front();
+  EXPECT_EQ(step.contour, -1);  // native run: no contour
+  EXPECT_EQ(step.plan_signature, plan.signature);
+  EXPECT_TRUE(step.completed);
+  EXPECT_FALSE(std::isfinite(step.budget));
+  EXPECT_GT(step.charged, 0.0);
+  EXPECT_EQ(step.charged, res.total_cost_units);
+}
+
+TEST_F(DriverTest, FinalPlanSignatureSetOnCompletion) {
+  BouquetDriver d1(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult basic = d1.RunBasic();
+  ASSERT_TRUE(basic.completed);
+  EXPECT_FALSE(basic.final_plan_signature.empty());
+  EXPECT_EQ(basic.final_plan_signature, basic.steps.back().plan_signature);
+  EXPECT_EQ(basic.final_plan, basic.steps.back().plan_id);
+
+  BouquetDriver d2(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult optimized = d2.RunOptimized();
+  ASSERT_TRUE(optimized.completed);
+  // The optimized final execution may pick a plan outside the POSP, in
+  // which case final_plan is the documented -1 sentinel — but the
+  // signature identity must be recorded regardless.
+  EXPECT_FALSE(optimized.final_plan_signature.empty());
+  EXPECT_EQ(optimized.final_plan_signature,
+            optimized.steps.back().plan_signature);
+  if (optimized.final_plan >= 0) {
+    EXPECT_EQ(diagram_->plan(optimized.final_plan).signature,
+              optimized.final_plan_signature);
+  } else {
+    EXPECT_EQ(diagram_->FindPlan(optimized.final_plan_signature), -1);
+  }
+}
+
+TEST_F(DriverTest, EmptyContourSafetyNet) {
+  // Regression: a bouquet with no contours made RunBasic dereference
+  // contours.back() — UB. The safety net must instead fall back to the
+  // diagram's max-corner plan and still produce the correct result.
+  PlanBouquet empty = *bouquet_;
+  empty.contours.clear();
+  BouquetDriver driver(empty, *diagram_, opt_.get(), &db_);
+  const DriverResult res = driver.RunBasic();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.num_executions, 1);
+  EXPECT_EQ(res.contours_crossed, 0);
+  const uint64_t corner =
+      diagram_->grid().LinearIndex(diagram_->grid().MaxCorner());
+  EXPECT_EQ(res.final_plan, diagram_->plan_at(corner));
+  EXPECT_FALSE(res.final_plan_signature.empty());
+  ASSERT_EQ(res.steps.size(), 1u);
+  EXPECT_FALSE(std::isfinite(res.steps.front().budget));
+  EXPECT_EQ(static_cast<int64_t>(res.rows.size()), TrueResultCount());
+}
+
+TEST_F(DriverTest, AllBudgetsExceededFallsBackAndCountsContours) {
+  // Shrink every contour budget below any plan's true cost: every budgeted
+  // execution aborts and the safety net must finish the query. Regression:
+  // the fallback used to leave contours_crossed at the index of the last
+  // contour instead of recording that all of them were crossed.
+  PlanBouquet starved = *bouquet_;
+  for (BouquetContour& c : starved.contours) c.budget = 1.0;
+  BouquetDriver driver(starved, *diagram_, opt_.get(), &db_);
+  const DriverResult res = driver.RunBasic();
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.contours_crossed,
+            static_cast<int>(starved.contours.size()));
+  // One aborted execution per distinct plan per contour, plus the fallback.
+  int aborted = 0;
+  for (const DriverStep& s : res.steps) aborted += s.completed ? 0 : 1;
+  EXPECT_EQ(aborted, res.num_executions - 1);
+  const DriverStep& last = res.steps.back();
+  EXPECT_TRUE(last.completed);
+  EXPECT_FALSE(std::isfinite(last.budget));
+  EXPECT_EQ(last.contour, static_cast<int>(starved.contours.size()));
+  EXPECT_EQ(res.final_plan, last.plan_id);
+  EXPECT_EQ(static_cast<int64_t>(res.rows.size()), TrueResultCount());
+}
+
 TEST_F(DriverTest, SmallSelectivityFinishesEarly) {
   // Rebind to a tiny q_a: the first contours should already complete.
   QuerySpec tiny = Make2DHQ8a(catalog_);

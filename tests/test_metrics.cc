@@ -117,5 +117,48 @@ TEST_F(MetricsTest, EnhancementDistributionClampsTopBucket) {
   EXPECT_DOUBLE_EQ(dist.back(), 1.0);
 }
 
+TEST_F(MetricsTest, MaxHarmEmptyInputIsZero) {
+  // Regression: MaxHarm used to return its -1.0 scan seed on empty input,
+  // which reads as "the policy helps everywhere" in reports that never ran
+  // a single location.
+  EXPECT_DOUBLE_EQ(MaxHarm({}, {}), 0.0);
+}
+
+TEST_F(MetricsTest, EnhancementDistributionZeroSubOptGoesToTopBucket) {
+  // Regression: a zero subopt entry (e.g. an uninitialized profile slot)
+  // made the enhancement ratio infinite and std::log10(inf) drove the
+  // bucket index out of range — heap overflow. It must land in the top
+  // bucket instead ("infinitely enhanced").
+  const std::vector<double> native = {10.0, 10.0};
+  const std::vector<double> subopt = {0.0, 2.0};
+  const auto dist = EnhancementDistribution(subopt, native, 5);
+  ASSERT_EQ(dist.size(), 5u);
+  EXPECT_DOUBLE_EQ(dist.back(), 0.5);  // the zero entry
+  EXPECT_DOUBLE_EQ(dist[1], 0.5);      // ratio 5 -> bucket 1
+  double sum = 0;
+  for (double d : dist) sum += d;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST_F(MetricsTest, EnhancementDistributionClampsBucketCountToTwo) {
+  // Regression: num_buckets < 2 (0, 1, or negative) either allocated an
+  // empty vector and wrote through buckets[0], or collapsed harm and
+  // enhancement into one bucket. The minimum shape is {harm, enhancement}.
+  const std::vector<double> native = {0.5, 100.0};
+  const std::vector<double> subopt = {1.0, 1.0};
+  for (int n : {-3, 0, 1, 2}) {
+    const auto dist = EnhancementDistribution(subopt, native, n);
+    ASSERT_EQ(dist.size(), 2u) << "num_buckets=" << n;
+    EXPECT_DOUBLE_EQ(dist[0], 0.5);  // the harmed location
+    EXPECT_DOUBLE_EQ(dist[1], 0.5);  // everything enhanced
+  }
+}
+
+TEST_F(MetricsTest, EnhancementDistributionEmptyInput) {
+  const auto dist = EnhancementDistribution({}, {}, 3);
+  ASSERT_EQ(dist.size(), 3u);
+  for (double d : dist) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
 }  // namespace
 }  // namespace bouquet
