@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI perf gate for the src/net/ serving layer.
+
+Compares the BENCH_serve.json emitted by `bench_service_throughput
+--serve-smoke` against the recorded baseline
+(bench/baselines/serve_smoke.json). Gated invariants:
+
+  serve phase (generous queue bound, bursty single-template load):
+    - every request completes, none error;
+    - compilations stay at or below the baseline ceiling (compile count
+      must be << request count: the amortization claim of the serving
+      layer, paper Section 4.2 made operational);
+    - mean batch size meets a floor (the batching window actually
+      coalesces same-template requests);
+    - open-loop QPS meets a deliberately conservative floor (CI noise
+      margin — this catches order-of-magnitude collapses, not jitter).
+
+  overload phase (tiny queue bound, slow batch window):
+    - at least baseline-many DEGRADED responses (MSO-safe shedding fired);
+    - observed peak queue depth never exceeded the configured bound
+      (queue depth is bounded by construction);
+    - every request still completed (overload degrades cost, never
+      availability) and no extra compilations happened under overload
+      (the safe-plan path must never trigger a compile storm).
+
+Usage: check_serve_smoke.py <BENCH_serve.json> [baseline.json]
+Exit code 0 on pass, 1 on regression or malformed input.
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    os.pardir, "bench", "baselines", "serve_smoke.json")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    bench_path = argv[1]
+    baseline_path = argv[2] if len(argv) > 2 else DEFAULT_BASELINE
+
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        base = json.load(f)
+
+    serve = bench["serve"]
+    over = bench["overload"]
+    bs = base["serve"]
+    bo = base["overload"]
+
+    failures = []
+
+    print(f"serve: {serve['requests']} req @ {serve['qps']:.1f} req/s, "
+          f"p50 {serve['p50_ms']:.2f}ms p99 {serve['p99_ms']:.2f}ms, "
+          f"{serve['compilations']} compilations, "
+          f"mean batch {serve['mean_batch_size']:.2f}")
+    if serve["completed"] != serve["requests"]:
+        failures.append(
+            f"serve: only {serve['completed']}/{serve['requests']} "
+            f"requests completed")
+    if serve["errors"] != 0:
+        failures.append(f"serve: {serve['errors']} wire errors")
+    if serve["compilations"] > bs["max_compilations"]:
+        failures.append(
+            f"serve: {serve['compilations']} compilations > ceiling "
+            f"{bs['max_compilations']} — template cache amortization broke")
+    if serve["mean_batch_size"] < bs["min_mean_batch_size"]:
+        failures.append(
+            f"serve: mean batch size {serve['mean_batch_size']:.2f} < floor "
+            f"{bs['min_mean_batch_size']} — batching window not coalescing")
+    if serve["qps"] < bs["min_qps"]:
+        failures.append(
+            f"serve: {serve['qps']:.1f} req/s < floor {bs['min_qps']} — "
+            f"serving throughput collapsed")
+
+    print(f"overload: {over['completed']}/{over['requests']} completed, "
+          f"{over['degraded']} degraded (shed {over['shed']}), peak queue "
+          f"{over['peak_queue_depth']} (bound {over['max_queue_depth']})")
+    if over["completed"] != over["requests"]:
+        failures.append(
+            f"overload: only {over['completed']}/{over['requests']} "
+            f"requests completed — shedding dropped requests instead of "
+            f"degrading them")
+    if over["degraded"] < bo["min_degraded"]:
+        failures.append(
+            f"overload: {over['degraded']} degraded responses < floor "
+            f"{bo['min_degraded']} — load shedding never engaged")
+    if over["peak_queue_depth"] > over["max_queue_depth"]:
+        failures.append(
+            f"overload: peak queue depth {over['peak_queue_depth']} > "
+            f"configured bound {over['max_queue_depth']} — queue bound "
+            f"violated")
+    if over["degraded"] != over["shed"]:
+        failures.append(
+            f"overload: degraded responses {over['degraded']} != router "
+            f"sheds {over['shed']} — shed accounting diverged")
+    if over["compilations"] > bs["max_compilations"]:
+        failures.append(
+            f"overload: compilations rose to {over['compilations']} under "
+            f"overload — safe-plan path triggered compiles")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print("serve smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -51,6 +51,21 @@ BouquetSimulator::BouquetSimulator(const PlanBouquet& bouquet,
           root, ed.kind == DimKind::kJoin, ed.predicate_index);
     }
   }
+
+  // Safe plan for degraded-mode serving: the bouquet plan whose worst-case
+  // actual cost over the ESS is smallest. est_cost_ is already materialized,
+  // so this is one scan; RunSafe then serves in O(1).
+  safe_budget_ = std::numeric_limits<double>::infinity();
+  for (size_t d = 0; d < plan_of_dense_.size(); ++d) {
+    double worst = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      worst = std::max(worst, ActualCost(plan_of_dense_[d], i));
+    }
+    if (worst < safe_budget_) {
+      safe_budget_ = worst;
+      safe_plan_ = plan_of_dense_[d];
+    }
+  }
 }
 
 int BouquetSimulator::DenseIndex(int plan_id) const {
@@ -128,6 +143,24 @@ SimResult BouquetSimulator::RunBasic(uint64_t qa) const {
   res.completed = true;
   res.final_plan = diagram_->plan_at(qa);
   res.final_contour = static_cast<int>(bouquet_->contours.size()) - 1;
+  return res;
+}
+
+SimResult BouquetSimulator::RunSafe(uint64_t qa) const {
+  SimResult res;
+  assert(safe_plan_ >= 0 && "bouquet has no plans");
+  SimStep step;
+  step.contour = static_cast<int>(bouquet_->contours.size()) - 1;
+  step.plan_id = safe_plan_;
+  step.budget = safe_budget_;
+  step.charged = ActualCost(safe_plan_, qa);
+  step.completed = true;
+  res.steps.push_back(step);
+  res.total_cost = step.charged;
+  res.num_executions = 1;
+  res.completed = true;
+  res.final_plan = safe_plan_;
+  res.final_contour = step.contour;
   return res;
 }
 

@@ -84,6 +84,19 @@ class BouquetSimulator {
   /// + early contour jumps.
   SimResult RunOptimized(uint64_t qa) const;
 
+  /// Degraded-mode fast path for an overloaded server: one execution of the
+  /// precomputed safe plan — the bouquet plan minimizing worst-case cost
+  /// over the whole ESS — at its precomputed budget. Always completes, never
+  /// discovers: total cost equals the safe plan's cost at q_a, bounded by
+  /// safe_budget() regardless of where q_a actually lies. Trades the
+  /// MSO-optimal discovery ladder for a single bounded execution.
+  SimResult RunSafe(uint64_t qa) const;
+
+  /// The precomputed safe plan (diagram plan id) and its worst-case cost
+  /// bound over the ESS.
+  int safe_plan() const { return safe_plan_; }
+  double safe_budget() const { return safe_budget_; }
+
   /// Section 8 extension: when the optimizer's estimate is known to be an
   /// *under*-estimate of the true location, it seeds q_run and the starting
   /// contour, skipping the cheap discovery prefix. The caller must
@@ -126,6 +139,8 @@ class BouquetSimulator {
   const PlanBouquet* bouquet_;
   const PlanDiagram* diagram_;
   Options options_;
+  int safe_plan_ = -1;         // argmin over bouquet plans of max actual cost
+  double safe_budget_ = 0.0;   // that minmax cost (worst-case bound)
   std::vector<int> dense_of_plan_;           // diagram plan id -> dense idx
   std::vector<int> plan_of_dense_;           // dense idx -> diagram plan id
   std::vector<std::vector<double>> est_cost_;  // [dense][point]

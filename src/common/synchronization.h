@@ -39,6 +39,7 @@
 #ifndef BOUQUET_COMMON_SYNCHRONIZATION_H_
 #define BOUQUET_COMMON_SYNCHRONIZATION_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -241,6 +242,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller's scope still owns the re-acquired mutex
+  }
+
+  /// Wait with a relative timeout (deadline-driven loops, e.g. the net
+  /// router's batch-window dispatcher). Returns false on timeout. Like
+  /// Wait, the mutex is re-acquired before returning either way, so the
+  /// caller must still re-check its predicate.
+  bool WaitFor(Mutex* mu, std::chrono::nanoseconds timeout) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lock, timeout);
+    lock.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -23,6 +23,11 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+size_t ThreadPool::queue_depth() const {
+  MutexLock lock(&mu_);
+  return queue_.size();
+}
+
 void ThreadPool::Post(std::function<void()> task) {
   {
     MutexLock lock(&mu_);

@@ -47,6 +47,11 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks queued but not yet claimed by a worker. A point-in-time reading
+  /// for backlog gauges (service_queue_depth); it is stale by the time the
+  /// caller looks at it and must not be used for control flow.
+  size_t queue_depth() const;
+
   /// Fire-and-forget task submission.
   void Post(std::function<void()> task);
 
@@ -72,7 +77,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  mutable Mutex mu_;
   CondVar cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;

@@ -1,0 +1,183 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "net/event_loop.h"
+
+namespace bouquet {
+namespace net {
+
+Result<BlockingClient> BlockingClient::Connect(uint16_t port) {
+  auto fd_or = ConnectLoopback(port);
+  if (!fd_or.ok()) return fd_or.status();
+  return BlockingClient(fd_or.value());
+}
+
+BlockingClient::~BlockingClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept {
+  *this = std::move(other);
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Status BlockingClient::SendFrame(const std::vector<uint8_t>& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrPrintf("send failed: errno=%d", errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Frame> BlockingClient::RecvFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  Frame frame;
+  while (!decoder_.Next(&frame)) {
+    uint8_t buf[16384];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::Internal("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrPrintf("recv failed: errno=%d", errno));
+    }
+    const Status fed = decoder_.Feed(buf, static_cast<size_t>(n));
+    if (!fed.ok()) return fed;
+  }
+  return frame;
+}
+
+Status BlockingClient::Hello() {
+  HelloMsg hello;
+  Status s = SendFrame(EncodeHello(hello, FrameType::kHello));
+  if (!s.ok()) return s;
+  auto frame_or = RecvFrame();
+  if (!frame_or.ok()) return frame_or.status();
+  const Frame& frame = frame_or.value();
+  if (static_cast<FrameType>(frame.type) != FrameType::kHelloAck) {
+    return Status::Internal(
+        StrPrintf("expected HELLO_ACK, got frame type %u", frame.type));
+  }
+  HelloMsg ack;
+  s = DecodeHello(frame, &ack);
+  if (!s.ok()) return s;
+  if (ack.version != kWireVersion) {
+    return Status::FailedPrecondition(
+        StrPrintf("server speaks wire version %u, client %u", ack.version,
+                  kWireVersion));
+  }
+  return Status::Ok();
+}
+
+Result<QueryOutcome> BlockingClient::Query(const QueryMsg& query) {
+  const Status s = SendFrame(EncodeQuery(query));
+  if (!s.ok()) return s;
+  for (;;) {
+    auto frame_or = RecvFrame();
+    if (!frame_or.ok()) return frame_or.status();
+    const Frame& frame = frame_or.value();
+    QueryOutcome out;
+    if (static_cast<FrameType>(frame.type) == FrameType::kResult) {
+      const Status ds = DecodeResult(frame, &out.result);
+      if (!ds.ok()) return ds;
+      if (out.result.request_id != query.request_id) continue;
+      out.ok = true;
+      return out;
+    }
+    if (static_cast<FrameType>(frame.type) == FrameType::kError) {
+      const Status ds = DecodeError(frame, &out.error);
+      if (!ds.ok()) return ds;
+      // request_id 0 marks connection-level errors; surface those too.
+      if (out.error.request_id != 0 &&
+          out.error.request_id != query.request_id) {
+        continue;
+      }
+      out.ok = false;
+      return out;
+    }
+    return Status::Internal(
+        StrPrintf("unexpected frame type %u while awaiting RESULT",
+                  frame.type));
+  }
+}
+
+Result<std::string> BlockingClient::MetricsText() {
+  Status s = SendFrame(EncodeFrame(FrameType::kMetrics, {}));
+  if (!s.ok()) return s;
+  auto frame_or = RecvFrame();
+  if (!frame_or.ok()) return frame_or.status();
+  const Frame& frame = frame_or.value();
+  if (static_cast<FrameType>(frame.type) == FrameType::kError) {
+    ErrorMsg err;
+    (void)DecodeError(frame, &err);
+    return Status::Internal("METRICS failed: " + err.message);
+  }
+  if (static_cast<FrameType>(frame.type) != FrameType::kMetricsText) {
+    return Status::Internal(
+        StrPrintf("expected METRICS_TEXT, got frame type %u", frame.type));
+  }
+  std::string text;
+  s = DecodeText(frame, &text);
+  if (!s.ok()) return s;
+  return text;
+}
+
+Result<std::string> BlockingClient::TraceJsonl() {
+  Status s = SendFrame(EncodeFrame(FrameType::kTraceDump, {}));
+  if (!s.ok()) return s;
+  auto frame_or = RecvFrame();
+  if (!frame_or.ok()) return frame_or.status();
+  const Frame& frame = frame_or.value();
+  if (static_cast<FrameType>(frame.type) == FrameType::kError) {
+    ErrorMsg err;
+    (void)DecodeError(frame, &err);
+    return Status::Internal("TRACE_DUMP failed: " + err.message);
+  }
+  if (static_cast<FrameType>(frame.type) != FrameType::kTraceJsonl) {
+    return Status::Internal(
+        StrPrintf("expected TRACE_JSONL, got frame type %u", frame.type));
+  }
+  std::string text;
+  s = DecodeText(frame, &text);
+  if (!s.ok()) return s;
+  return text;
+}
+
+Status BlockingClient::ShutdownServer() {
+  const Status s = SendFrame(EncodeFrame(FrameType::kShutdown, {}));
+  if (!s.ok()) return s;
+  auto frame_or = RecvFrame();
+  if (!frame_or.ok()) return frame_or.status();
+  if (static_cast<FrameType>(frame_or.value().type) != FrameType::kGoodbye) {
+    return Status::Internal(
+        StrPrintf("expected GOODBYE, got frame type %u",
+                  frame_or.value().type));
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace bouquet

@@ -1,0 +1,70 @@
+#include "net/connection.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bouquet {
+namespace net {
+
+Connection::Connection(int fd, uint64_t id, uint32_t max_payload)
+    : fd_(fd), id_(id), decoder_(max_payload) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Connection::IoResult Connection::ReadFrames(std::vector<Frame>* out) {
+  uint8_t buf[16384];
+  for (;;) {
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!decoder_.Feed(buf, static_cast<size_t>(n)).ok()) {
+        return IoResult::kProtocolError;
+      }
+      Frame frame;
+      while (decoder_.Next(&frame)) out->push_back(std::move(frame));
+      continue;
+    }
+    if (n == 0) return IoResult::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+    if (errno == EINTR) continue;
+    return IoResult::kError;
+  }
+}
+
+void Connection::QueueWrite(std::vector<uint8_t> bytes) {
+  if (bytes.empty()) return;
+  outbox_.push_back(std::move(bytes));
+}
+
+Connection::IoResult Connection::Flush() {
+  while (!outbox_.empty()) {
+    const std::vector<uint8_t>& front = outbox_.front();
+    const ssize_t n = send(fd_, front.data() + front_written_,
+                           front.size() - front_written_, MSG_NOSIGNAL);
+    if (n > 0) {
+      front_written_ += static_cast<size_t>(n);
+      if (front_written_ == front.size()) {
+        outbox_.pop_front();
+        front_written_ = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoResult::kOk;  // partial write; resume when EPOLLOUT fires
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return IoResult::kError;  // EPIPE/ECONNRESET and friends
+  }
+  return IoResult::kOk;
+}
+
+size_t Connection::pending_write_bytes() const {
+  size_t total = 0;
+  for (const auto& b : outbox_) total += b.size();
+  return total - front_written_;
+}
+
+}  // namespace net
+}  // namespace bouquet

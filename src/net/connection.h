@@ -1,0 +1,73 @@
+// Per-connection state machine for the serving layer.
+//
+// A Connection owns one nonblocking socket plus the incremental frame
+// decoder on the read side and a buffered outbox on the write side. It is
+// deliberately single-threaded: exactly one reactor drives every method, so
+// the class itself needs no locks (cross-thread response delivery goes
+// through the reactor's outbox, see server.cc). That also makes it directly
+// testable over a socketpair: tests shrink the kernel buffers and verify
+// that reads resume mid-frame and writes resume mid-buffer.
+//
+// Read path:  ReadFrames() drains the socket until EAGAIN, feeding the
+//             FrameDecoder; complete frames accumulate in `out`. A peer
+//             declaring an oversized frame latches the decoder broken and
+//             the connection reports kProtocolError (caller closes).
+// Write path: QueueWrite() appends encoded frames; Flush() writes until
+//             EAGAIN or empty. want_write() tells the reactor whether to
+//             keep EPOLLOUT armed.
+
+#ifndef BOUQUET_NET_CONNECTION_H_
+#define BOUQUET_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace bouquet {
+namespace net {
+
+class Connection {
+ public:
+  enum class IoResult {
+    kOk,             ///< progressed; socket drained to EAGAIN
+    kClosed,         ///< orderly EOF from the peer
+    kError,          ///< hard socket error
+    kProtocolError,  ///< stream violated framing (oversized declaration)
+  };
+
+  /// Takes ownership of `fd` (closed in the destructor).
+  Connection(int fd, uint64_t id, uint32_t max_payload = kMaxPayloadBytes);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  /// Drains readable bytes, appending every complete frame to `out`.
+  IoResult ReadFrames(std::vector<Frame>* out);
+
+  /// Appends encoded bytes to the outbox (no I/O; call Flush after).
+  void QueueWrite(std::vector<uint8_t> bytes);
+
+  /// Writes queued bytes until EAGAIN or the outbox empties.
+  IoResult Flush();
+
+  /// Outbox still holds bytes (reactor arms EPOLLOUT while true).
+  bool want_write() const { return !outbox_.empty(); }
+  size_t pending_write_bytes() const;
+
+ private:
+  const int fd_;
+  const uint64_t id_;
+  FrameDecoder decoder_;
+  std::deque<std::vector<uint8_t>> outbox_;
+  size_t front_written_ = 0;  ///< bytes of outbox_.front() already on the wire
+};
+
+}  // namespace net
+}  // namespace bouquet
+
+#endif  // BOUQUET_NET_CONNECTION_H_

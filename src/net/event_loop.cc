@@ -1,0 +1,160 @@
+#include "net/event_loop.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/str_util.h"
+
+namespace bouquet {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrPrintf("%s: %s", what, strerror(errno)));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr tag = the wakeup channel
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, void* tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::Mod(int fd, uint32_t events, void* tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Del(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::Poll(int timeout_ms, std::vector<ReadyEvent>* out) {
+  epoll_event events[64];
+  int n;
+  do {
+    n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+  int delivered = 0;
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.ptr == nullptr) {
+      uint64_t drain;
+      while (read(wake_fd_, &drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    out->push_back(ReadyEvent{events[i].data.ptr, events[i].events});
+    ++delivered;
+  }
+  return delivered;
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  // A full eventfd counter still wakes the poller; the result is advisory.
+  [[maybe_unused]] ssize_t rc = write(wake_fd_, &one, sizeof(one));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+Result<int> ListenLoopback(uint16_t port, int backlog) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int on = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("bind");
+    close(fd);
+    return st;
+  }
+  if (listen(fd, backlog) != 0) {
+    const Status st = Errno("listen");
+    close(fd);
+    return st;
+  }
+  const Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    close(fd);
+    return nb;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> ConnectLoopback(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status st = Errno("connect");
+    close(fd);
+    return st;
+  }
+  const int on = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+  return fd;
+}
+
+}  // namespace net
+}  // namespace bouquet

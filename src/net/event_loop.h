@@ -1,0 +1,78 @@
+// Thin epoll wrapper + socket utilities for the serving layer.
+//
+// EventLoop owns an epoll instance and an eventfd wakeup channel. Reactor
+// threads block in Poll(); any thread may Wake() them (the response path:
+// a pool thread finishes a batch, queues bytes on a connection, and wakes
+// that connection's reactor to flush). Registration uses an opaque tag
+// pointer (the reactor's per-connection state), delivered back with each
+// ready event.
+//
+// Everything here is Linux-specific (epoll, eventfd, accept4); the serving
+// layer is only built into Linux targets, matching the CI matrix.
+//
+// Thread-safety: Add/Mod/Del/Poll are called by the owning reactor thread
+// only. Wake() may be called from any thread (epoll and eventfd are
+// kernel-synchronized; no user-space lock is needed).
+
+#ifndef BOUQUET_NET_EVENT_LOOP_H_
+#define BOUQUET_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bouquet {
+namespace net {
+
+/// One ready descriptor: the registration tag + the epoll event mask.
+struct ReadyEvent {
+  void* tag = nullptr;
+  uint32_t events = 0;
+};
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  Status Add(int fd, uint32_t events, void* tag);
+  Status Mod(int fd, uint32_t events, void* tag);
+  void Del(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely, 0 = nonblocking) and
+  /// appends ready descriptors to `out`. Wakeups are consumed internally:
+  /// a Wake() forces Poll to return but emits no ReadyEvent. Returns the
+  /// number of external events delivered, or -1 on a hard epoll failure.
+  int Poll(int timeout_ms, std::vector<ReadyEvent>* out);
+
+  /// Interrupts a concurrent (or the next) Poll. Any thread.
+  void Wake();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+/// Marks `fd` O_NONBLOCK.
+Status SetNonBlocking(int fd);
+
+/// Creates a nonblocking loopback listener (SO_REUSEADDR); port 0 binds an
+/// ephemeral port — recover it with LocalPort. Returns the listen fd.
+Result<int> ListenLoopback(uint16_t port, int backlog);
+
+/// The port a bound socket actually listens on.
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking loopback connect (client side). Returns the connected fd.
+Result<int> ConnectLoopback(uint16_t port);
+
+}  // namespace net
+}  // namespace bouquet
+
+#endif  // BOUQUET_NET_EVENT_LOOP_H_

@@ -1,0 +1,294 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace bouquet {
+namespace net {
+
+namespace {
+
+// Selectivity vectors are bounded by the ESS dimensionality (the paper tops
+// out at 5D); 64 leaves generous headroom while keeping QUERY parsing
+// allocation-bounded independent of the frame ceiling.
+constexpr uint16_t kMaxSelectivities = 64;
+constexpr uint32_t kMaxTemplateName = 4096;
+constexpr uint32_t kMaxErrorMessage = 4096;
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(StrPrintf("malformed frame: %s", what));
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kHelloAck: return "HELLO_ACK";
+    case FrameType::kQuery: return "QUERY";
+    case FrameType::kResult: return "RESULT";
+    case FrameType::kMetrics: return "METRICS";
+    case FrameType::kMetricsText: return "METRICS_TEXT";
+    case FrameType::kTraceDump: return "TRACE_DUMP";
+    case FrameType::kTraceJsonl: return "TRACE_JSONL";
+    case FrameType::kShutdown: return "SHUTDOWN";
+    case FrameType::kGoodbye: return "GOODBYE";
+    case FrameType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+// ---------------------------------------------------------------- WireWriter
+
+void WireWriter::U16(uint16_t v) {
+  bytes_.push_back(static_cast<uint8_t>(v));
+  bytes_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------- WireReader
+
+bool WireReader::U8(uint8_t* out) {
+  if (len_ - pos_ < 1) return false;
+  *out = data_[pos_++];
+  return true;
+}
+
+bool WireReader::U16(uint16_t* out) {
+  if (len_ - pos_ < 2) return false;
+  *out = static_cast<uint16_t>(data_[pos_] |
+                               (static_cast<uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return true;
+}
+
+bool WireReader::U32(uint32_t* out) {
+  if (len_ - pos_ < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return true;
+}
+
+bool WireReader::U64(uint64_t* out) {
+  if (len_ - pos_ < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return true;
+}
+
+bool WireReader::F64(double* out) {
+  uint64_t bits = 0;
+  if (!U64(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(*out));
+  return true;
+}
+
+bool WireReader::Str(std::string* out, uint32_t max_len) {
+  uint32_t n = 0;
+  if (!U32(&n)) return false;
+  if (n > max_len || len_ - pos_ < n) return false;
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+// --------------------------------------------------------------- FrameDecoder
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  out.push_back(static_cast<uint8_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status FrameDecoder::Feed(const uint8_t* data, size_t len) {
+  if (broken_) return Malformed("decoder already broken");
+  buf_.insert(buf_.end(), data, data + len);
+  // Validate every frame header visible in the buffer — not just the one at
+  // pos_ — so a hostile declared length latches `broken` the moment its
+  // header lands, even when it sits behind complete frames in the same
+  // chunk. Breaking releases the buffer, so memory held across Feed calls
+  // is bounded by the frames Next() has yet to pop plus one partial frame
+  // whose validated declared length is <= max_payload.
+  size_t walk = pos_;
+  while (buf_.size() - walk >= 4) {
+    uint32_t declared = 0;
+    for (int i = 0; i < 4; ++i) {
+      declared |= static_cast<uint32_t>(buf_[walk + i]) << (8 * i);
+    }
+    if (declared > max_payload_) {
+      broken_ = true;
+      buf_.clear();
+      buf_.shrink_to_fit();
+      pos_ = 0;
+      return Malformed("declared payload exceeds ceiling");
+    }
+    if (buf_.size() - walk < kFrameHeaderBytes + declared) break;
+    walk += kFrameHeaderBytes + declared;
+  }
+  return Status::Ok();
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  if (broken_) return false;
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return false;
+  uint32_t declared = 0;
+  for (int i = 0; i < 4; ++i) {
+    declared |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
+  }
+  if (declared > max_payload_) {  // unreachable after Feed, kept as belt
+    broken_ = true;
+    buf_.clear();
+    pos_ = 0;
+    return false;
+  }
+  if (avail < kFrameHeaderBytes + declared) return false;
+  out->type = buf_[pos_ + 4];
+  out->payload.assign(buf_.begin() + pos_ + kFrameHeaderBytes,
+                      buf_.begin() + pos_ + kFrameHeaderBytes + declared);
+  pos_ += kFrameHeaderBytes + declared;
+  Compact();
+  return true;
+}
+
+void FrameDecoder::Compact() {
+  // Reclaim the consumed prefix once it dominates the buffer, amortizing
+  // the memmove while keeping residency bounded by one in-flight frame.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + pos_);
+    pos_ = 0;
+  }
+}
+
+// ------------------------------------------------------------------ Messages
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& msg, FrameType type) {
+  WireWriter w;
+  w.U32(msg.version);
+  return EncodeFrame(type, w.bytes());
+}
+
+Status DecodeHello(const Frame& frame, HelloMsg* out) {
+  WireReader r(frame.payload);
+  if (!r.U32(&out->version) || !r.AtEnd()) return Malformed("HELLO payload");
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeQuery(const QueryMsg& msg) {
+  WireWriter w;
+  w.U64(msg.request_id);
+  w.U32(msg.tenant_id);
+  w.Str(msg.template_name);
+  w.U16(static_cast<uint16_t>(msg.selectivities.size()));
+  for (double s : msg.selectivities) w.F64(s);
+  return EncodeFrame(FrameType::kQuery, w.bytes());
+}
+
+Status DecodeQuery(const Frame& frame, QueryMsg* out) {
+  WireReader r(frame.payload);
+  uint16_t n = 0;
+  if (!r.U64(&out->request_id) || !r.U32(&out->tenant_id) ||
+      !r.Str(&out->template_name, kMaxTemplateName) || !r.U16(&n)) {
+    return Malformed("QUERY payload");
+  }
+  if (n > kMaxSelectivities) return Malformed("QUERY selectivity count");
+  out->selectivities.resize(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    if (!r.F64(&out->selectivities[i])) return Malformed("QUERY selectivity");
+  }
+  if (!r.AtEnd()) return Malformed("QUERY trailing bytes");
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeResult(const ResultMsg& msg) {
+  WireWriter w;
+  w.U64(msg.request_id);
+  w.U8(msg.flags);
+  w.U32(msg.num_executions);
+  w.F64(msg.total_cost);
+  w.F64(msg.server_seconds);
+  return EncodeFrame(FrameType::kResult, w.bytes());
+}
+
+Status DecodeResult(const Frame& frame, ResultMsg* out) {
+  WireReader r(frame.payload);
+  if (!r.U64(&out->request_id) || !r.U8(&out->flags) ||
+      !r.U32(&out->num_executions) || !r.F64(&out->total_cost) ||
+      !r.F64(&out->server_seconds) || !r.AtEnd()) {
+    return Malformed("RESULT payload");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeError(const ErrorMsg& msg) {
+  WireWriter w;
+  w.U64(msg.request_id);
+  w.U8(msg.code);
+  w.Str(msg.message);
+  return EncodeFrame(FrameType::kError, w.bytes());
+}
+
+Status DecodeError(const Frame& frame, ErrorMsg* out) {
+  WireReader r(frame.payload);
+  if (!r.U64(&out->request_id) || !r.U8(&out->code) ||
+      !r.Str(&out->message, kMaxErrorMessage) || !r.AtEnd()) {
+    return Malformed("ERROR payload");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeText(FrameType type, const std::string& text) {
+  WireWriter w;
+  w.Str(text);
+  return EncodeFrame(type, w.bytes());
+}
+
+Status DecodeText(const Frame& frame, std::string* out) {
+  WireReader r(frame.payload);
+  if (!r.Str(out, kMaxPayloadBytes) || !r.AtEnd()) {
+    return Malformed("text payload");
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace bouquet

@@ -1,0 +1,220 @@
+// Wire protocol for the bouquet serving layer: a small length-prefixed
+// binary framing plus the message vocabulary the server speaks.
+//
+// Frame layout (little-endian):
+//
+//   | u32 payload_len | u8 type | payload_len bytes |
+//
+// The per-message payloads are composed from fixed-width integers, IEEE-754
+// doubles (bit-cast through u64), and u32-length-prefixed strings. The
+// vocabulary mirrors the deployment model of Section 4.2: clients name a
+// *template* registered on the server and send only the per-invocation
+// constants (the actual selectivities of the error-prone predicates), so a
+// request is a few dozen bytes against a compiled bundle that cost seconds.
+//
+//   HELLO / HELLO_ACK   version handshake
+//   QUERY / RESULT      one bouquet execution (request_id echoed back)
+//   METRICS / METRICS_TEXT   live Prometheus text ("/metrics" over the wire)
+//   TRACE_DUMP / TRACE_JSONL live tracer export
+//   SHUTDOWN / GOODBYE  graceful drain handshake
+//   ERROR               typed failure (malformed, throttled, overloaded, ...)
+//
+// FrameDecoder is an incremental, allocation-bounded parser designed for
+// non-blocking sockets: feed it whatever bytes arrived, pull out complete
+// frames, and it latches into a broken state (connection must close) on
+// oversized or structurally impossible input. Memory is bounded by
+// header + max_payload regardless of what a malicious peer sends.
+//
+// Thread-safety: none of these types are thread-safe; each connection owns
+// its decoder and is driven by exactly one reactor thread.
+
+#ifndef BOUQUET_NET_WIRE_H_
+#define BOUQUET_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bouquet {
+namespace net {
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kQuery = 3,
+  kResult = 4,
+  kMetrics = 5,
+  kMetricsText = 6,
+  kTraceDump = 7,
+  kTraceJsonl = 8,
+  kShutdown = 9,
+  kGoodbye = 10,
+  kError = 11,
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// Protocol version carried in HELLO/HELLO_ACK.
+constexpr uint32_t kWireVersion = 1;
+
+/// Hard payload ceiling (1 MiB): larger frames are a protocol violation.
+constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+/// u32 length + u8 type.
+constexpr size_t kFrameHeaderBytes = 5;
+
+/// One complete frame (type + raw payload).
+struct Frame {
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Error codes carried by ERROR frames.
+enum class WireError : uint8_t {
+  kMalformed = 1,        ///< frame/payload failed to parse
+  kUnknownTemplate = 2,  ///< QUERY named a template the server has not loaded
+  kThrottled = 3,        ///< tenant token bucket empty (admission control)
+  kOverloaded = 4,       ///< queue bound exceeded and no safe plan available
+  kShuttingDown = 5,     ///< server is draining
+  kInternal = 6,
+};
+
+// ---------------------------------------------------------------------------
+// Payload primitives.
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian payload builder.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);
+  /// u32 length prefix + raw bytes.
+  void Str(const std::string& s);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian payload reader. Every getter returns false
+/// (leaving the output untouched) once the payload is exhausted or a length
+/// prefix overruns it; decoding then fails without ever reading out of
+/// bounds.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit WireReader(const std::vector<uint8_t>& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  bool U8(uint8_t* out);
+  bool U16(uint16_t* out);
+  bool U32(uint32_t* out);
+  bool U64(uint64_t* out);
+  bool F64(double* out);
+  bool Str(std::string* out, uint32_t max_len);
+
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// Serializes a full frame (header + payload).
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& payload);
+
+/// Incremental frame parser for a byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Appends received bytes. Returns an error (and latches `broken`) when
+  /// the stream declares a payload above the ceiling; all later calls fail.
+  Status Feed(const uint8_t* data, size_t len);
+
+  /// Extracts the next complete frame; false when more bytes are needed.
+  bool Next(Frame* out);
+
+  bool broken() const { return broken_; }
+  /// Bytes currently buffered (tests assert this stays <= header + max).
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  void Compact();
+
+  uint32_t max_payload_;
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool broken_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Messages.
+// ---------------------------------------------------------------------------
+
+struct HelloMsg {
+  uint32_t version = kWireVersion;
+};
+
+/// One query invocation against a registered template.
+struct QueryMsg {
+  uint64_t request_id = 0;  ///< client-chosen, echoed in RESULT/ERROR
+  uint32_t tenant_id = 0;   ///< admission-control + fair-queuing identity
+  std::string template_name;
+  /// Per-invocation constants: the actual selectivity of each error-prone
+  /// predicate (one entry per ESS dimension of the template).
+  std::vector<double> selectivities;
+};
+
+/// RESULT flag bits.
+enum ResultFlag : uint8_t {
+  kResultCompleted = 1u << 0,
+  kResultDegraded = 1u << 1,  ///< served by the MSO-safe plan under shed
+  kResultCacheHit = 1u << 2,
+  kResultCompiled = 1u << 3,  ///< this request paid the template compile
+};
+
+struct ResultMsg {
+  uint64_t request_id = 0;
+  uint8_t flags = 0;
+  uint32_t num_executions = 0;
+  double total_cost = 0.0;      ///< cost-model units charged by the run
+  double server_seconds = 0.0;  ///< arrival -> response enqueue
+};
+
+struct ErrorMsg {
+  uint64_t request_id = 0;  ///< 0 when not tied to a QUERY
+  uint8_t code = 0;         ///< WireError
+  std::string message;
+};
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& msg, FrameType type);
+Status DecodeHello(const Frame& frame, HelloMsg* out);
+
+std::vector<uint8_t> EncodeQuery(const QueryMsg& msg);
+Status DecodeQuery(const Frame& frame, QueryMsg* out);
+
+std::vector<uint8_t> EncodeResult(const ResultMsg& msg);
+Status DecodeResult(const Frame& frame, ResultMsg* out);
+
+std::vector<uint8_t> EncodeError(const ErrorMsg& msg);
+Status DecodeError(const Frame& frame, ErrorMsg* out);
+
+/// METRICS_TEXT and TRACE_JSONL both carry one string payload.
+std::vector<uint8_t> EncodeText(FrameType type, const std::string& text);
+Status DecodeText(const Frame& frame, std::string* out);
+
+}  // namespace net
+}  // namespace bouquet
+
+#endif  // BOUQUET_NET_WIRE_H_

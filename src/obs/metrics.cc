@@ -217,5 +217,14 @@ std::vector<double> SubOptimalityBuckets() {
   return {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0};
 }
 
+std::vector<double> NetLatencyBuckets() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+}
+
+std::vector<double> BatchSizeBuckets() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+}
+
 }  // namespace obs
 }  // namespace bouquet

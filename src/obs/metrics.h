@@ -136,6 +136,15 @@ std::vector<double> BudgetUtilizationBuckets();
 /// Default buckets for per-run sub-optimality (theory bound: 4rho(1+lambda)).
 std::vector<double> SubOptimalityBuckets();
 
+/// Default buckets for network request latency in seconds (0.1 ms – 10 s):
+/// cache-warm simulated requests land sub-millisecond; cold compiles and
+/// overload queueing push into whole seconds.
+std::vector<double> NetLatencyBuckets();
+
+/// Default buckets for same-template batch sizes (powers of two up to the
+/// router's max_batch ceiling).
+std::vector<double> BatchSizeBuckets();
+
 }  // namespace obs
 }  // namespace bouquet
 

@@ -60,6 +60,38 @@ BouquetService::BouquetService(const Catalog& catalog, ServiceOptions options)
     ins_.fallbacks = m->GetCounter(
         "bouquet_fallbacks_total",
         "Simulated runs that violated the guarantee and fell back");
+    ins_.batches = m->GetCounter("service_batches_total",
+                                 "Same-template batches served by RunBatch");
+    ins_.batch_requests = m->GetCounter(
+        "service_batch_requests_total", "Requests served inside batches");
+    ins_.sheds = m->GetCounter(
+        "service_shed_total",
+        "Requests served degraded by the precompiled MSO-safe plan");
+    ins_.inflight = m->GetGauge("service_inflight_requests",
+                                "Requests currently executing");
+    ins_.queue_depth = m->GetGauge("service_queue_depth",
+                                   "Tasks waiting in the service pool");
+  }
+}
+
+BouquetService::InflightScope::InflightScope(BouquetService* s) : s_(s) {
+  const int64_t now =
+      s_->inflight_now_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t peak = s_->inflight_peak_.load(std::memory_order_relaxed);
+  while (now > peak && !s_->inflight_peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  if (s_->ins_.inflight != nullptr) {
+    s_->ins_.inflight->Set(static_cast<double>(now));
+    s_->ins_.queue_depth->Set(static_cast<double>(s_->pool_.queue_depth()));
+  }
+}
+
+BouquetService::InflightScope::~InflightScope() {
+  const int64_t now =
+      s_->inflight_now_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (s_->ins_.inflight != nullptr) {
+    s_->ins_.inflight->Set(static_cast<double>(now));
   }
 }
 
@@ -215,11 +247,7 @@ uint64_t BouquetService::SnapToGrid(const EssGrid& grid,
   return grid.LinearIndex(p);
 }
 
-Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
-  const auto t0 = std::chrono::steady_clock::now();
-  ServiceResult r;
-  r.mode = request.mode;
-
+Status BouquetService::ValidateRequest(const ServiceRequest& request) const {
   if (request.mode == ExecutionMode::kSimulate &&
       static_cast<int>(request.actual_selectivities.size()) !=
           request.query.NumDims()) {
@@ -232,6 +260,17 @@ Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
     return Status::FailedPrecondition(
         "kRealData requires ServiceOptions::database");
   }
+  return Status::Ok();
+}
+
+Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ServiceResult r;
+  r.mode = request.mode;
+
+  const Status valid = ValidateRequest(request);
+  if (!valid.ok()) return valid;
+  InflightScope inflight(this);
 
   // Admit the request into the counters *before* GetOrCompile bumps the
   // hit/miss/shared counters: a stats() snapshot taken mid-request must
@@ -251,11 +290,20 @@ Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
   if (!bundle_or.ok()) return bundle_or.status();
   std::shared_ptr<const CompiledBouquet> c = std::move(bundle_or).value();
 
+  ExecuteWithBundle(request, c, &req_span, t0, &r);
+  return r;
+}
+
+void BouquetService::ExecuteWithBundle(
+    const ServiceRequest& request,
+    const std::shared_ptr<const CompiledBouquet>& c, obs::Span* req_span,
+    std::chrono::steady_clock::time_point t0, ServiceResult* out) {
+  ServiceResult& r = *out;
   const auto e0 = std::chrono::steady_clock::now();
   if (request.mode == ExecutionMode::kSimulate) {
     const uint64_t qa = SnapToGrid(*c->grid, request.actual_selectivities);
     r.sim = c->simulator->RunOptimized(qa);
-    c->simulator->EmitTrace(r.sim, qa, options_.tracer, &req_span);
+    c->simulator->EmitTrace(r.sim, qa, options_.tracer, req_span);
     if (ins_.suboptimality != nullptr) {
       ins_.suboptimality->Observe(c->simulator->SubOpt(r.sim, qa));
     }
@@ -265,21 +313,21 @@ Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
     QueryOptimizer run_opt(request.query, *catalog_, options_.cost_params);
     BouquetDriver driver(*c->bouquet, *c->diagram, &run_opt,
                          options_.database);
-    driver.SetObservability(options_.tracer, options_.metrics, &req_span);
+    driver.SetObservability(options_.tracer, options_.metrics, req_span);
     r.real = driver.RunOptimized();
   }
   r.execute_seconds = SecondsSince(e0);
   r.latency_seconds = SecondsSince(t0);
-  r.compiled_bundle = std::move(c);
+  r.compiled_bundle = c;
 
-  if (req_span.enabled()) {
-    req_span.Num("template_hash", static_cast<double>(r.template_hash))
+  if (req_span->enabled()) {
+    req_span->Num("template_hash", static_cast<double>(r.template_hash))
         .Flag("cache_hit", r.cache_hit)
         .Flag("compiled", r.compiled)
         .Flag("shared_compile", r.shared_compile)
         .Num("compile_seconds", r.compile_seconds)
         .Num("execute_seconds", r.execute_seconds);
-    req_span.End();
+    req_span->End();
   }
 
   // Per-request run-phase aggregates, folded into both the ServiceStats
@@ -316,6 +364,145 @@ Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
     stats_.contour_crossings += crossings;
     stats_.spills += spills;
     stats_.fallbacks += fallbacks;
+    if (ins_.cache_hit_rate != nullptr) {
+      ins_.cache_hit_rate->Set(stats_.CacheHitRate());
+    }
+  }
+}
+
+Result<std::vector<ServiceResult>> BouquetService::RunBatch(
+    const std::vector<ServiceRequest>& requests, const obs::Span* parent) {
+  if (requests.empty()) {
+    return Status::InvalidArgument("RunBatch: empty batch");
+  }
+  const std::string key = KeyFor(requests.front().query);
+  for (const ServiceRequest& request : requests) {
+    const Status valid = ValidateRequest(request);
+    if (!valid.ok()) return valid;
+    if (KeyFor(request.query) != key) {
+      return Status::InvalidArgument(
+          "RunBatch: requests span multiple template keys");
+    }
+  }
+  InflightScope inflight(this);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    MutexLock lock(&stats_mu_);
+    stats_.requests += requests.size();
+    ++stats_.batches;
+    stats_.batch_requests += requests.size();
+  }
+  if (ins_.requests != nullptr) {
+    ins_.requests->Inc(requests.size());
+    ins_.batches->Inc();
+    ins_.batch_requests->Inc(requests.size());
+  }
+
+  obs::Span batch_span =
+      obs::Tracer::Begin(options_.tracer, "service.batch", parent);
+  batch_span.Num("batch_size", static_cast<double>(requests.size()));
+
+  // One bundle acquisition for the whole batch: the opener pays the compile
+  // (or the single-flight wait), every other member is by construction a
+  // cache hit on the shared bundle.
+  ServiceResult leader;
+  auto bundle_or = GetOrCompile(requests.front().query, &leader, &batch_span);
+  if (!bundle_or.ok()) return bundle_or.status();
+  std::shared_ptr<const CompiledBouquet> c = std::move(bundle_or).value();
+  if (requests.size() > 1) {
+    const uint64_t followers = requests.size() - 1;
+    if (ins_.cache_hits != nullptr) ins_.cache_hits->Inc(followers);
+    MutexLock lock(&stats_mu_);
+    stats_.cache_hits += followers;
+  }
+
+  std::vector<ServiceResult> results(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ServiceResult& r = results[i];
+    r.mode = requests[i].mode;
+    r.template_hash = leader.template_hash;
+    if (i == 0) {
+      r.cache_hit = leader.cache_hit;
+      r.shared_compile = leader.shared_compile;
+      r.compiled = leader.compiled;
+      r.compile_seconds = leader.compile_seconds;
+    } else {
+      r.cache_hit = true;
+    }
+    obs::Span req_span =
+        obs::Tracer::Begin(options_.tracer, "service.request", &batch_span);
+    req_span.Num("mode", 0.0).Num("batch_index", static_cast<double>(i));
+    ExecuteWithBundle(requests[i], c, &req_span, t0, &r);
+  }
+  batch_span.End();
+  return results;
+}
+
+Result<ServiceResult> BouquetService::RunSafePlan(
+    const ServiceRequest& request, const obs::Span* parent) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (request.mode != ExecutionMode::kSimulate) {
+    return Status::InvalidArgument(
+        "RunSafePlan supports simulation mode only");
+  }
+  const Status valid = ValidateRequest(request);
+  if (!valid.ok()) return valid;
+  InflightScope inflight(this);
+
+  const std::string key = KeyFor(request.query);
+  ServiceResult r;
+  r.mode = request.mode;
+  r.degraded = true;
+  r.template_hash = TemplateHash(key);
+
+  // Cache-only on purpose: shedding exists to bound work under overload, so
+  // it must never fault in a multi-second compile.
+  std::shared_ptr<const CompiledBouquet> c = cache_.Get(key);
+  if (c == nullptr) {
+    return Status::FailedPrecondition(
+        "RunSafePlan: template not compiled (safe plan unavailable)");
+  }
+  r.cache_hit = true;
+
+  {
+    MutexLock lock(&stats_mu_);
+    ++stats_.requests;
+    ++stats_.cache_hits;
+    ++stats_.sheds;
+  }
+  if (ins_.requests != nullptr) {
+    ins_.requests->Inc();
+    ins_.cache_hits->Inc();
+    ins_.sheds->Inc();
+  }
+
+  obs::Span span =
+      obs::Tracer::Begin(options_.tracer, "service.safe_plan", parent);
+  const auto e0 = std::chrono::steady_clock::now();
+  const uint64_t qa = SnapToGrid(*c->grid, request.actual_selectivities);
+  r.sim = c->simulator->RunSafe(qa);
+  r.execute_seconds = SecondsSince(e0);
+  r.latency_seconds = SecondsSince(t0);
+  r.compiled_bundle = c;
+
+  if (span.enabled()) {
+    span.Num("template_hash", static_cast<double>(r.template_hash))
+        .Num("safe_plan", static_cast<double>(c->simulator->safe_plan()))
+        .Num("safe_budget", c->simulator->safe_budget())
+        .Num("charged", r.sim.total_cost)
+        .Flag("completed", r.sim.completed);
+    span.End();
+  }
+
+  if (ins_.plan_executions != nullptr) {
+    ins_.plan_executions->Inc(static_cast<uint64_t>(r.sim.num_executions));
+  }
+  {
+    MutexLock lock(&stats_mu_);
+    stats_.execute_seconds += r.execute_seconds;
+    stats_.latency_seconds += r.latency_seconds;
+    stats_.plan_executions += static_cast<uint64_t>(r.sim.num_executions);
     if (ins_.cache_hit_rate != nullptr) {
       ins_.cache_hit_rate->Set(stats_.CacheHitRate());
     }
@@ -361,8 +548,19 @@ Status BouquetService::WarmStart(const QuerySpec& query,
 }
 
 ServiceStats BouquetService::stats() const {
-  MutexLock lock(&stats_mu_);
-  return stats_;
+  ServiceStats s;
+  {
+    MutexLock lock(&stats_mu_);
+    s = stats_;
+  }
+  // Sampled outside stats_mu_ (a leaf lock: the pool's mutex must not be
+  // taken under it).
+  s.inflight_requests = static_cast<uint64_t>(
+      std::max<int64_t>(0, inflight_now_.load(std::memory_order_relaxed)));
+  s.peak_inflight_requests = static_cast<uint64_t>(
+      std::max<int64_t>(0, inflight_peak_.load(std::memory_order_relaxed)));
+  s.queue_depth = pool_.queue_depth();
+  return s;
 }
 
 }  // namespace bouquet

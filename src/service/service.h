@@ -31,6 +31,8 @@
 #ifndef BOUQUET_SERVICE_SERVICE_H_
 #define BOUQUET_SERVICE_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -98,6 +100,9 @@ struct ServiceResult {
   double execute_seconds = 0.0;
   double latency_seconds = 0.0;
   ExecutionMode mode = ExecutionMode::kSimulate;
+  /// Served by the precompiled MSO-safe plan (RunSafePlan under load shed):
+  /// one bounded execution instead of the bouquet ladder.
+  bool degraded = false;
   SimResult sim;        ///< kSimulate outcome
   DriverResult real;    ///< kRealData outcome
   std::shared_ptr<const CompiledBouquet> compiled_bundle;
@@ -131,6 +136,16 @@ struct ServiceStats {
   uint64_t contour_crossings = 0;
   uint64_t spills = 0;
   uint64_t fallbacks = 0;
+  /// Serving-layer aggregates: RunBatch invocations, requests served inside
+  /// them, and requests shed to the safe plan (RunSafePlan).
+  uint64_t batches = 0;
+  uint64_t batch_requests = 0;
+  uint64_t sheds = 0;
+  /// Instantaneous load, sampled at stats() time: requests currently
+  /// executing (plus the lifetime high-water mark) and pool tasks queued.
+  uint64_t inflight_requests = 0;
+  uint64_t peak_inflight_requests = 0;
+  uint64_t queue_depth = 0;
 
   double CacheHitRate() const {
     return requests == 0 ? 0.0
@@ -149,6 +164,23 @@ class BouquetService {
 
   /// Queues the request on the pool; returns immediately.
   std::future<Result<ServiceResult>> Submit(ServiceRequest request);
+
+  /// Serves a same-template batch on the calling thread: one GetOrCompile
+  /// (single-flight) then one execution per request. All requests must
+  /// share the template key (the serving layer's router guarantees this);
+  /// results align index-for-index with `requests`. Emits a "service.batch"
+  /// span under `parent` with per-request "service.request" children.
+  Result<std::vector<ServiceResult>> RunBatch(
+      const std::vector<ServiceRequest>& requests,
+      const obs::Span* parent = nullptr);
+
+  /// Degraded fast path for load shedding: serves the request with the
+  /// template's precompiled MSO-safe plan — one bounded-cost execution, no
+  /// selectivity discovery. Cache-only: fails (FailedPrecondition) when the
+  /// template has not been compiled yet, so shedding never triggers a
+  /// compile storm. Simulation mode only.
+  Result<ServiceResult> RunSafePlan(const ServiceRequest& request,
+                                    const obs::Span* parent = nullptr);
 
   /// Cache key of a query under this service's configuration.
   std::string KeyFor(const QuerySpec& query) const;
@@ -176,6 +208,25 @@ class BouquetService {
   std::shared_ptr<const CompiledBouquet> Compile(const QuerySpec& query);
   uint64_t SnapToGrid(const EssGrid& grid, const DimVector& actual) const;
 
+  Status ValidateRequest(const ServiceRequest& request) const;
+  /// Everything after the bundle is in hand: execution, span attributes,
+  /// run-phase stat folding. Shared by Run and RunBatch.
+  void ExecuteWithBundle(const ServiceRequest& request,
+                         const std::shared_ptr<const CompiledBouquet>& bundle,
+                         obs::Span* req_span,
+                         std::chrono::steady_clock::time_point t0,
+                         ServiceResult* r);
+
+  /// RAII inflight accounting (gauge + high-water mark + queue sample).
+  class InflightScope {
+   public:
+    explicit InflightScope(BouquetService* s);
+    ~InflightScope();
+
+   private:
+    BouquetService* s_;
+  };
+
   /// Folds one compilation's timings and POSP counters into stats_.
   void RecordCompileStatsLocked(const CompiledBouquet& c) REQUIRES(stats_mu_);
 
@@ -194,6 +245,12 @@ class BouquetService {
     obs::Counter* contour_crossings = nullptr;
     obs::Counter* spills = nullptr;
     obs::Counter* fallbacks = nullptr;
+    // Serving-layer instruments.
+    obs::Counter* batches = nullptr;
+    obs::Counter* batch_requests = nullptr;
+    obs::Counter* sheds = nullptr;
+    obs::Gauge* inflight = nullptr;
+    obs::Gauge* queue_depth = nullptr;
   };
 
   const Catalog* catalog_;
@@ -213,6 +270,10 @@ class BouquetService {
 
   mutable Mutex stats_mu_ ACQUIRED_AFTER(inflight_mu_);
   ServiceStats stats_ GUARDED_BY(stats_mu_);
+
+  // Instantaneous load (lock-free; snapshotted into ServiceStats).
+  std::atomic<int64_t> inflight_now_{0};
+  std::atomic<int64_t> inflight_peak_{0};
 };
 
 }  // namespace bouquet
