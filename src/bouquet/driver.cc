@@ -58,6 +58,7 @@ ExecContext BouquetDriver::MakeContext() {
   ctx.catalog = &opt_->catalog();
   ctx.db = db_;
   ctx.cost_model = &opt_->cost_model();
+  ctx.metrics = metrics_;
   return ctx;
 }
 
@@ -143,7 +144,7 @@ DriverResult BouquetDriver::RunBasic() {
       std::vector<Row> rows;
       const auto t1 = std::chrono::steady_clock::now();
       const ExecutionOutcome out =
-          ExecutePlan(*plan.root, &ctx, contour.budget, &rows);
+          ExecutePlanWith(engine_, *plan.root, &ctx, contour.budget, &rows);
       const auto t2 = std::chrono::steady_clock::now();
 
       DriverStep step;
@@ -207,8 +208,9 @@ DriverResult BouquetDriver::RunBasic() {
   ctx.trace_id = step_span.trace_id();
   std::vector<Row> rows;
   const auto t1 = std::chrono::steady_clock::now();
-  const ExecutionOutcome out = ExecutePlan(
-      *plan.root, &ctx, std::numeric_limits<double>::infinity(), &rows);
+  const ExecutionOutcome out = ExecutePlanWith(
+      engine_, *plan.root, &ctx, std::numeric_limits<double>::infinity(),
+      &rows);
   const auto t2 = std::chrono::steady_clock::now();
   DriverStep step;
   step.contour = res.contours_crossed;
@@ -392,8 +394,9 @@ DriverResult BouquetDriver::RunOptimized() {
     ctx.trace_id = step_span.trace_id();
     std::vector<Row> rows;
     const auto t1 = std::chrono::steady_clock::now();
-    const ExecutionOutcome out = ExecutePlan(
-        *plan.root, &ctx, std::numeric_limits<double>::infinity(), &rows);
+    const ExecutionOutcome out = ExecutePlanWith(
+        engine_, *plan.root, &ctx, std::numeric_limits<double>::infinity(),
+        &rows);
     const auto t2 = std::chrono::steady_clock::now();
     DriverStep step;
     step.contour = res.contours_crossed;
@@ -552,9 +555,9 @@ DriverResult BouquetDriver::RunOptimized() {
       const auto t1 = std::chrono::steady_clock::now();
       ExecutionOutcome out;
       if (spill_root != nullptr && !spill_is_full) {
-        out = ExecuteSpilled(*spill_root, &ctx, budget);
+        out = ExecuteSpilledWith(engine_, *spill_root, &ctx, budget);
       } else {
-        out = ExecutePlan(*plan.root, &ctx, budget, &rows);
+        out = ExecutePlanWith(engine_, *plan.root, &ctx, budget, &rows);
       }
       const auto t2 = std::chrono::steady_clock::now();
 
@@ -633,8 +636,8 @@ DriverResult BouquetDriver::RunSinglePlan(const PlanNode& root) {
   ctx.trace_parent = step_span.id();
   ctx.trace_id = step_span.trace_id();
   const auto t1 = std::chrono::steady_clock::now();
-  const ExecutionOutcome out = ExecutePlan(
-      root, &ctx, std::numeric_limits<double>::infinity(), &res.rows);
+  const ExecutionOutcome out = ExecutePlanWith(
+      engine_, root, &ctx, std::numeric_limits<double>::infinity(), &res.rows);
   const auto t2 = std::chrono::steady_clock::now();
   res.completed = out.status == ExecResult::kDone;
   res.total_cost_units = out.cost_charged;

@@ -98,6 +98,14 @@ class BouquetDriver {
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics,
                         const obs::Span* parent = nullptr);
 
+  /// Selects the execution engine for every subsequent (partial) execution.
+  /// Defaults to the vectorized batch engine; both engines produce
+  /// bit-identical cost accounting, step sequences, and result multisets
+  /// (enforced by the differential harness), so this is a throughput knob
+  /// and the scalar engine doubles as the differential-testing oracle.
+  void SetEngine(ExecEngine engine) { engine_ = engine; }
+  ExecEngine engine() const { return engine_; }
+
  private:
   ExecContext MakeContext();
   // Pre-resolved metric instruments (null when no registry is attached).
@@ -121,6 +129,7 @@ class BouquetDriver {
   const PlanDiagram* diagram_;
   QueryOptimizer* opt_;
   Database* db_;
+  ExecEngine engine_ = ExecEngine::kBatch;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments ins_;

@@ -1,0 +1,268 @@
+// Vectorized batch-at-a-time executor, bit-compatible with the scalar
+// engine's cost accounting.
+//
+// The data plane works on fixed-size column batches: scans evaluate filters
+// column-wise into selection vectors (branch-light compaction loops), joins
+// build/probe open-addressed chained hash tables over columnar build sides,
+// and rows move as per-column gathers instead of per-row std::vector
+// copies. None of that touches the CostMeter directly.
+//
+// Cost accounting instead rides a *metering tape*: every operator emits
+// MeterEvents describing the exact per-tuple charge sequence the scalar
+// engine would have produced — same floating-point charge expressions, same
+// order. Each output batch carries its tape plus per-row segment offsets;
+// a consumer splices its child's segment for row j ahead of its own events
+// for row j, reconstructing the scalar engine's global pipeline
+// interleaving. Replaying the tape applies charges one tuple at a time
+// (double addition is order-sensitive, so runs are never bulk-summed),
+// which makes `charged`, the abort point, and the per-node tuple counters
+// byte-identical to a scalar run of the same plan — the property Theorem 3
+// (MSO) needs from budget-limited partial executions.
+//
+// Replay granularity: pipeline breakers (hash build, merge drain+sort,
+// materialize, aggregate build) replay their phase's events eagerly per
+// consumed input batch — every event of the phase is globally ordered
+// before any later event, so this is order-safe and bounds post-abort
+// wasted work to about one batch per operator. Pipelined events are
+// replayed by the consumer: inner operators at most one child batch ahead,
+// the root loop once per output batch. Data ahead of an abort is discarded,
+// never accounted.
+
+#ifndef BOUQUET_EXECUTOR_BATCH_H_
+#define BOUQUET_EXECUTOR_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "executor/builder.h"
+#include "executor/exec_context.h"
+#include "optimizer/plan.h"
+
+namespace bouquet {
+
+namespace batch_internal {
+
+/// Kinds of replayable accounting events.
+enum class EvKind : uint8_t {
+  kCharge,      ///< meter charge only
+  kChargeScan,  ///< per successful unit: charge, then tuples_scanned++
+  kChargeEmit,  ///< per successful unit: charge, then tuples_out++
+  kFinish,      ///< Instrumentation::FinishNode (no charge)
+};
+
+/// One run-length-encoded accounting event. `count` identical charges are
+/// replayed one meter add at a time (never pre-summed), so RLE compresses
+/// the tape without perturbing floating-point accumulation order.
+struct MeterEvent {
+  double unit = 0.0;
+  uint32_t count = 1;
+  uint16_t node = 0;  ///< node slot (BatchExecState registration order)
+  EvKind kind = EvKind::kCharge;
+};
+
+/// Append-only event sequence with merge-fences at row-segment boundaries.
+class Tape {
+ public:
+  void Clear() {
+    ev_.clear();
+    fence_ = 0;
+  }
+  bool empty() const { return ev_.empty(); }
+  size_t size() const { return ev_.size(); }
+  const std::vector<MeterEvent>& events() const { return ev_; }
+
+  void Charge(uint16_t node, double unit, uint32_t count = 1) {
+    if (count > 0) Push(node, unit, count, EvKind::kCharge);
+  }
+  void ChargeScan(uint16_t node, double unit, uint32_t count = 1) {
+    if (count > 0) Push(node, unit, count, EvKind::kChargeScan);
+  }
+  void ChargeEmit(uint16_t node, double unit) {
+    Push(node, unit, 1, EvKind::kChargeEmit);
+  }
+  void Finish(uint16_t node) {
+    ev_.push_back({0.0, 1, node, EvKind::kFinish});
+    fence_ = ev_.size();
+  }
+
+  /// Forbids RLE-merging the next push into the current last event. Row
+  /// segment boundaries must fence, or a later charge could be attributed
+  /// to an earlier segment and replayed out of order after splicing.
+  void Fence() { fence_ = ev_.size(); }
+
+  /// Splices events [from, to) of another tape (a child row segment or
+  /// tail) onto this one, preserving order. Only the first copied event can
+  /// RLE-merge with this tape's tail: within any fence-free span the source
+  /// already merged adjacent identical events, so the rest copy verbatim.
+  void Append(const Tape& src, size_t from, size_t to) {
+    if (from >= to) return;
+    const MeterEvent* s = src.ev_.data();
+    if (ev_.size() > fence_) {
+      const MeterEvent& e = s[from];
+      MeterEvent& b = ev_.back();
+      if (b.kind == e.kind && b.node == e.node && b.unit == e.unit &&
+          b.count <= UINT32_MAX - e.count && e.kind != EvKind::kFinish) {
+        b.count += e.count;
+        ++from;
+      }
+    }
+    ev_.insert(ev_.end(), s + from, s + to);
+  }
+
+ private:
+  void Push(uint16_t node, double unit, uint32_t count, EvKind k) {
+    if (ev_.size() > fence_) {
+      MeterEvent& b = ev_.back();
+      if (b.kind == k && b.node == node && b.unit == unit &&
+          b.count <= UINT32_MAX - count && k != EvKind::kFinish) {
+        b.count += count;
+        return;
+      }
+    }
+    ev_.push_back({unit, count, node, k});
+  }
+
+  std::vector<MeterEvent> ev_;
+  size_t fence_ = 0;
+};
+
+}  // namespace batch_internal
+
+/// A batch of rows in columnar layout plus its metering tape. `seg_end[j]`
+/// is the tape length after row j's events; events past `seg_end[n-1]` (the
+/// tail) happened after the last emitted row (trailing failed scans, child
+/// finishes) and are spliced after the consumer's own per-row events.
+struct ColumnBatch {
+  std::vector<std::vector<int64_t>> cols;
+  int64_t n = 0;
+  batch_internal::Tape tape;
+  std::vector<uint32_t> seg_end;
+
+  void Configure(size_t num_cols) {
+    cols.assign(num_cols, {});
+    Reset();
+  }
+  void Reset() {
+    for (auto& c : cols) c.clear();
+    n = 0;
+    tape.Clear();
+    seg_end.clear();
+  }
+  /// Declares the current tape position as the end of the next output row's
+  /// event segment. Call once per appended row, after its events.
+  void MarkRow() {
+    ++n;
+    tape.Fence();
+    seg_end.push_back(static_cast<uint32_t>(tape.size()));
+  }
+  size_t SegBegin(int64_t j) const { return j == 0 ? 0 : seg_end[j - 1]; }
+  size_t SegEnd(int64_t j) const { return seg_end[j]; }
+  size_t TailBegin() const { return n == 0 ? 0 : seg_end[n - 1]; }
+};
+
+/// Per-execution state shared by a batch operator tree: node-slot registry,
+/// cached counter pointers, the abort latch, and the tape replayer. Create
+/// one per execution, after resetting the context's meter/instrumentation
+/// (the entry points below do this; the registry caches NodeCounters
+/// pointers, so it must not outlive an Instrumentation::Reset).
+class BatchExecState {
+ public:
+  explicit BatchExecState(ExecContext* ctx) : ctx_(ctx) {}
+
+  ExecContext* ctx() { return ctx_; }
+  bool aborted() const { return aborted_; }
+
+  uint16_t Register(const PlanNode* node) {
+    nodes_.push_back(node);
+    nc_.push_back(nullptr);
+    return static_cast<uint16_t>(nodes_.size() - 1);
+  }
+
+  /// First-touch for a slot, in scalar ForNode order: called by every
+  /// operator on its first NextBatch, before pulling children or emitting
+  /// events, so counters exist for exactly the nodes a scalar run would
+  /// have touched by the same point.
+  void TouchSlot(uint16_t slot) {
+    nc_[slot] = &ctx_->instr.Touch(nodes_[slot]);
+  }
+
+  /// Replays events onto the meter and counters in order. Returns false at
+  /// (and latches) a budget abort. When `root_emits` is non-null, counts
+  /// the successful kChargeEmit units of `root_slot` — the number of result
+  /// rows that logically exist before the abort point.
+  bool Replay(const std::vector<batch_internal::MeterEvent>& events,
+              uint16_t root_slot = UINT16_MAX, int64_t* root_emits = nullptr);
+
+  /// Batch telemetry (data-plane only; never feeds accounting).
+  int64_t batches_produced = 0;
+  int64_t rows_produced = 0;
+
+ private:
+  /// Infinite-budget replay: no add can trip the meter, so counters apply
+  /// in bulk and the unit adds run as one flat dependent chain (identical
+  /// add sequence, no per-event abort bookkeeping).
+  bool ReplayNoAbort(const std::vector<batch_internal::MeterEvent>& events,
+                     uint16_t root_slot, int64_t* root_emits, double charged);
+
+  ExecContext* ctx_;
+  std::vector<const PlanNode*> nodes_;
+  std::vector<NodeCounters*> nc_;
+  std::vector<double> units_;  ///< flat-replay scratch
+  bool aborted_ = false;
+};
+
+/// A batch-at-a-time operator. NextBatch appends rows/events to a batch the
+/// caller has Configure()d for this operator's schema and Reset() before
+/// the call. Contract mirrors the scalar engine:
+///   kRow     — more input may follow (n may legitimately be 0: pipelined
+///              operators hand back after each consumed child batch so the
+///              consumer can replay before the next pull);
+///   kDone    — final batch; tape ends with this operator's Finish;
+///   kAborted — the meter tripped during an eagerly replayed phase, or the
+///              tree is being re-pulled after an abort (a checked no-op,
+///              same as the scalar engine).
+class BatchOp {
+ public:
+  virtual ~BatchOp() = default;
+  BatchOp(const BatchOp&) = delete;
+  BatchOp& operator=(const BatchOp&) = delete;
+
+  virtual ExecResult NextBatch(ColumnBatch* out) = 0;
+
+  const std::vector<SchemaCol>& schema() const { return schema_; }
+  uint16_t slot() const { return slot_; }
+  int FindColumn(int table_idx, int col_idx) const;
+
+ protected:
+  BatchOp(const PlanNode* node, BatchExecState* st)
+      : node_(node), st_(st), slot_(st->Register(node)) {}
+
+  const PlanNode* node_;
+  BatchExecState* st_;
+  uint16_t slot_;
+  std::vector<SchemaCol> schema_;
+  bool touched_ = false;
+};
+
+/// Builds a batch operator tree over `state` (which must outlive the tree).
+/// Binding rules are shared with the scalar builder (executor/binding.h);
+/// failure conditions are identical.
+Result<std::unique_ptr<BatchOp>> BuildBatchExecutor(const PlanNode& root,
+                                                    BatchExecState* state);
+
+/// Batch-engine equivalents of ExecutePlan/ExecuteSpilled: same outcome
+/// semantics, same meter/instrumentation side effects (bit-identical
+/// `cost_charged`, abort points, and per-node counters), same "exec.plan" /
+/// "exec.node" spans plus one "exec.batch" child span summarizing batch
+/// shape, and a `bouquet_exec_batch_rows` histogram when ctx->metrics is
+/// set.
+ExecutionOutcome ExecutePlanBatch(const PlanNode& root, ExecContext* ctx,
+                                  double budget,
+                                  std::vector<Row>* results = nullptr);
+ExecutionOutcome ExecuteSpilledBatch(const PlanNode& subtree_root,
+                                     ExecContext* ctx, double budget);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_EXECUTOR_BATCH_H_

@@ -1,0 +1,69 @@
+// Predicate/key binding shared by the scalar and batch executors.
+//
+// Both engines must bind filters, join keys, and residual equalities to the
+// exact same row positions and index-qual ranges: the batch engine replays
+// the scalar engine's per-tuple charge sequence (see batch.h), and any
+// binding divergence would change which tuples are charged. Keeping the
+// bound forms in one header makes "same binding" a structural property
+// instead of a copy-discipline one.
+
+#ifndef BOUQUET_EXECUTOR_BINDING_H_
+#define BOUQUET_EXECUTOR_BINDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+namespace exec_internal {
+
+/// A selection predicate bound to a row position.
+struct BoundFilter {
+  int pos;
+  CompareOp op;
+  int64_t constant;
+};
+
+inline bool EvalFilterValue(int64_t v, const BoundFilter& f) {
+  switch (f.op) {
+    case CompareOp::kLess:
+      return v < f.constant;
+    case CompareOp::kLessEqual:
+      return v <= f.constant;
+    case CompareOp::kGreater:
+      return v > f.constant;
+    case CompareOp::kGreaterEqual:
+      return v >= f.constant;
+    case CompareOp::kEqual:
+      return v == f.constant;
+  }
+  return false;
+}
+
+inline bool EvalFilter(const std::vector<int64_t>& row, const BoundFilter& f) {
+  return EvalFilterValue(row[f.pos], f);
+}
+
+inline bool EvalAll(const std::vector<int64_t>& row,
+                    const std::vector<BoundFilter>& filters) {
+  for (const auto& f : filters) {
+    if (!EvalFilter(row, f)) return false;
+  }
+  return true;
+}
+
+/// An equi-join condition bound to positions in the combined row.
+struct BoundEquality {
+  int left_pos;   // position in combined (left ++ right) row
+  int right_pos;  // position in combined row
+};
+
+/// Translates a filter predicate into an inclusive index-qual range.
+Status FilterToRange(const SelectionPredicate& f, int64_t* lo, int64_t* hi);
+
+}  // namespace exec_internal
+}  // namespace bouquet
+
+#endif  // BOUQUET_EXECUTOR_BINDING_H_

@@ -1,5 +1,6 @@
 #include "executor/builder.h"
 
+#include "executor/batch.h"
 #include "optimizer/plan_signature.h"
 
 namespace bouquet {
@@ -78,6 +79,22 @@ ExecutionOutcome ExecuteSpilled(const PlanNode& subtree_root,
                                 ExecContext* ctx, double budget) {
   return RunTree(subtree_root, ctx, budget, /*results=*/nullptr,
                  /*spilled=*/true);
+}
+
+ExecutionOutcome ExecutePlanWith(ExecEngine engine, const PlanNode& root,
+                                 ExecContext* ctx, double budget,
+                                 std::vector<Row>* results) {
+  return engine == ExecEngine::kBatch
+             ? ExecutePlanBatch(root, ctx, budget, results)
+             : ExecutePlan(root, ctx, budget, results);
+}
+
+ExecutionOutcome ExecuteSpilledWith(ExecEngine engine,
+                                    const PlanNode& subtree_root,
+                                    ExecContext* ctx, double budget) {
+  return engine == ExecEngine::kBatch
+             ? ExecuteSpilledBatch(subtree_root, ctx, budget)
+             : ExecuteSpilled(subtree_root, ctx, budget);
 }
 
 }  // namespace bouquet

@@ -40,6 +40,23 @@ ExecutionOutcome ExecutePlan(const PlanNode& root, ExecContext* ctx,
 ExecutionOutcome ExecuteSpilled(const PlanNode& subtree_root, ExecContext* ctx,
                                 double budget);
 
+/// Which execution engine runs a plan. Both engines are bit-compatible in
+/// cost accounting (identical `cost_charged`, abort points, and per-node
+/// counters for the same plan/budget — see batch.h and the differential
+/// harness in src/testing), so the choice is purely a throughput knob.
+enum class ExecEngine {
+  kScalar,  ///< tuple-at-a-time Volcano iterators (operators.h)
+  kBatch,   ///< vectorized column batches with charge replay (batch.h)
+};
+
+/// Engine-dispatching variants of ExecutePlan/ExecuteSpilled.
+ExecutionOutcome ExecutePlanWith(ExecEngine engine, const PlanNode& root,
+                                 ExecContext* ctx, double budget,
+                                 std::vector<Row>* results = nullptr);
+ExecutionOutcome ExecuteSpilledWith(ExecEngine engine,
+                                    const PlanNode& subtree_root,
+                                    ExecContext* ctx, double budget);
+
 }  // namespace bouquet
 
 #endif  // BOUQUET_EXECUTOR_BUILDER_H_

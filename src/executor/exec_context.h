@@ -13,6 +13,7 @@
 
 #include "catalog/catalog.h"
 #include "executor/instrument.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/cost_model.h"
 #include "query/query_spec.h"
@@ -34,6 +35,12 @@ class CostMeter {
   }
 
   bool exhausted() const { return charged_ > budget_; }
+
+  /// Replay support (batch engine): tape replay keeps the accumulator in a
+  /// register across thousands of one-unit adds and writes it back here.
+  /// `charged` must be the value a sequence of Charge() calls would have
+  /// produced — this is a performance hatch, not a way to invent cost.
+  void RestoreCharged(double charged) { charged_ = charged; }
 
   void Reset() {
     charged_ = 0.0;
@@ -61,6 +68,12 @@ struct ExecContext {
   obs::Tracer* tracer = nullptr;
   uint64_t trace_parent = 0;
   uint64_t trace_id = 0;
+  /// Optional metrics registry (batch engine only): batch-size histograms.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Batch engine: rows per column batch. Any value >= 1 is legal (the
+  /// differential harness runs degenerate sizes like 1 and 3); cost
+  /// accounting is independent of the choice by construction.
+  int batch_size = 1024;
 };
 
 }  // namespace bouquet

@@ -25,15 +25,27 @@
 namespace bouquet {
 
 /// Counters collected for one plan node during (partial) execution.
+///
+/// Counters are batch-aware: producers may account one tuple at a time (the
+/// scalar engine) or add whole batches at once via AddOut/AddScanned (the
+/// vectorized engine's charge-replay). Consumers (q_run harvesting, spans)
+/// only ever read totals, so granularity is invisible to them.
 struct NodeCounters {
   int64_t tuples_out = 0;      ///< rows emitted by the node so far
   int64_t tuples_scanned = 0;  ///< base rows examined (scans only)
   bool finished = false;       ///< node ran to completion
   /// First touch -> completion, seconds; 0 unless timing was enabled and
-  /// the node finished.
+  /// the node finished. This is pipeline wall time — the span from the
+  /// node's first activity to its completion — NOT a per-Next() sum; it is
+  /// therefore comparable between the tuple-at-a-time and batch engines,
+  /// which reach identical counters through different call shapes.
   double wall_seconds = 0.0;
   /// First-touch stamp (only meaningful while timing is enabled).
   std::chrono::steady_clock::time_point first_touch;
+
+  /// Bulk (batch-granularity) additions.
+  void AddOut(int64_t n) { tuples_out += n; }
+  void AddScanned(int64_t n) { tuples_scanned += n; }
 };
 
 /// Registry of counters keyed by plan node identity.
@@ -51,11 +63,20 @@ class Instrumentation {
     return it->second;
   }
 
+  /// Alias of ForNode that reads as intent at call sites which only want
+  /// the first-touch side effect (e.g. the batch engine's charge replay,
+  /// which touches a node before applying any of its counters).
+  NodeCounters& Touch(const PlanNode* node) { return ForNode(node); }
+
   /// Marks a node complete: sets `finished`, stamps `wall_seconds` (when
   /// timing is enabled), and fires the finish hook (when set). Operators
-  /// call this instead of writing `finished` directly.
+  /// call this instead of writing `finished` directly. Idempotent: a second
+  /// finish (e.g. an exhausted iterator pulled again) neither re-stamps the
+  /// wall time nor re-fires the hook, so nodes cannot grow their attributed
+  /// wall clock or emit duplicate spans after completing.
   void FinishNode(const PlanNode* node) {
     NodeCounters& nc = ForNode(node);
+    if (nc.finished) return;
     nc.finished = true;
     if (timing_) {
       nc.wall_seconds = std::chrono::duration<double>(

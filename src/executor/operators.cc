@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/str_util.h"
+#include "executor/binding.h"
 
 namespace bouquet {
 
@@ -20,42 +21,10 @@ int Operator::FindColumn(int table_idx, int col_idx) const {
 
 namespace {
 
-// A selection predicate bound to a row position.
-struct BoundFilter {
-  int pos;
-  CompareOp op;
-  int64_t constant;
-};
-
-bool EvalFilter(const Row& row, const BoundFilter& f) {
-  const int64_t v = row[f.pos];
-  switch (f.op) {
-    case CompareOp::kLess:
-      return v < f.constant;
-    case CompareOp::kLessEqual:
-      return v <= f.constant;
-    case CompareOp::kGreater:
-      return v > f.constant;
-    case CompareOp::kGreaterEqual:
-      return v >= f.constant;
-    case CompareOp::kEqual:
-      return v == f.constant;
-  }
-  return false;
-}
-
-bool EvalAll(const Row& row, const std::vector<BoundFilter>& filters) {
-  for (const auto& f : filters) {
-    if (!EvalFilter(row, f)) return false;
-  }
-  return true;
-}
-
-// An equi-join condition bound to positions in the combined row.
-struct BoundEquality {
-  int left_pos;   // position in combined (left ++ right) row
-  int right_pos;  // position in combined row
-};
+using exec_internal::BoundEquality;
+using exec_internal::BoundFilter;
+using exec_internal::EvalAll;
+using exec_internal::FilterToRange;
 
 // ---------------------------------------------------------------------------
 // Sequential scan
@@ -80,6 +49,10 @@ class SeqScanOp : public Operator {
   }
 
   ExecResult Next(Row* out) override {
+    // Re-pulling after a budget abort is a checked no-op (see operators.h):
+    // the meter stays tripped, so report kAborted again without charging or
+    // moving any counter.
+    if (ctx_->meter.exhausted()) return ExecResult::kAborted;
     NodeCounters& nc = ctx_->instr.ForNode(node_);
     const auto& p = ctx_->cost_model->params();
     while (next_row_ < table_->num_rows()) {
@@ -129,6 +102,10 @@ class IndexScanOp : public Operator {
   }
 
   ExecResult Next(Row* out) override {
+    // Re-pulling after a budget abort is a checked no-op (see operators.h):
+    // the meter stays tripped, so report kAborted again without charging or
+    // moving any counter.
+    if (ctx_->meter.exhausted()) return ExecResult::kAborted;
     NodeCounters& nc = ctx_->instr.ForNode(node_);
     const auto& p = ctx_->cost_model->params();
     if (!descent_charged_) {
@@ -193,6 +170,10 @@ class HashJoinOp : public Operator {
   }
 
   ExecResult Next(Row* out) override {
+    // Re-pulling after a budget abort is a checked no-op (see operators.h):
+    // the meter stays tripped, so report kAborted again without charging or
+    // moving any counter.
+    if (ctx_->meter.exhausted()) return ExecResult::kAborted;
     NodeCounters& nc = ctx_->instr.ForNode(node_);
     const auto& p = ctx_->cost_model->params();
     const double hash_op = p.hash_op_factor * p.cpu_operator_cost;
@@ -305,6 +286,10 @@ class MergeJoinOp : public Operator {
   }
 
   ExecResult Next(Row* out) override {
+    // Re-pulling after a budget abort is a checked no-op (see operators.h):
+    // the meter stays tripped, so report kAborted again without charging or
+    // moving any counter.
+    if (ctx_->meter.exhausted()) return ExecResult::kAborted;
     NodeCounters& nc = ctx_->instr.ForNode(node_);
     const auto& p = ctx_->cost_model->params();
 
@@ -477,6 +462,10 @@ class IndexNLJoinOp : public Operator {
   }
 
   ExecResult Next(Row* out) override {
+    // Re-pulling after a budget abort is a checked no-op (see operators.h):
+    // the meter stays tripped, so report kAborted again without charging or
+    // moving any counter.
+    if (ctx_->meter.exhausted()) return ExecResult::kAborted;
     NodeCounters& nc = ctx_->instr.ForNode(node_);
     const auto& p = ctx_->cost_model->params();
     const double descent =
@@ -560,6 +549,10 @@ class MaterialNLJoinOp : public Operator {
   }
 
   ExecResult Next(Row* out) override {
+    // Re-pulling after a budget abort is a checked no-op (see operators.h):
+    // the meter stays tripped, so report kAborted again without charging or
+    // moving any counter.
+    if (ctx_->meter.exhausted()) return ExecResult::kAborted;
     NodeCounters& nc = ctx_->instr.ForNode(node_);
     const auto& p = ctx_->cost_model->params();
 
@@ -652,6 +645,10 @@ class HashAggregateOp : public Operator {
   }
 
   ExecResult Next(Row* out) override {
+    // Re-pulling after a budget abort is a checked no-op (see operators.h):
+    // the meter stays tripped, so report kAborted again without charging or
+    // moving any counter.
+    if (ctx_->meter.exhausted()) return ExecResult::kAborted;
     NodeCounters& nc = ctx_->instr.ForNode(node_);
     const auto& p = ctx_->cost_model->params();
     const double hash_op = p.hash_op_factor * p.cpu_operator_cost;
@@ -737,6 +734,10 @@ class HashAggregateOp : public Operator {
 // Builder
 // ---------------------------------------------------------------------------
 
+}  // namespace
+
+namespace exec_internal {
+
 // Translates a filter predicate into an inclusive index-qual range.
 Status FilterToRange(const SelectionPredicate& f, int64_t* lo, int64_t* hi) {
   if (!f.has_constant()) {
@@ -777,6 +778,10 @@ Status FilterToRange(const SelectionPredicate& f, int64_t* lo, int64_t* hi) {
   }
   return Status::Ok();
 }
+
+}  // namespace exec_internal
+
+namespace {
 
 Result<std::unique_ptr<Operator>> Build(const PlanNode& node,
                                         ExecContext* ctx) {

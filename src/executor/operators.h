@@ -6,6 +6,14 @@
 // Rows are flat int64 vectors; each operator publishes its output schema as
 // (query-table-index, column-index) pairs so predicates can be bound by the
 // builder.
+//
+// Abort resumption contract: once a Next() call has returned kAborted the
+// meter stays tripped, and every further Next() on any operator of the tree
+// is a checked no-op — it returns kAborted again without charging the meter
+// or moving any instrumentation counter. Partial executions are resumed by
+// re-running the plan under a larger budget (the bouquet contract jettisons
+// intermediate results), never by re-pulling an aborted iterator. The batch
+// engine (batch.h) honors the same contract at NextBatch() granularity.
 
 #ifndef BOUQUET_EXECUTOR_OPERATORS_H_
 #define BOUQUET_EXECUTOR_OPERATORS_H_

@@ -15,6 +15,7 @@
 #include "ess/posp_generator.h"
 #include "robustness/metrics.h"
 #include "robustness/native.h"
+#include "testing/exec_differential.h"
 
 namespace bouquet {
 
@@ -46,7 +47,8 @@ bool ParseFuzzMutation(const std::string& name, FuzzMutation* out) {
 
 bool InvariantReport::ok() const {
   return pic_monotone.ok && contour_ratio.ok && mso_bound.ok &&
-         anorexic_lambda.ok && roundtrip.ok && metamorphic.ok;
+         anorexic_lambda.ok && roundtrip.ok && metamorphic.ok &&
+         exec_differential.ok;
 }
 
 std::string InvariantReport::FirstFailure() const {
@@ -56,6 +58,9 @@ std::string InvariantReport::FirstFailure() const {
   if (!anorexic_lambda.ok) return "anorexic_lambda: " + anorexic_lambda.detail;
   if (!roundtrip.ok) return "roundtrip: " + roundtrip.detail;
   if (!metamorphic.ok) return "metamorphic: " + metamorphic.detail;
+  if (!exec_differential.ok) {
+    return "exec_differential: " + exec_differential.detail;
+  }
   return "";
 }
 
@@ -534,6 +539,13 @@ InvariantReport CheckInvariants(const FuzzInstance& instance,
   if (options.metamorphic && options.mutation == FuzzMutation::kNone) {
     report.metamorphic =
         CheckMetamorphic(instance, grid, diagram, bouquet, options);
+  }
+  if (options.exec_differential && options.mutation == FuzzMutation::kNone) {
+    ExecDifferentialOptions exec_opts;
+    exec_opts.max_rows_per_table = options.exec_differential_rows;
+    const ExecDiffResult diff = CheckExecDifferential(instance, exec_opts);
+    report.exec_differential.ok = diff.ok;
+    report.exec_differential.detail = diff.detail;
   }
   return report;
 }

@@ -25,6 +25,12 @@
 //                       MSO-bound violations, and permuting thread/chunk
 //                       counts in parallel POSP compilation yields
 //                       bit-identical diagrams and bouquets.
+//   * exec_differential — the instance's bouquet plans, materialized onto
+//                       real generated data, execute bit-identically under
+//                       the scalar and vectorized engines: same charged
+//                       cost, same abort points across budget sweeps, same
+//                       result rows and per-node counters (see
+//                       testing/exec_differential.h).
 //
 // Mutation injection deliberately corrupts one artifact mid-pipeline so the
 // harness can prove it would catch a real bug (the PR's mutation test).
@@ -67,6 +73,13 @@ struct OracleOptions {
   /// Enables the (expensive) metamorphic rules; ignored under mutation,
   /// whose corruptions void the relations the rules rely on.
   bool metamorphic = false;
+  /// Enables the batch-vs-scalar execution differential (real data
+  /// materialization + budget sweeps). Skipped under mutation — the
+  /// corruptions target compile-time artifacts the executor never reads,
+  /// so running it there only adds cost.
+  bool exec_differential = true;
+  /// Per-table row cap for the materialized differential data.
+  int64_t exec_differential_rows = 256;
   double tolerance = 1e-9;
 };
 
@@ -83,6 +96,7 @@ struct InvariantReport {
   OracleResult anorexic_lambda;
   OracleResult roundtrip;
   OracleResult metamorphic;
+  OracleResult exec_differential;
 
   uint64_t grid_points = 0;
   int num_contours = 0;

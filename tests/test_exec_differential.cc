@@ -1,0 +1,278 @@
+// Batch-vs-scalar executor differential tests.
+//
+// The vectorized engine's whole contract is bit-compatibility with the
+// scalar oracle: identical charged cost, identical abort points under any
+// budget, identical result rows and per-node counters. These tests check
+// that contract three ways: a seeded fuzz sweep through the differential
+// harness (scaled up by BOUQUET_EXEC_DIFF_ITERS for scheduled runs),
+// hand-built degenerate shapes (empty inputs, single rows, everything
+// filtered, batch size 1), and a full BouquetDriver matrix asserting the
+// driver's DriverStep sequences are byte-identical across engines.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bouquet/driver.h"
+#include "ess/posp_generator.h"
+#include "executor/batch.h"
+#include "executor/builder.h"
+#include "testing/exec_differential.h"
+#include "workloads/spaces.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+int SweepIterations() {
+  const char* env = std::getenv("BOUQUET_EXEC_DIFF_ITERS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1000;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded differential sweep
+// ---------------------------------------------------------------------------
+
+TEST(ExecDifferential, SeededSweepHasZeroDivergences) {
+  const int iters = SweepIterations();
+  ExecDifferentialOptions opts;
+  opts.max_rows_per_table = 96;
+  opts.max_plans = 2;
+  opts.budget_sweeps = 2;
+  opts.batch_sizes = {1, 7, 1024};
+  long long runs = 0;
+  for (int i = 0; i < iters; ++i) {
+    const uint64_t seed = 0xD1FFu + static_cast<uint64_t>(i);
+    const FuzzInstance instance = GenerateFuzzInstance(seed);
+    // Spill subtrees are the expensive part; sample them.
+    opts.check_spill = i % 4 == 0;
+    const ExecDiffResult r = CheckExecDifferential(instance, opts);
+    ASSERT_TRUE(r.ok) << instance.Describe() << ": " << r.detail;
+    runs += r.runs_compared;
+  }
+  std::printf("exec differential sweep: %d instances, %lld engine-pair "
+              "runs, zero divergences\n", iters, runs);
+}
+
+TEST(ExecDifferential, DeterministicFromSeed) {
+  const FuzzInstance instance = GenerateFuzzInstance(42);
+  ExecDataset a = MaterializeInstance(instance, 128);
+  ExecDataset b = MaterializeInstance(instance, 128);
+  ASSERT_EQ(a.achieved, b.achieved);
+  for (const std::string& t : a.query.tables) {
+    ASSERT_EQ(a.db.table(t).num_rows(), b.db.table(t).num_rows());
+    for (int c = 0; c < a.db.table(t).num_columns(); ++c) {
+      ASSERT_EQ(a.db.table(t).column(c), b.db.table(t).column(c)) << t;
+    }
+  }
+  const ExecDiffResult ra = CheckExecDifferential(instance);
+  const ExecDiffResult rb = CheckExecDifferential(instance);
+  EXPECT_EQ(ra.ok, rb.ok);
+  EXPECT_EQ(ra.runs_compared, rb.runs_compared);
+  EXPECT_EQ(ra.plans_checked, rb.plans_checked);
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built degenerate shapes
+// ---------------------------------------------------------------------------
+
+class DegenerateFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DataTable e("e", {"k", "v"});  // deliberately empty
+    DataTable one("one", {"k", "v"});
+    one.AppendRow({7, 70});
+    DataTable r("r", {"k", "v"});
+    for (int64_t i = 1; i <= 9; ++i) r.AppendRow({i % 4, i * 10});
+    db_.AddTable(std::move(e));
+    db_.AddTable(std::move(one));
+    db_.AddTable(std::move(r));
+    db_.SyncCatalog(&catalog_, 64.0);
+    query_.name = "degenerate";
+    query_.tables = {"e", "one", "r"};
+    query_.joins = {JoinPredicate{"e", "k", "r", "k", -1.0},
+                    JoinPredicate{"one", "k", "r", "k", -1.0}};
+    query_.filters = {
+        SelectionPredicate{"r", "v", CompareOp::kLess, -100, -1.0},  // none
+        SelectionPredicate{"r", "v", CompareOp::kLess, 1000, -1.0}};  // all
+    ASSERT_TRUE(query_.Validate(catalog_).ok());
+    cm_ = std::make_unique<CostModel>(CostParams::Postgres());
+  }
+
+  ExecContext MakeContext(int batch_size) {
+    ExecContext ctx;
+    ctx.query = &query_;
+    ctx.catalog = &catalog_;
+    ctx.db = &db_;
+    ctx.cost_model = cm_.get();
+    ctx.batch_size = batch_size;
+    return ctx;
+  }
+
+  PlanNodeRef Scan(int table, std::vector<int> filters = {}) {
+    auto n = std::make_shared<PlanNode>();
+    n->op = OpType::kSeqScan;
+    n->table_idx = table;
+    n->filter_idxs = std::move(filters);
+    return n;
+  }
+
+  PlanNodeRef Join(OpType op, PlanNodeRef l, PlanNodeRef r, int join_idx) {
+    auto n = std::make_shared<PlanNode>();
+    n->op = op;
+    n->left = std::move(l);
+    n->right = std::move(r);
+    n->join_idxs = {join_idx};
+    return n;
+  }
+
+  // Runs the plan under both engines across a budget sweep and asserts
+  // bit-identical outcomes at every batch size.
+  void ExpectParity(const PlanNode& plan) {
+    const double inf = std::numeric_limits<double>::infinity();
+    ExecContext ref = MakeContext(1024);
+    std::vector<Row> ref_rows;
+    const ExecutionOutcome full = ExecutePlan(plan, &ref, inf, &ref_rows);
+    std::vector<double> budgets = {inf, full.cost_charged * 0.5,
+                                   full.cost_charged * 1e-9};
+    for (const double budget : budgets) {
+      ExecContext sctx = MakeContext(1024);
+      std::vector<Row> srows;
+      const ExecutionOutcome s = ExecutePlan(plan, &sctx, budget, &srows);
+      for (const int bsz : {1, 2, 3, 1024}) {
+        ExecContext bctx = MakeContext(bsz);
+        std::vector<Row> brows;
+        const ExecutionOutcome b = ExecutePlanBatch(plan, &bctx, budget,
+                                                    &brows);
+        ASSERT_EQ(b.status, s.status) << "budget " << budget;
+        ASSERT_EQ(b.cost_charged, s.cost_charged)
+            << "budget " << budget << " batch " << bsz;
+        ASSERT_EQ(brows, srows);
+      }
+    }
+  }
+
+  Database db_;
+  Catalog catalog_;
+  QuerySpec query_;
+  std::unique_ptr<CostModel> cm_;
+};
+
+TEST_F(DegenerateFixture, EmptyTableScan) { ExpectParity(*Scan(0)); }
+
+TEST_F(DegenerateFixture, SingleRowScan) { ExpectParity(*Scan(1)); }
+
+TEST_F(DegenerateFixture, AllFilteredScan) { ExpectParity(*Scan(2, {0})); }
+
+TEST_F(DegenerateFixture, NothingFilteredScan) { ExpectParity(*Scan(2, {1})); }
+
+TEST_F(DegenerateFixture, JoinsWithEmptySides) {
+  for (OpType op : {OpType::kHashJoin, OpType::kMergeJoin,
+                    OpType::kMaterialNLJoin}) {
+    ExpectParity(*Join(op, Scan(0), Scan(2), 0));  // empty probe/left
+    ExpectParity(*Join(op, Scan(2), Scan(0), 0));  // empty build/right
+    ExpectParity(*Join(op, Scan(0), Scan(0), 0));  // both empty
+  }
+}
+
+TEST_F(DegenerateFixture, JoinsWithSingleAndFilteredInputs) {
+  for (OpType op : {OpType::kHashJoin, OpType::kMergeJoin,
+                    OpType::kMaterialNLJoin}) {
+    ExpectParity(*Join(op, Scan(1), Scan(2), 1));       // 1-row left
+    ExpectParity(*Join(op, Scan(2, {0}), Scan(2), 0));  // all-filtered left
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BouquetDriver step-sequence matrix (Table 3 machinery across engines)
+// ---------------------------------------------------------------------------
+
+class DriverMatrixFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchDataOptions opts;
+    opts.mini_scale = 0.2;
+    MakeTpchDatabase(&db_, opts);
+    SyncTpchCatalog(db_, &catalog_);
+    query_ = Make2DHQ8a(catalog_);
+    achieved_ = BindSelectionConstants(&query_, catalog_, {0.337, 0.456});
+    ASSERT_TRUE(query_.Validate(catalog_).ok());
+    opt_ = std::make_unique<QueryOptimizer>(query_, catalog_,
+                                            CostParams::Postgres());
+    grid_ = std::make_unique<EssGrid>(query_, std::vector<int>{16, 16});
+    diagram_ = std::make_unique<PlanDiagram>(
+        GeneratePosp(query_, catalog_, CostParams::Postgres(), *grid_));
+    bouquet_ = std::make_unique<PlanBouquet>(
+        BuildBouquet(*diagram_, opt_.get()));
+  }
+
+  // Everything but wall_seconds must be byte-identical.
+  static void ExpectStepsIdentical(const std::vector<DriverStep>& a,
+                                   const std::vector<DriverStep>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].contour, b[i].contour) << "step " << i;
+      EXPECT_EQ(a[i].plan_id, b[i].plan_id) << "step " << i;
+      EXPECT_EQ(a[i].plan_signature, b[i].plan_signature) << "step " << i;
+      EXPECT_EQ(a[i].budget, b[i].budget) << "step " << i;
+      EXPECT_EQ(a[i].charged, b[i].charged) << "step " << i;  // bit-exact
+      EXPECT_EQ(a[i].completed, b[i].completed) << "step " << i;
+      EXPECT_EQ(a[i].spilled, b[i].spilled) << "step " << i;
+      EXPECT_EQ(a[i].learned_dim, b[i].learned_dim) << "step " << i;
+    }
+  }
+
+  DriverResult Run(ExecEngine engine, bool optimized) {
+    BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+    driver.SetEngine(engine);
+    return optimized ? driver.RunOptimized() : driver.RunBasic();
+  }
+
+  Database db_;
+  Catalog catalog_;
+  QuerySpec query_;
+  std::vector<double> achieved_;
+  std::unique_ptr<QueryOptimizer> opt_;
+  std::unique_ptr<EssGrid> grid_;
+  std::unique_ptr<PlanDiagram> diagram_;
+  std::unique_ptr<PlanBouquet> bouquet_;
+};
+
+TEST_F(DriverMatrixFixture, BasicStepSequencesIdenticalAcrossEngines) {
+  const DriverResult scalar = Run(ExecEngine::kScalar, /*optimized=*/false);
+  const DriverResult batch = Run(ExecEngine::kBatch, /*optimized=*/false);
+  EXPECT_EQ(batch.completed, scalar.completed);
+  EXPECT_EQ(batch.total_cost_units, scalar.total_cost_units);  // bit-exact
+  EXPECT_EQ(batch.num_executions, scalar.num_executions);
+  EXPECT_EQ(batch.contours_crossed, scalar.contours_crossed);
+  EXPECT_EQ(batch.final_plan, scalar.final_plan);
+  EXPECT_EQ(batch.final_plan_signature, scalar.final_plan_signature);
+  EXPECT_EQ(batch.rows, scalar.rows);
+  ExpectStepsIdentical(scalar.steps, batch.steps);
+}
+
+TEST_F(DriverMatrixFixture, OptimizedStepSequencesIdenticalAcrossEngines) {
+  const DriverResult scalar = Run(ExecEngine::kScalar, /*optimized=*/true);
+  const DriverResult batch = Run(ExecEngine::kBatch, /*optimized=*/true);
+  EXPECT_EQ(batch.completed, scalar.completed);
+  EXPECT_EQ(batch.total_cost_units, scalar.total_cost_units);
+  EXPECT_EQ(batch.num_executions, scalar.num_executions);
+  EXPECT_EQ(batch.contours_crossed, scalar.contours_crossed);
+  EXPECT_EQ(batch.final_plan_signature, scalar.final_plan_signature);
+  EXPECT_EQ(batch.rows, scalar.rows);
+  // The optimized algorithm's q_run learning feeds on per-node counters;
+  // identical counters must produce identical discovered selectivities.
+  EXPECT_EQ(batch.discovered_selectivities, scalar.discovered_selectivities);
+  ExpectStepsIdentical(scalar.steps, batch.steps);
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "executor/batch.h"
 #include "executor/builder.h"
 #include "optimizer/optimizer.h"
 
@@ -242,6 +243,171 @@ TEST_F(OpsFixture, AbortPreservesPartialCounters) {
   EXPECT_GT(nc->tuples_scanned, 0);
   EXPECT_LT(nc->tuples_scanned, 5);
   EXPECT_FALSE(nc->finished);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-vs-scalar parity on the fixture plans
+// ---------------------------------------------------------------------------
+
+TEST_F(OpsFixture, BatchEngineMatchesScalarOnEveryJoinMethod) {
+  query_.filters[0].constant = 50;
+  const std::vector<int> rf = {0};
+  const std::vector<int> sf = {1};
+  std::vector<PlanNodeRef> plans;
+  for (OpType op : {OpType::kHashJoin, OpType::kMergeJoin,
+                    OpType::kMaterialNLJoin}) {
+    plans.push_back(Join(op, Scan(OpType::kSeqScan, 0, rf),
+                         Scan(OpType::kSeqScan, 1, sf), {0}));
+  }
+  plans.push_back(Join(OpType::kIndexNLJoin, Scan(OpType::kSeqScan, 0, rf),
+                       Scan(OpType::kIndexScan, 1, sf), {0}, 0));
+  for (const auto& plan : plans) {
+    ExecContext sctx = MakeContext();
+    std::vector<Row> srows;
+    const ExecutionOutcome s = ExecutePlan(
+        *plan, &sctx, std::numeric_limits<double>::infinity(), &srows);
+    for (const int bsz : {1, 3, 1024}) {
+      ExecContext bctx = MakeContext();
+      bctx.batch_size = bsz;
+      std::vector<Row> brows;
+      const ExecutionOutcome b = ExecutePlanBatch(
+          *plan, &bctx, std::numeric_limits<double>::infinity(), &brows);
+      EXPECT_EQ(b.status, s.status);
+      EXPECT_EQ(b.rows_emitted, s.rows_emitted);
+      // Bit-exact: the batch engine replays the identical charge sequence.
+      EXPECT_EQ(b.cost_charged, s.cost_charged) << "batch_size " << bsz;
+      EXPECT_EQ(brows, srows);
+    }
+  }
+}
+
+// Satellite regression: both engines report identical per-node counters —
+// the feed for q_run selectivity discovery — including scan counts and
+// completion flags (batch engines account via bulk AddOut/AddScanned).
+TEST_F(OpsFixture, BatchAndScalarNodeCountersIdentical) {
+  const auto plan = Join(OpType::kHashJoin, Scan(OpType::kSeqScan, 0),
+                         Scan(OpType::kSeqScan, 1, {1}), {0});
+  ExecContext sctx = MakeContext();
+  ExecutePlan(*plan, &sctx, std::numeric_limits<double>::infinity(), nullptr);
+  ExecContext bctx = MakeContext();
+  bctx.batch_size = 2;  // forces multi-batch probing
+  ExecutePlanBatch(*plan, &bctx, std::numeric_limits<double>::infinity(),
+                   nullptr);
+  for (const PlanNode* node : CollectNodes(*plan)) {
+    const NodeCounters* snc = sctx.instr.Find(node);
+    const NodeCounters* bnc = bctx.instr.Find(node);
+    ASSERT_NE(snc, nullptr);
+    ASSERT_NE(bnc, nullptr);
+    EXPECT_EQ(bnc->tuples_out, snc->tuples_out);
+    EXPECT_EQ(bnc->tuples_scanned, snc->tuples_scanned);
+    EXPECT_EQ(bnc->finished, snc->finished);
+  }
+}
+
+TEST_F(OpsFixture, BatchAndScalarAbortAtSameTuple) {
+  const auto plan = Join(OpType::kHashJoin, Scan(OpType::kSeqScan, 0),
+                         Scan(OpType::kSeqScan, 1), {0});
+  // Sweep budgets through the whole charge range; every abort point must
+  // match bit-exactly (status, charged, and partial counters).
+  ExecContext full = MakeContext();
+  const ExecutionOutcome ref = ExecutePlan(
+      *plan, &full, std::numeric_limits<double>::infinity(), nullptr);
+  for (int i = 1; i <= 20; ++i) {
+    const double budget = ref.cost_charged * i / 21.0;
+    ExecContext sctx = MakeContext();
+    const ExecutionOutcome s = ExecutePlan(*plan, &sctx, budget, nullptr);
+    ExecContext bctx = MakeContext();
+    bctx.batch_size = 3;
+    const ExecutionOutcome b = ExecutePlanBatch(*plan, &bctx, budget, nullptr);
+    EXPECT_EQ(b.status, s.status) << "budget " << budget;
+    EXPECT_EQ(b.cost_charged, s.cost_charged) << "budget " << budget;
+    for (const PlanNode* node : CollectNodes(*plan)) {
+      const NodeCounters* snc = sctx.instr.Find(node);
+      const NodeCounters* bnc = bctx.instr.Find(node);
+      ASSERT_EQ(snc == nullptr, bnc == nullptr);
+      if (snc == nullptr) continue;
+      EXPECT_EQ(bnc->tuples_out, snc->tuples_out);
+      EXPECT_EQ(bnc->tuples_scanned, snc->tuples_scanned);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kAborted resumption semantics: re-pulling an aborted tree is a checked
+// no-op in both engines — no new charges, no counter movement.
+// ---------------------------------------------------------------------------
+
+TEST_F(OpsFixture, ScalarRepullAfterAbortIsCheckedNoOp) {
+  const auto plan = Join(OpType::kHashJoin, Scan(OpType::kSeqScan, 0),
+                         Scan(OpType::kSeqScan, 1), {0});
+  ExecContext ctx = MakeContext();
+  ctx.meter.Reset();
+  ctx.meter.set_budget(0.05);
+  auto built = BuildExecutor(*plan, &ctx);
+  ASSERT_TRUE(built.ok());
+  Row row;
+  ExecResult st = ExecResult::kRow;
+  while (st == ExecResult::kRow) st = (*built)->Next(&row);
+  ASSERT_EQ(st, ExecResult::kAborted);
+  const double charged = ctx.meter.charged();
+  const NodeCounters* nc = ctx.instr.Find(plan.get());
+  const int64_t out_before = nc != nullptr ? nc->tuples_out : 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*built)->Next(&row), ExecResult::kAborted);
+    EXPECT_EQ(ctx.meter.charged(), charged);  // bit-exact: nothing charged
+    nc = ctx.instr.Find(plan.get());
+    EXPECT_EQ(nc != nullptr ? nc->tuples_out : 0, out_before);
+  }
+}
+
+TEST_F(OpsFixture, BatchRepullAfterAbortIsCheckedNoOp) {
+  // Eager-phase abort (hash build trips the meter inside NextBatch) and
+  // replay abort (scan events trip it in the caller's Replay) both leave
+  // the tree poisoned: every further pull is kAborted with zero charges.
+  const auto join = Join(OpType::kHashJoin, Scan(OpType::kSeqScan, 0),
+                         Scan(OpType::kSeqScan, 1), {0});
+  {
+    ExecContext ctx = MakeContext();
+    ctx.meter.Reset();
+    ctx.meter.set_budget(1e-6);
+    BatchExecState state(&ctx);
+    auto built = BuildBatchExecutor(*join, &state);
+    ASSERT_TRUE(built.ok());
+    ColumnBatch batch;
+    batch.Configure((*built)->schema().size());
+    batch.Reset();
+    ASSERT_EQ((*built)->NextBatch(&batch), ExecResult::kAborted);
+    const double charged = ctx.meter.charged();
+    for (int i = 0; i < 3; ++i) {
+      batch.Reset();
+      EXPECT_EQ((*built)->NextBatch(&batch), ExecResult::kAborted);
+      EXPECT_EQ(batch.n, 0u);
+      EXPECT_TRUE(batch.tape.empty());
+      EXPECT_EQ(ctx.meter.charged(), charged);
+    }
+  }
+  {
+    const auto scan = Scan(OpType::kSeqScan, 0);
+    ExecContext ctx = MakeContext();
+    ctx.meter.Reset();
+    ctx.meter.set_budget(0.025);
+    BatchExecState state(&ctx);
+    auto built = BuildBatchExecutor(*scan, &state);
+    ASSERT_TRUE(built.ok());
+    ColumnBatch batch;
+    batch.Configure((*built)->schema().size());
+    batch.Reset();
+    const ExecResult st = (*built)->NextBatch(&batch);
+    ASSERT_NE(st, ExecResult::kAborted);  // data plane never trips the meter
+    ASSERT_FALSE(state.Replay(batch.tape.events()));  // ...the replay does
+    const double charged = ctx.meter.charged();
+    for (int i = 0; i < 3; ++i) {
+      batch.Reset();
+      EXPECT_EQ((*built)->NextBatch(&batch), ExecResult::kAborted);
+      EXPECT_EQ(batch.n, 0u);
+      EXPECT_EQ(ctx.meter.charged(), charged);
+    }
+  }
 }
 
 }  // namespace
