@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI gate for the disk-backed storage layer and its buffer pool.
+
+Compares the BENCH_storage.json emitted by `bench_storage --smoke` against
+the recorded baseline (bench/baselines/storage_smoke.json). Charged costs
+are deterministic (they are cost-model arithmetic, not wall time), so every
+gate here is exact or a hard ratio floor — a failure means the storage or
+accounting code changed, never CI jitter. Gated invariants:
+
+  - dataset_pages >= 4 * pool_pages: the workloads actually exceed the
+    pool; a shrunken dataset would make the cache ratios meaningless;
+  - reexec: charged(nocache)/charged(LRU) and charged(nocache)/charged(2Q)
+    meet the re-scan caching floor (the buffer pool must turn the bouquet
+    re-execution ladder's repeat reads into cheap buffer hits);
+  - reexec rows_emitted matches the baseline exactly (seeded dataset);
+  - scan_mix: charged(LRU)/charged(2Q) meets the scan-resistance floor
+    (2Q must keep the hot set cheaper than LRU under sequential floods);
+  - parity: charged_bit_equal, rows_equal, and accounting_exact are all
+    true — scalar and batch engines charge bit-identical costs over paged
+    storage, and charged page reads/hits equal the buffer manager's
+    miss/hit counters exactly.
+
+Usage: check_storage_smoke.py <BENCH_storage.json> [baseline.json]
+Exit code 0 on pass, 1 on regression or malformed input.
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    os.pardir, "bench", "baselines", "storage_smoke.json")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    bench_path = argv[1]
+    baseline_path = argv[2] if len(argv) > 2 else DEFAULT_BASELINE
+
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        base = json.load(f)
+
+    failures = []
+
+    pool = bench["pool_pages"]
+    dataset = bench["dataset_pages"]
+    print(f"dataset {dataset} pages over a {pool}-page pool "
+          f"({dataset / pool:.1f}x)")
+    if dataset < 4 * pool:
+        failures.append(
+            f"dataset_pages {dataset} < 4 * pool_pages {pool} — the "
+            f"workloads no longer exceed the pool")
+
+    re = bench["reexec"]
+    refloor = base["reexec"]
+    print(f"reexec: nocache/lru {re['ratio_lru']:.2f}x "
+          f"nocache/2q {re['ratio_2q']:.2f}x rows {re['rows_emitted']}")
+    for policy in ("lru", "2q"):
+        ratio = re[f"ratio_{policy}"]
+        floor = refloor["min_ratio"]
+        if ratio < floor:
+            failures.append(
+                f"reexec: nocache/{policy} charged ratio {ratio:.2f}x < "
+                f"floor {floor}x — the buffer pool no longer absorbs "
+                f"bouquet re-execution re-reads")
+    if re["rows_emitted"] != refloor["expected_rows"]:
+        failures.append(
+            f"reexec: {re['rows_emitted']} rows emitted != expected "
+            f"{refloor['expected_rows']} — seeded dataset or scan drifted")
+
+    mix = bench["scan_mix"]
+    mixfloor = base["scan_mix"]
+    print(f"scan_mix: lru/2q {mix['lru_over_2q']:.2f}x")
+    if mix["lru_over_2q"] < mixfloor["min_lru_over_2q"]:
+        failures.append(
+            f"scan_mix: lru/2q charged ratio {mix['lru_over_2q']:.2f}x < "
+            f"floor {mixfloor['min_lru_over_2q']}x — 2Q lost its scan "
+            f"resistance")
+
+    par = bench["parity"]
+    for key, msg in (
+            ("charged_bit_equal",
+             "engines no longer charge bit-identical costs on paged "
+             "storage"),
+            ("rows_equal", "engines emitted different row counts"),
+            ("accounting_exact",
+             "charged page reads/hits diverged from the buffer manager's "
+             "miss/hit counters")):
+        if not par[key]:
+            failures.append(f"parity: {key} is false — {msg}")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print("storage smoke: OK")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -105,6 +105,8 @@ void BouquetDriver::ObserveStep(const DriverStep& step, obs::Span* span) {
         .Num("budget", step.budget)
         .Num("charged", step.charged)
         .Num("wall_seconds", step.wall_seconds)
+        .Num("page_reads", static_cast<double>(step.page_reads))
+        .Num("page_hits", static_cast<double>(step.page_hits))
         .Flag("completed", step.completed)
         .Flag("spilled", step.spilled)
         .Num("learned_dim", step.learned_dim)
@@ -154,8 +156,12 @@ DriverResult BouquetDriver::RunBasic() {
       step.budget = contour.budget;
       step.charged = out.cost_charged;
       step.wall_seconds = Seconds(t1, t2);
+      step.page_reads = out.page_reads;
+      step.page_hits = out.page_hits;
       step.completed = out.status == ExecResult::kDone;
       res.total_cost_units += out.cost_charged;
+      res.page_reads += out.page_reads;
+      res.page_hits += out.page_hits;
       ++res.num_executions;
       res.steps.push_back(step);
       ObserveStep(step, &step_span);
@@ -219,10 +225,14 @@ DriverResult BouquetDriver::RunBasic() {
   step.budget = std::numeric_limits<double>::infinity();
   step.charged = out.cost_charged;
   step.wall_seconds = Seconds(t1, t2);
+  step.page_reads = out.page_reads;
+  step.page_hits = out.page_hits;
   step.completed = out.status == ExecResult::kDone;
   res.steps.push_back(step);
   ++res.num_executions;
   res.total_cost_units += out.cost_charged;
+  res.page_reads += out.page_reads;
+  res.page_hits += out.page_hits;
   ObserveStep(step, &step_span);
   // A build failure (e.g. abstract predicates without constants) must not
   // masquerade as a successful empty result.
@@ -410,10 +420,14 @@ DriverResult BouquetDriver::RunOptimized() {
     step.budget = std::numeric_limits<double>::infinity();
     step.charged = out.cost_charged;
     step.wall_seconds = Seconds(t1, t2);
+    step.page_reads = out.page_reads;
+    step.page_hits = out.page_hits;
     step.completed = out.status == ExecResult::kDone;
     res.steps.push_back(step);
     ++res.num_executions;
     res.total_cost_units += out.cost_charged;
+    res.page_reads += out.page_reads;
+    res.page_hits += out.page_hits;
     ObserveStep(step, &step_span);
     res.completed = out.status == ExecResult::kDone;
     res.final_plan = step.plan_id;
@@ -568,6 +582,8 @@ DriverResult BouquetDriver::RunOptimized() {
       step.budget = budget;
       step.charged = out.cost_charged;
       step.wall_seconds = Seconds(t1, t2);
+      step.page_reads = out.page_reads;
+      step.page_hits = out.page_hits;
       step.spilled = spill_root != nullptr && !spill_is_full;
       step.learned_dim = learn_dim;
       step.completed =
@@ -575,6 +591,8 @@ DriverResult BouquetDriver::RunOptimized() {
       res.steps.push_back(step);
       ++res.num_executions;
       res.total_cost_units += out.cost_charged;
+      res.page_reads += out.page_reads;
+      res.page_hits += out.page_hits;
       ObserveStep(step, &step_span);
 
       if (out.status == ExecResult::kDone && !step.spilled) {
@@ -643,6 +661,8 @@ DriverResult BouquetDriver::RunSinglePlan(const PlanNode& root) {
   res.total_cost_units = out.cost_charged;
   res.wall_seconds = Seconds(t1, t2);
   res.num_executions = 1;
+  res.page_reads = out.page_reads;
+  res.page_hits = out.page_hits;
 
   // Plan identity: native runs execute arbitrary roots, so the plan may or
   // may not be interned in the diagram — FindPlan's -1 sentinel is valid.
@@ -657,6 +677,8 @@ DriverResult BouquetDriver::RunSinglePlan(const PlanNode& root) {
   step.budget = std::numeric_limits<double>::infinity();
   step.charged = out.cost_charged;
   step.wall_seconds = res.wall_seconds;
+  step.page_reads = out.page_reads;
+  step.page_hits = out.page_hits;
   step.completed = res.completed;
   res.steps.push_back(step);
   ObserveStep(step, &step_span);

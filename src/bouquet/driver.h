@@ -30,6 +30,10 @@ struct DriverStep {
   double budget = 0.0;
   double charged = 0.0;     ///< cost units actually consumed
   double wall_seconds = 0.0;
+  /// Buffer-pool page accesses charged during this execution (zero on
+  /// in-memory databases); reads are misses, hits are cached pages.
+  int64_t page_reads = 0;
+  int64_t page_hits = 0;
   bool completed = false;
   bool spilled = false;
   int learned_dim = -1;
@@ -42,6 +46,9 @@ struct DriverResult {
   double wall_seconds = 0.0;
   int num_executions = 0;
   int contours_crossed = 0;
+  /// Page-access totals summed over all steps (zero on in-memory data).
+  int64_t page_reads = 0;
+  int64_t page_hits = 0;
   /// Diagram plan id of the completing plan, or -1 (the sentinel) when that
   /// plan is not interned in the diagram — which legitimately happens when
   /// the optimized run's final execution optimizes at the discovered q_run

@@ -12,12 +12,22 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/plan_signature.h"
+#include "storage/buffer_manager.h"
+#include "storage/paged_table.h"
 
 namespace bouquet {
 
 using batch_internal::EvKind;
 using batch_internal::MeterEvent;
 using batch_internal::Tape;
+
+void BatchExecState::SetBuffer(storage::BufferManager* bm) {
+  buffer_ = bm;
+  const auto& p = ctx_->cost_model->params();
+  page_hit_cost_ = p.buffer_hit_page_cost;
+  page_seq_cost_ = p.seq_page_cost;
+  page_rand_cost_ = p.random_page_cost;
+}
 
 bool BatchExecState::Replay(const std::vector<MeterEvent>& events,
                             uint16_t root_slot, int64_t* root_emits) {
@@ -45,6 +55,28 @@ bool BatchExecState::Replay(const std::vector<MeterEvent>& events,
   for (; e != end; ++e) {
     if (e->kind == EvKind::kFinish) {
       ctx_->instr.FinishNode(nds[e->node]);
+      continue;
+    }
+    if (e->kind == EvKind::kPageSeq || e->kind == EvKind::kPageRand) {
+      // Replay-time accounting: the Access() here is the same deterministic
+      // replacement-state transition the scalar engine performs at access
+      // time, executed in the identical (scalar charge) order — so hit/miss
+      // outcomes, and therefore every subsequent add, match bit for bit.
+      const bool hit =
+          buffer_->Access(storage::PageId{e->file, e->page});
+      if (hit) {
+        ctx_->page_hits_charged++;
+      } else {
+        ctx_->page_reads_charged++;
+      }
+      charged += hit ? page_hit_cost_
+                     : (e->kind == EvKind::kPageSeq ? page_seq_cost_
+                                                    : page_rand_cost_);
+      if (!(charged <= budget)) {
+        meter.RestoreCharged(charged);
+        aborted_ = true;
+        return false;
+      }
       continue;
     }
     const double unit = e->unit;
@@ -98,6 +130,20 @@ bool BatchExecState::ReplayNoAbort(const std::vector<MeterEvent>& events,
   for (const MeterEvent& e : events) {
     if (e.kind == EvKind::kFinish) {
       ctx_->instr.FinishNode(nds[e.node]);
+      continue;
+    }
+    if (e.kind == EvKind::kPageSeq || e.kind == EvKind::kPageRand) {
+      // Access() runs in event order here too; only the meter adds are
+      // deferred to the flat loop below, which walks u[] in the same order.
+      const bool hit = buffer_->Access(storage::PageId{e.file, e.page});
+      if (hit) {
+        ctx_->page_hits_charged++;
+      } else {
+        ctx_->page_reads_charged++;
+      }
+      u[idx++] = hit ? page_hit_cost_
+                     : (e.kind == EvKind::kPageSeq ? page_seq_cost_
+                                                   : page_rand_cost_);
       continue;
     }
     const double unit = e.unit;
@@ -314,14 +360,28 @@ class BatchSeqScanOp : public BatchOp {
     ExecContext* ctx = st->ctx();
     const std::string& tname = ctx->query->tables[node->table_idx];
     table_ = &ctx->db->table(tname);
+    paged_ = ctx->db->paged(tname);
     const TableInfo& info = ctx->catalog->GetTable(tname);
     const auto& p = ctx->cost_model->params();
     // The charge prices every bound filter, whether or not the normalized
     // form below still needs to evaluate it — same formula as the scalar
     // scan, which likewise charges independently of short-circuiting.
-    per_row_charge_ =
-        p.seq_page_cost * info.stats.row_width_bytes / p.page_size_bytes +
-        p.cpu_tuple_cost + filters.size() * p.cpu_operator_cost;
+    if (paged_ != nullptr) {
+      // Paged storage: I/O rides the tape as kPageSeq events priced at
+      // replay; the per-row charge is the pure CPU part (same expression
+      // grouping as the scalar SeqScanOp).
+      nrows_ = paged_->num_rows();
+      per_row_charge_ =
+          p.cpu_tuple_cost + filters.size() * p.cpu_operator_cost;
+      st->SetBuffer(paged_->buffer());
+      scratch_.resize(static_cast<size_t>(table_->num_columns()) *
+                      static_cast<size_t>(paged_->rows_per_page()));
+    } else {
+      nrows_ = table_->num_rows();
+      per_row_charge_ =
+          p.seq_page_cost * info.stats.row_width_bytes / p.page_size_bytes +
+          p.cpu_tuple_cost + filters.size() * p.cpu_operator_cost;
+    }
     // Conjunctive predicates on the same column intersect into one range
     // (a BETWEEN pair costs the kernels a single window test). The scalar
     // engine evaluates the original conjunction term by term; the surviving
@@ -396,15 +456,48 @@ class BatchSeqScanOp : public BatchOp {
     const auto& p = st_->ctx()->cost_model->params();
     const int bsz = std::max(1, st_->ctx()->batch_size);
     const int ncols = table_->num_columns();
-    const int64_t nrows = table_->num_rows();
+    const int64_t nrows = nrows_;
     while (out->n < bsz) {
       if (next_row_ >= nrows) {
+        guard_ = storage::PageGuard();
         out->tape.Finish(slot_);
         return ExecResult::kDone;
       }
       const int64_t base = next_row_;
-      const int chunk = static_cast<int>(
+      int chunk = static_cast<int>(
           std::min<int64_t>(bsz - out->n, nrows - base));
+      int64_t col_base = base;
+      if (paged_ != nullptr) {
+        // Clip the chunk to the page holding `base` so each chunk maps to
+        // exactly one kPageSeq event, positioned before the chunk's
+        // per-row charges — the scalar page-crossing order.
+        const int rpp = paged_->rows_per_page();
+        const int64_t in_page = base % rpp;
+        chunk = static_cast<int>(
+            std::min<int64_t>(chunk, rpp - in_page));
+        const uint32_t pg = paged_->PageOfRow(base);
+        if (pg != emitted_page_) {
+          out->tape.PageSeq(slot_, paged_->file_id(), pg);
+          emitted_page_ = pg;
+        }
+        if (pg != decoded_page_) {
+          guard_ = paged_->PinRowPage(base);
+          paged_->DecodePage(guard_, scratch_.data());
+          decoded_page_ = pg;
+        }
+        col_base = in_page;
+      }
+      // In paged mode the decoded page's columns are contiguous in scratch
+      // (column-major, rows_per_page apart), so the same kernels run over
+      // either source through one pointer per column.
+      const auto col_ptr = [&](int c) -> const int64_t* {
+        return paged_ != nullptr
+                   ? scratch_.data() +
+                         static_cast<size_t>(c) *
+                             static_cast<size_t>(paged_->rows_per_page()) +
+                         col_base
+                   : table_->column(c).data() + base;
+      };
       next_row_ += chunk;
       sel_.resize(static_cast<size_t>(chunk));
       int m;
@@ -423,12 +516,12 @@ class BatchSeqScanOp : public BatchOp {
         const int64_t* cols[4] = {nullptr, nullptr, nullptr, nullptr};
         const size_t head = std::min<size_t>(ranges_.size(), 4);
         for (size_t fi = 0; fi < head; ++fi) {
-          cols[fi] = table_->column(ranges_[fi].pos).data() + base;
+          cols[fi] = col_ptr(ranges_[fi].pos);
         }
         PredFused(cols, ranges_.data(), head, chunk, pred_.data());
         for (size_t fi = 4; fi < ranges_.size(); ++fi) {
-          PredAndRange(table_->column(ranges_[fi].pos).data() + base,
-                       ranges_[fi], chunk, pred_.data());
+          PredAndRange(col_ptr(ranges_[fi].pos), ranges_[fi], chunk,
+                       pred_.data());
         }
         m = SelFromPred(pred_.data(), chunk, sel_.data());
       }
@@ -449,7 +542,7 @@ class BatchSeqScanOp : public BatchOp {
                              static_cast<uint32_t>(chunk - 1 - prev));
       }
       for (int c = 0; c < ncols; ++c) {
-        const int64_t* src = table_->column(c).data() + base;
+        const int64_t* src = col_ptr(c);
         auto& dst = out->cols[c];
         const size_t old = dst.size();
         dst.resize(old + static_cast<size_t>(m));
@@ -462,10 +555,16 @@ class BatchSeqScanOp : public BatchOp {
 
  private:
   const DataTable* table_;
+  const storage::PagedTable* paged_;
   std::vector<RangePred> ranges_;
   bool never_match_ = false;
   double per_row_charge_;
+  int64_t nrows_;
   int64_t next_row_ = 0;
+  uint32_t emitted_page_ = 0;  // page 0 is meta — never a data page
+  uint32_t decoded_page_ = 0;
+  storage::PageGuard guard_;
+  std::vector<int64_t> scratch_;  // decoded page, column-major
   std::vector<int32_t> sel_;
   std::vector<uint8_t> pred_;
 };
@@ -483,12 +582,24 @@ class BatchIndexScanOp : public BatchOp {
     ExecContext* ctx = st->ctx();
     const std::string& tname = ctx->query->tables[node->table_idx];
     table_ = &ctx->db->table(tname);
+    paged_ = ctx->db->paged(tname);
+    nrows_ = paged_ != nullptr ? paged_->num_rows() : table_->num_rows();
     matches_ = ctx->db->sorted_index(tname, qual_col).Range(qual_lo, qual_hi);
     const auto& p = ctx->cost_model->params();
     per_match_ = p.random_page_cost + p.cpu_index_tuple_cost +
                  p.cpu_tuple_cost +
                  (filters_.size() > 0 ? filters_.size() - 1 : 0) *
                      p.cpu_operator_cost;
+    // Paged split (same expression grouping as the scalar IndexScanOp): the
+    // random page part becomes a kPageRand event per match, priced at
+    // replay; the CPU part stays a per-match tape charge.
+    per_match_cpu_ =
+        p.cpu_index_tuple_cost + p.cpu_tuple_cost +
+        (filters_.size() > 0 ? filters_.size() - 1 : 0) * p.cpu_operator_cost;
+    if (paged_ != nullptr) {
+      st->SetBuffer(paged_->buffer());
+      row_buf_.resize(table_->num_columns());
+    }
     for (int c = 0; c < table_->num_columns(); ++c) {
       schema_.push_back({node->table_idx, c});
     }
@@ -508,10 +619,11 @@ class BatchIndexScanOp : public BatchOp {
       out->tape.Charge(slot_,
                        p.random_page_cost +
                            4.0 * p.cpu_operator_cost *
-                               std::log2(table_->num_rows() + 2.0));
+                               std::log2(nrows_ + 2.0));
     }
     const int bsz = std::max(1, st_->ctx()->batch_size);
     const int ncols = table_->num_columns();
+    if (paged_ != nullptr) return NextBatchPaged(out, bsz, ncols);
     while (out->n < bsz) {
       if (next_ >= matches_.size()) {
         out->tape.Finish(slot_);
@@ -561,12 +673,58 @@ class BatchIndexScanOp : public BatchOp {
   }
 
  private:
+  // Paged storage walks matches one at a time: every match interleaves a
+  // kPageRand event with its CPU charge, so the RLE runs of the in-memory
+  // path degenerate to length 1 anyway and the row's values have to come
+  // out of a pinned page. Tape order per match — page event, ChargeScan,
+  // then ChargeEmit for survivors — mirrors the scalar charge order.
+  ExecResult NextBatchPaged(ColumnBatch* out, int bsz, int ncols) {
+    const auto& p = st_->ctx()->cost_model->params();
+    while (out->n < bsz) {
+      if (next_ >= matches_.size()) {
+        guard_ = storage::PageGuard();
+        out->tape.Finish(slot_);
+        return ExecResult::kDone;
+      }
+      const uint32_t r = matches_[next_++];
+      const storage::PageId pid = paged_->PageIdOfRow(r);
+      out->tape.PageRand(slot_, pid.file, pid.page);
+      out->tape.ChargeScan(slot_, per_match_cpu_, 1);
+      if (!guard_.valid() || cur_page_ != pid.page) {
+        guard_ = paged_->buffer()->Pin(pid);
+        cur_page_ = pid.page;
+      }
+      const int slot_in_page = paged_->SlotOfRow(r);
+      for (int c = 0; c < ncols; ++c) {
+        row_buf_[c] = paged_->ValueIn(guard_, slot_in_page, c);
+      }
+      bool pass = true;
+      for (const auto& f : filters_) {
+        if (!EvalFilterValue(row_buf_[f.pos], f)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      out->tape.ChargeEmit(slot_, p.cpu_tuple_cost);
+      for (int c = 0; c < ncols; ++c) out->cols[c].push_back(row_buf_[c]);
+      out->MarkRow();
+    }
+    return ExecResult::kRow;
+  }
+
   const DataTable* table_;
+  const storage::PagedTable* paged_;
+  int64_t nrows_;
   std::vector<BoundFilter> filters_;
   std::vector<uint32_t> matches_;
   double per_match_;
+  double per_match_cpu_;
   size_t next_ = 0;
   bool descent_charged_ = false;
+  uint32_t cur_page_ = 0;  // page 0 is meta — never a data page
+  storage::PageGuard guard_;
+  Row row_buf_;
   std::vector<int32_t> sel_;
 };
 
@@ -990,11 +1148,18 @@ class BatchIndexNLJoinOp : public BatchOp {
     ExecContext* ctx = st->ctx();
     const std::string& tname = ctx->query->tables[inner_table_idx];
     inner_ = &ctx->db->table(tname);
+    paged_ = ctx->db->paged(tname);
+    inner_rows_ =
+        paged_ != nullptr ? paged_->num_rows() : inner_->num_rows();
     index_ = &ctx->db->hash_index(tname, inner_key_col_);
     schema_ = left_->schema();
     for (int c = 0; c < inner_->num_columns(); ++c) {
       schema_.push_back({inner_table_idx, c});
       inner_cols_.push_back(inner_->column(c).data());
+    }
+    if (paged_ != nullptr) {
+      st->SetBuffer(paged_->buffer());
+      inner_buf_.resize(inner_->num_columns());
     }
     lbatch_.Configure(left_->schema().size());
   }
@@ -1010,9 +1175,14 @@ class BatchIndexNLJoinOp : public BatchOp {
     const auto& p = st_->ctx()->cost_model->params();
     const double descent =
         p.random_page_cost +
-        4.0 * p.cpu_operator_cost * std::log2(inner_->num_rows() + 2.0);
+        4.0 * p.cpu_operator_cost * std::log2(inner_rows_ + 2.0);
+    // Same split as the scalar IndexNLJoinOp (expression grouping mirrored):
+    // paged storage turns the random page part into a kPageRand event.
     const double per_match =
         p.random_page_cost + p.cpu_index_tuple_cost +
+        (inner_filters_.size() + residual_.size()) * p.cpu_operator_cost;
+    const double per_match_cpu =
+        p.cpu_index_tuple_cost +
         (inner_filters_.size() + residual_.size()) * p.cpu_operator_cost;
     const int lw = static_cast<int>(left_->schema().size());
     const int iw = static_cast<int>(inner_cols_.size());
@@ -1021,18 +1191,36 @@ class BatchIndexNLJoinOp : public BatchOp {
     const ExecResult st = left_->NextBatch(&lbatch_);
     if (st == ExecResult::kAborted) return ExecResult::kAborted;
     // Two-pass (see BatchHashJoinOp::ProbeBatch): events + match pairs
-    // first, then per-column bulk gathers.
+    // first, then per-column bulk gathers. Paged inner rows can't be
+    // gathered by pointer later, so pass 1 stashes their values.
     match_l_.clear();
     match_r_.clear();
+    inner_gather_.clear();
     for (int64_t j = 0; j < lbatch_.n; ++j) {
       out->tape.Append(lbatch_.tape, lbatch_.SegBegin(j), lbatch_.SegEnd(j));
       out->tape.Charge(slot_, descent);
       const auto& matches = index_->Lookup(lbatch_.cols[outer_key_pos_][j]);
       for (const uint32_t r : matches) {
-        out->tape.Charge(slot_, per_match);
+        if (paged_ != nullptr) {
+          const storage::PageId pid = paged_->PageIdOfRow(r);
+          out->tape.PageRand(slot_, pid.file, pid.page);
+          out->tape.Charge(slot_, per_match_cpu);
+          if (!guard_.valid() || cur_page_ != pid.page) {
+            guard_ = paged_->buffer()->Pin(pid);
+            cur_page_ = pid.page;
+          }
+          const int slot_in_page = paged_->SlotOfRow(r);
+          for (int c = 0; c < iw; ++c) {
+            inner_buf_[c] = paged_->ValueIn(guard_, slot_in_page, c);
+          }
+        } else {
+          out->tape.Charge(slot_, per_match);
+        }
         bool pass = true;
         for (const auto& f : inner_filters_) {
-          if (!EvalFilterValue(inner_cols_[f.pos][r], f)) {
+          const int64_t v =
+              paged_ != nullptr ? inner_buf_[f.pos] : inner_cols_[f.pos][r];
+          if (!EvalFilterValue(v, f)) {
             pass = false;
             break;
           }
@@ -1049,6 +1237,10 @@ class BatchIndexNLJoinOp : public BatchOp {
         out->tape.ChargeEmit(slot_, p.cpu_tuple_cost);
         match_l_.push_back(static_cast<int32_t>(j));
         match_r_.push_back(r);
+        if (paged_ != nullptr) {
+          inner_gather_.insert(inner_gather_.end(), inner_buf_.begin(),
+                               inner_buf_.end());
+        }
         out->MarkRow();
       }
     }
@@ -1063,14 +1255,22 @@ class BatchIndexNLJoinOp : public BatchOp {
       for (size_t k = 0; k < nm; ++k) d[k] = src[match_l_[k]];
     }
     for (int c = 0; c < iw; ++c) {
-      const int64_t* src = inner_cols_[c];
       auto& dst = out->cols[lw + c];
       const size_t old = dst.size();
       dst.resize(old + nm);
       int64_t* d = dst.data() + old;
-      for (size_t k = 0; k < nm; ++k) d[k] = src[match_r_[k]];
+      if (paged_ != nullptr) {
+        const int64_t* vals = inner_gather_.data();
+        for (size_t k = 0; k < nm; ++k) {
+          d[k] = vals[k * static_cast<size_t>(iw) + c];
+        }
+      } else {
+        const int64_t* src = inner_cols_[c];
+        for (size_t k = 0; k < nm; ++k) d[k] = src[match_r_[k]];
+      }
     }
     if (st == ExecResult::kDone) {
+      guard_ = storage::PageGuard();
       out->tape.Finish(slot_);
       return ExecResult::kDone;
     }
@@ -1079,7 +1279,10 @@ class BatchIndexNLJoinOp : public BatchOp {
 
  private:
   int64_t Combined(int64_t j, uint32_t r, int pos, int lw) const {
-    return pos < lw ? lbatch_.cols[pos][j] : inner_cols_[pos - lw][r];
+    if (pos < lw) return lbatch_.cols[pos][j];
+    // Paged inner rows are staged in inner_buf_ (filled for the match being
+    // tested); in-memory inners read the column directly.
+    return paged_ != nullptr ? inner_buf_[pos - lw] : inner_cols_[pos - lw][r];
   }
 
   std::unique_ptr<BatchOp> left_;
@@ -1089,8 +1292,14 @@ class BatchIndexNLJoinOp : public BatchOp {
   std::vector<BoundEquality> residual_;
 
   const DataTable* inner_;
+  const storage::PagedTable* paged_;
+  int64_t inner_rows_;
   const HashIndex* index_;
   std::vector<const int64_t*> inner_cols_;
+  uint32_t cur_page_ = 0;  // page 0 is meta — never a data page
+  storage::PageGuard guard_;
+  Row inner_buf_;
+  std::vector<int64_t> inner_gather_;  // survivor inner values, row-major
   ColumnBatch lbatch_;
   std::vector<int32_t> match_l_;
   std::vector<uint32_t> match_r_;
@@ -1576,6 +1785,8 @@ ExecutionOutcome RunTreeBatch(const PlanNode& root, ExecContext* ctx,
   ctx->meter.Reset();
   ctx->meter.set_budget(budget);
   ctx->instr.Reset();
+  ctx->page_reads_charged = 0;
+  ctx->page_hits_charged = 0;
 
   // Observability mirrors the scalar RunTree: one "exec.plan" span per
   // (partial) execution, one "exec.node" child per finished operator.
@@ -1628,6 +1839,15 @@ ExecutionOutcome RunTreeBatch(const PlanNode& root, ExecContext* ctx,
                 obs::BatchSizeBuckets())
           : nullptr;
 
+  storage::StorageManager* sm =
+      ctx->db != nullptr ? ctx->db->storage() : nullptr;
+  std::unique_ptr<storage::SpillWriter> spill;
+  if (spilled && sm != nullptr) {
+    // Mirror the scalar engine: spilled output is jettisoned from the
+    // accounting but physically lands in temp pages through the pool.
+    spill = std::make_unique<storage::SpillWriter>(sm, ncols);
+  }
+
   ColumnBatch batch;
   batch.Configure(ncols);
   int64_t emitted = 0;
@@ -1651,11 +1871,15 @@ ExecutionOutcome RunTreeBatch(const PlanNode& root, ExecContext* ctx,
     // Rows whose emit charge did not complete before the abort are data the
     // scalar engine would never have produced; truncate them.
     emitted += ok_rows;
-    if (results != nullptr) {
+    if (results != nullptr || (spill != nullptr && spill->ok())) {
+      Row r(ncols);
       for (int64_t i = 0; i < ok_rows; ++i) {
-        Row r(ncols);
         for (size_t c = 0; c < ncols; ++c) r[c] = batch.cols[c][i];
-        results->push_back(std::move(r));
+        if (spill != nullptr) {
+          if (spill->ok()) spill->Append(r);
+        } else {
+          results->push_back(r);
+        }
       }
     }
     if (!ok) {
@@ -1668,6 +1892,8 @@ ExecutionOutcome RunTreeBatch(const PlanNode& root, ExecContext* ctx,
   out.status = status;
   out.rows_emitted = emitted;
   out.cost_charged = ctx->meter.charged();
+  out.page_reads = ctx->page_reads_charged;
+  out.page_hits = ctx->page_hits_charged;
   if (exec_span.enabled()) {
     obs::Span bspan = obs::Tracer::BeginUnder(ctx->tracer, "exec.batch",
                                               exec_span.id(),
@@ -1679,6 +1905,8 @@ ExecutionOutcome RunTreeBatch(const PlanNode& root, ExecContext* ctx,
     exec_span.Num("budget", budget)
         .Num("charged", out.cost_charged)
         .Num("rows", static_cast<double>(out.rows_emitted))
+        .Num("page_reads", static_cast<double>(out.page_reads))
+        .Num("page_hits", static_cast<double>(out.page_hits))
         .Flag("completed", out.status == ExecResult::kDone)
         .Flag("spilled", spilled);
     exec_span.End();

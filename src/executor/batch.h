@@ -41,6 +41,10 @@
 
 namespace bouquet {
 
+namespace storage {
+class BufferManager;
+}  // namespace storage
+
 namespace batch_internal {
 
 /// Kinds of replayable accounting events.
@@ -49,7 +53,18 @@ enum class EvKind : uint8_t {
   kChargeScan,  ///< per successful unit: charge, then tuples_scanned++
   kChargeEmit,  ///< per successful unit: charge, then tuples_out++
   kFinish,      ///< Instrumentation::FinishNode (no charge)
+  kPageSeq,     ///< paged storage: sequential access to (file, page)
+  kPageRand,    ///< paged storage: random access to (file, page)
 };
+
+/// Charge-like events RLE-merge; structural events never do. Page events
+/// are excluded because their charge is unknown until replay consults the
+/// buffer pool (hit vs miss), so each access must stay an individual event
+/// resolved in scalar charge order.
+inline bool MergeableKind(EvKind k) {
+  return k == EvKind::kCharge || k == EvKind::kChargeScan ||
+         k == EvKind::kChargeEmit;
+}
 
 /// One run-length-encoded accounting event. `count` identical charges are
 /// replayed one meter add at a time (never pre-summed), so RLE compresses
@@ -59,6 +74,8 @@ struct MeterEvent {
   uint32_t count = 1;
   uint16_t node = 0;  ///< node slot (BatchExecState registration order)
   EvKind kind = EvKind::kCharge;
+  uint16_t file = 0;  ///< kPageSeq/kPageRand: page file id
+  uint32_t page = 0;  ///< kPageSeq/kPageRand: page number
 };
 
 /// Append-only event sequence with merge-fences at row-segment boundaries.
@@ -81,6 +98,15 @@ class Tape {
   void ChargeEmit(uint16_t node, double unit) {
     Push(node, unit, 1, EvKind::kChargeEmit);
   }
+  /// Records a page access whose price (hit vs miss) is resolved at replay
+  /// time against the buffer pool's deterministic accounting state, in the
+  /// exact position the scalar engine would have charged it.
+  void PageSeq(uint16_t node, uint16_t file, uint32_t page) {
+    ev_.push_back({0.0, 1, node, EvKind::kPageSeq, file, page});
+  }
+  void PageRand(uint16_t node, uint16_t file, uint32_t page) {
+    ev_.push_back({0.0, 1, node, EvKind::kPageRand, file, page});
+  }
   void Finish(uint16_t node) {
     ev_.push_back({0.0, 1, node, EvKind::kFinish});
     fence_ = ev_.size();
@@ -102,7 +128,7 @@ class Tape {
       const MeterEvent& e = s[from];
       MeterEvent& b = ev_.back();
       if (b.kind == e.kind && b.node == e.node && b.unit == e.unit &&
-          b.count <= UINT32_MAX - e.count && e.kind != EvKind::kFinish) {
+          b.count <= UINT32_MAX - e.count && MergeableKind(e.kind)) {
         b.count += e.count;
         ++from;
       }
@@ -115,7 +141,7 @@ class Tape {
     if (ev_.size() > fence_) {
       MeterEvent& b = ev_.back();
       if (b.kind == k && b.node == node && b.unit == unit &&
-          b.count <= UINT32_MAX - count && k != EvKind::kFinish) {
+          b.count <= UINT32_MAX - count && MergeableKind(k)) {
         b.count += count;
         return;
       }
@@ -187,6 +213,12 @@ class BatchExecState {
     nc_[slot] = &ctx_->instr.Touch(nodes_[slot]);
   }
 
+  /// Attaches the buffer pool for replay-time resolution of kPageSeq /
+  /// kPageRand events and caches the three page prices from the context's
+  /// cost params. Paged scan operators call this at construction; calling
+  /// it repeatedly is harmless (idempotent for a fixed execution).
+  void SetBuffer(storage::BufferManager* bm);
+
   /// Replays events onto the meter and counters in order. Returns false at
   /// (and latches) a budget abort. When `root_emits` is non-null, counts
   /// the successful kChargeEmit units of `root_slot` — the number of result
@@ -210,6 +242,13 @@ class BatchExecState {
   std::vector<NodeCounters*> nc_;
   std::vector<double> units_;  ///< flat-replay scratch
   bool aborted_ = false;
+  /// Paged storage (null for in-memory databases). Page events call
+  /// BufferManager::Access here, in replay order — the same deterministic
+  /// accounting sequence the scalar engine produces at access time.
+  storage::BufferManager* buffer_ = nullptr;
+  double page_hit_cost_ = 0.0;
+  double page_seq_cost_ = 0.0;
+  double page_rand_cost_ = 0.0;
 };
 
 /// A batch-at-a-time operator. NextBatch appends rows/events to a batch the

@@ -2,6 +2,7 @@
 
 #include "executor/batch.h"
 #include "optimizer/plan_signature.h"
+#include "storage/paged_table.h"
 
 namespace bouquet {
 
@@ -13,6 +14,8 @@ ExecutionOutcome RunTree(const PlanNode& root, ExecContext* ctx,
   ctx->meter.Reset();
   ctx->meter.set_budget(budget);
   ctx->instr.Reset();
+  ctx->page_reads_charged = 0;
+  ctx->page_hits_charged = 0;
 
   // Observability: one span for this (partial) execution; every finished
   // operator node becomes a child span carrying its counters. The hook and
@@ -55,12 +58,34 @@ ExecutionOutcome RunTree(const PlanNode& root, ExecContext* ctx,
     }
     return out;
   }
-  out.status = DrainOperator(built->get(), results, &out.rows_emitted);
+  storage::StorageManager* sm =
+      ctx->db != nullptr ? ctx->db->storage() : nullptr;
+  if (spilled && sm != nullptr) {
+    // Spill-mode subtree output is jettisoned from the accounting's point
+    // of view, but it physically materializes into temp pages through the
+    // same buffer pool — the writer drops the segment when it dies.
+    storage::SpillWriter spill(sm, built->get()->schema().size());
+    int64_t count = 0;
+    Row r;
+    ExecResult st;
+    while ((st = (*built)->Next(&r)) == ExecResult::kRow) {
+      ++count;
+      if (spill.ok()) spill.Append(r);
+    }
+    out.rows_emitted = count;
+    out.status = st;
+  } else {
+    out.status = DrainOperator(built->get(), results, &out.rows_emitted);
+  }
   out.cost_charged = ctx->meter.charged();
+  out.page_reads = ctx->page_reads_charged;
+  out.page_hits = ctx->page_hits_charged;
   if (exec_span.enabled()) {
     exec_span.Num("budget", budget)
         .Num("charged", out.cost_charged)
         .Num("rows", static_cast<double>(out.rows_emitted))
+        .Num("page_reads", static_cast<double>(out.page_reads))
+        .Num("page_hits", static_cast<double>(out.page_hits))
         .Flag("completed", out.status == ExecResult::kDone)
         .Flag("spilled", spilled);
     exec_span.End();

@@ -20,6 +20,11 @@ struct ExecutionOutcome {
   ExecResult status = ExecResult::kDone;
   int64_t rows_emitted = 0;
   double cost_charged = 0.0;
+  /// Paged storage only (zero on in-memory databases): page accesses the
+  /// meter charged, split by buffer-pool outcome. reads = misses priced at
+  /// seq/random_page_cost; hits priced at buffer_hit_page_cost.
+  int64_t page_reads = 0;
+  int64_t page_hits = 0;
   /// True when the operator tree could not even be built (e.g. an abstract
   /// predicate without a constant); distinct from a budget abort — retrying
   /// with a larger budget cannot help.

@@ -74,6 +74,15 @@ struct ExecContext {
   /// differential harness runs degenerate sizes like 1 and 3); cost
   /// accounting is independent of the choice by construction.
   int batch_size = 1024;
+
+  /// Paged-storage accounting (zero when the database is purely in-memory).
+  /// Every buffer-pool Access() the meter charged for is counted here:
+  /// misses charge seq/random_page_cost, hits charge buffer_hit_page_cost.
+  /// The property oracle cross-checks page_reads_charged against the buffer
+  /// manager's miss-count delta — only executors call Access, so the two
+  /// must agree exactly.
+  int64_t page_reads_charged = 0;
+  int64_t page_hits_charged = 0;
 };
 
 }  // namespace bouquet

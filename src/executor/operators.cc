@@ -37,11 +37,22 @@ class SeqScanOp : public Operator {
       : node_(node), ctx_(ctx), filters_(std::move(filters)) {
     const std::string& tname = ctx->query->tables[node->table_idx];
     table_ = &ctx->db->table(tname);
+    paged_ = ctx->db->paged(tname);
     const TableInfo& info = ctx->catalog->GetTable(tname);
     const auto& p = ctx->cost_model->params();
-    per_row_charge_ =
-        p.seq_page_cost * info.stats.row_width_bytes / p.page_size_bytes +
-        p.cpu_tuple_cost + filters_.size() * p.cpu_operator_cost;
+    if (paged_ != nullptr) {
+      // Paged storage: I/O is charged per *actual* page access (hit vs miss
+      // against the buffer pool), not amortized per row, so the per-row
+      // charge is the pure CPU part.
+      nrows_ = paged_->num_rows();
+      per_row_charge_ =
+          p.cpu_tuple_cost + filters_.size() * p.cpu_operator_cost;
+    } else {
+      nrows_ = table_->num_rows();
+      per_row_charge_ =
+          p.seq_page_cost * info.stats.row_width_bytes / p.page_size_bytes +
+          p.cpu_tuple_cost + filters_.size() * p.cpu_operator_cost;
+    }
     for (int c = 0; c < table_->num_columns(); ++c) {
       schema_.push_back({node->table_idx, c});
     }
@@ -55,12 +66,43 @@ class SeqScanOp : public Operator {
     if (ctx_->meter.exhausted()) return ExecResult::kAborted;
     NodeCounters& nc = ctx_->instr.ForNode(node_);
     const auto& p = ctx_->cost_model->params();
-    while (next_row_ < table_->num_rows()) {
+    while (next_row_ < nrows_) {
+      const int64_t r = next_row_;
+      if (paged_ != nullptr) {
+        const uint32_t pg = paged_->PageOfRow(r);
+        if (pg != cur_page_) {
+          // Accounting before pinning: Access() is the deterministic
+          // replacement-state transition the batch engine replays in this
+          // exact position, so it must happen whether or not the charge
+          // fits the budget (the meter records the overshoot either way).
+          guard_ = storage::PageGuard();
+          const storage::PageId pid{paged_->file_id(), pg};
+          const bool hit = paged_->buffer()->Access(pid);
+          if (hit) {
+            ctx_->page_hits_charged++;
+          } else {
+            ctx_->page_reads_charged++;
+          }
+          if (!ctx_->meter.Charge(hit ? p.buffer_hit_page_cost
+                                      : p.seq_page_cost)) {
+            return ExecResult::kAborted;
+          }
+          cur_page_ = pg;
+          guard_ = paged_->buffer()->Pin(pid);
+        }
+      }
       if (!ctx_->meter.Charge(per_row_charge_)) return ExecResult::kAborted;
-      const int64_t r = next_row_++;
+      next_row_ = r + 1;
       nc.tuples_scanned++;
-      for (int c = 0; c < table_->num_columns(); ++c) {
-        row_buf_[c] = table_->value(c, r);
+      if (paged_ != nullptr) {
+        const int slot = paged_->SlotOfRow(r);
+        for (int c = 0; c < static_cast<int>(row_buf_.size()); ++c) {
+          row_buf_[c] = paged_->ValueIn(guard_, slot, c);
+        }
+      } else {
+        for (int c = 0; c < table_->num_columns(); ++c) {
+          row_buf_[c] = table_->value(c, r);
+        }
       }
       if (!EvalAll(row_buf_, filters_)) continue;
       if (!ctx_->meter.Charge(p.cpu_tuple_cost)) return ExecResult::kAborted;
@@ -68,6 +110,7 @@ class SeqScanOp : public Operator {
       *out = row_buf_;
       return ExecResult::kRow;
     }
+    guard_ = storage::PageGuard();
     ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
     return ExecResult::kDone;
   }
@@ -76,9 +119,13 @@ class SeqScanOp : public Operator {
   const PlanNode* node_;
   ExecContext* ctx_;
   const DataTable* table_;
+  const storage::PagedTable* paged_;
   std::vector<BoundFilter> filters_;
   double per_row_charge_;
+  int64_t nrows_;
   int64_t next_row_ = 0;
+  uint32_t cur_page_ = 0;  // page 0 is meta — never a data page
+  storage::PageGuard guard_;
   Row row_buf_;
 };
 
@@ -94,6 +141,8 @@ class IndexScanOp : public Operator {
       : node_(node), ctx_(ctx), filters_(std::move(filters)) {
     const std::string& tname = ctx->query->tables[node->table_idx];
     table_ = &ctx->db->table(tname);
+    paged_ = ctx->db->paged(tname);
+    nrows_ = paged_ != nullptr ? paged_->num_rows() : table_->num_rows();
     matches_ = ctx->db->sorted_index(tname, qual_col).Range(qual_lo, qual_hi);
     for (int c = 0; c < table_->num_columns(); ++c) {
       schema_.push_back({node->table_idx, c});
@@ -112,19 +161,56 @@ class IndexScanOp : public Operator {
       descent_charged_ = true;
       const double descent =
           p.random_page_cost +
-          4.0 * p.cpu_operator_cost * std::log2(table_->num_rows() + 2.0);
+          4.0 * p.cpu_operator_cost * std::log2(nrows_ + 2.0);
       if (!ctx_->meter.Charge(descent)) return ExecResult::kAborted;
     }
+    // Uncorrelated heap order: one random page access per match. On paged
+    // storage the page part is priced by the buffer pool (hit vs miss) as
+    // its own meter add; in memory it stays folded into the flat per-match
+    // charge exactly as before (the FP grouping of each expression is what
+    // the batch engine reproduces on its tape — keep them in sync).
+    const double per_match_cpu =
+        p.cpu_index_tuple_cost + p.cpu_tuple_cost +
+        (filters_.size() > 0 ? filters_.size() - 1 : 0) * p.cpu_operator_cost;
     const double per_match = p.random_page_cost + p.cpu_index_tuple_cost +
                              p.cpu_tuple_cost +
                              (filters_.size() > 0 ? filters_.size() - 1 : 0) *
                                  p.cpu_operator_cost;
     while (next_ < matches_.size()) {
-      if (!ctx_->meter.Charge(per_match)) return ExecResult::kAborted;
-      const uint32_t r = matches_[next_++];
+      // Peek — advance only after the charges landed, so the abort point
+      // (and everything after it) is independent of batch lookahead.
+      const uint32_t r = matches_[next_];
+      if (paged_ != nullptr) {
+        const storage::PageId pid = paged_->PageIdOfRow(r);
+        const bool hit = paged_->buffer()->Access(pid);
+        if (hit) {
+          ctx_->page_hits_charged++;
+        } else {
+          ctx_->page_reads_charged++;
+        }
+        if (!ctx_->meter.Charge(hit ? p.buffer_hit_page_cost
+                                    : p.random_page_cost)) {
+          return ExecResult::kAborted;
+        }
+        if (!ctx_->meter.Charge(per_match_cpu)) return ExecResult::kAborted;
+        if (!guard_.valid() || cur_page_ != pid.page) {
+          guard_ = paged_->buffer()->Pin(pid);
+          cur_page_ = pid.page;
+        }
+      } else {
+        if (!ctx_->meter.Charge(per_match)) return ExecResult::kAborted;
+      }
+      ++next_;
       nc.tuples_scanned++;
-      for (int c = 0; c < table_->num_columns(); ++c) {
-        row_buf_[c] = table_->value(c, r);
+      if (paged_ != nullptr) {
+        const int slot = paged_->SlotOfRow(r);
+        for (int c = 0; c < static_cast<int>(row_buf_.size()); ++c) {
+          row_buf_[c] = paged_->ValueIn(guard_, slot, c);
+        }
+      } else {
+        for (int c = 0; c < table_->num_columns(); ++c) {
+          row_buf_[c] = table_->value(c, r);
+        }
       }
       if (!EvalAll(row_buf_, filters_)) continue;
       if (!ctx_->meter.Charge(p.cpu_tuple_cost)) return ExecResult::kAborted;
@@ -132,6 +218,7 @@ class IndexScanOp : public Operator {
       *out = row_buf_;
       return ExecResult::kRow;
     }
+    guard_ = storage::PageGuard();
     ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
     return ExecResult::kDone;
   }
@@ -140,10 +227,14 @@ class IndexScanOp : public Operator {
   const PlanNode* node_;
   ExecContext* ctx_;
   const DataTable* table_;
+  const storage::PagedTable* paged_;
+  int64_t nrows_;
   std::vector<BoundFilter> filters_;
   std::vector<uint32_t> matches_;
   size_t next_ = 0;
   bool descent_charged_ = false;
+  uint32_t cur_page_ = 0;  // page 0 is meta — never a data page
+  storage::PageGuard guard_;
   Row row_buf_;
 };
 
@@ -453,6 +544,9 @@ class IndexNLJoinOp : public Operator {
         residual_(std::move(residual)) {
     const std::string& tname = ctx->query->tables[inner_table_idx];
     inner_ = &ctx->db->table(tname);
+    paged_ = ctx->db->paged(tname);
+    inner_rows_ =
+        paged_ != nullptr ? paged_->num_rows() : inner_->num_rows();
     index_ = &ctx->db->hash_index(tname, inner_key_col_);
     schema_ = left_->schema();
     for (int c = 0; c < inner_->num_columns(); ++c) {
@@ -470,17 +564,51 @@ class IndexNLJoinOp : public Operator {
     const auto& p = ctx_->cost_model->params();
     const double descent =
         p.random_page_cost +
-        4.0 * p.cpu_operator_cost * std::log2(inner_->num_rows() + 2.0);
+        4.0 * p.cpu_operator_cost * std::log2(inner_rows_ + 2.0);
+    // Same split as IndexScanOp: on paged storage the random page access is
+    // its own buffer-pool-priced meter add; in memory the flat per-match
+    // sum is unchanged (FP grouping mirrored by the batch engine's tape).
     const double per_match =
         p.random_page_cost + p.cpu_index_tuple_cost +
+        (inner_filters_.size() + residual_.size()) * p.cpu_operator_cost;
+    const double per_match_cpu =
+        p.cpu_index_tuple_cost +
         (inner_filters_.size() + residual_.size()) * p.cpu_operator_cost;
 
     for (;;) {
       while (matches_ != nullptr && match_pos_ < matches_->size()) {
-        if (!ctx_->meter.Charge(per_match)) return ExecResult::kAborted;
-        const uint32_t r = (*matches_)[match_pos_++];
-        for (int c = 0; c < inner_->num_columns(); ++c) {
-          inner_buf_[c] = inner_->value(c, r);
+        // Peek — advance only after the charges landed (see IndexScanOp).
+        const uint32_t r = (*matches_)[match_pos_];
+        if (paged_ != nullptr) {
+          const storage::PageId pid = paged_->PageIdOfRow(r);
+          const bool hit = paged_->buffer()->Access(pid);
+          if (hit) {
+            ctx_->page_hits_charged++;
+          } else {
+            ctx_->page_reads_charged++;
+          }
+          if (!ctx_->meter.Charge(hit ? p.buffer_hit_page_cost
+                                      : p.random_page_cost)) {
+            return ExecResult::kAborted;
+          }
+          if (!ctx_->meter.Charge(per_match_cpu)) return ExecResult::kAborted;
+          if (!guard_.valid() || cur_page_ != pid.page) {
+            guard_ = paged_->buffer()->Pin(pid);
+            cur_page_ = pid.page;
+          }
+        } else {
+          if (!ctx_->meter.Charge(per_match)) return ExecResult::kAborted;
+        }
+        ++match_pos_;
+        if (paged_ != nullptr) {
+          const int slot = paged_->SlotOfRow(r);
+          for (int c = 0; c < static_cast<int>(inner_buf_.size()); ++c) {
+            inner_buf_[c] = paged_->ValueIn(guard_, slot, c);
+          }
+        } else {
+          for (int c = 0; c < inner_->num_columns(); ++c) {
+            inner_buf_[c] = inner_->value(c, r);
+          }
         }
         if (!EvalAll(inner_buf_, inner_filters_)) continue;
         Row combined = outer_row_;
@@ -501,6 +629,7 @@ class IndexNLJoinOp : public Operator {
       const ExecResult st = left_->Next(&outer_row_);
       if (st == ExecResult::kAborted) return ExecResult::kAborted;
       if (st == ExecResult::kDone) {
+        guard_ = storage::PageGuard();
         ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
         return ExecResult::kDone;
       }
@@ -521,9 +650,13 @@ class IndexNLJoinOp : public Operator {
   std::vector<BoundEquality> residual_;
 
   const DataTable* inner_;
+  const storage::PagedTable* paged_;
+  int64_t inner_rows_;
   const HashIndex* index_;
   Row outer_row_;
   Row inner_buf_;
+  uint32_t cur_page_ = 0;  // page 0 is meta — never a data page
+  storage::PageGuard guard_;
   const std::vector<uint32_t>* matches_ = nullptr;
   size_t match_pos_ = 0;
 };

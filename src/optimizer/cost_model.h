@@ -22,6 +22,10 @@ namespace bouquet {
 struct CostParams {
   double seq_page_cost = 1.0;
   double random_page_cost = 4.0;
+  /// Price of a page access that hits the buffer pool (paged storage).
+  /// Modeled on PostgreSQL's effective_cache_size discounting: a hit still
+  /// pays a small CPU fee for the lookup but skips the disk fetch entirely.
+  double buffer_hit_page_cost = 0.1;
   double cpu_tuple_cost = 0.01;
   double cpu_index_tuple_cost = 0.005;
   double cpu_operator_cost = 0.0025;

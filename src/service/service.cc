@@ -72,6 +72,14 @@ BouquetService::BouquetService(const Catalog& catalog, ServiceOptions options)
     ins_.queue_depth = m->GetGauge("service_queue_depth",
                                    "Tasks waiting in the service pool");
   }
+  // Disk-backed databases: route buffer-pool counters and page-fault spans
+  // to the same sinks as the service's own instruments.
+  if (options_.database != nullptr &&
+      options_.database->storage() != nullptr &&
+      (options_.metrics != nullptr || options_.tracer != nullptr)) {
+    options_.database->storage()->buffer()->SetObservability(
+        options_.metrics, options_.tracer);
+  }
 }
 
 BouquetService::InflightScope::InflightScope(BouquetService* s) : s_(s) {
@@ -560,6 +568,16 @@ ServiceStats BouquetService::stats() const {
   s.peak_inflight_requests = static_cast<uint64_t>(
       std::max<int64_t>(0, inflight_peak_.load(std::memory_order_relaxed)));
   s.queue_depth = pool_.queue_depth();
+  if (options_.database != nullptr &&
+      options_.database->storage() != nullptr) {
+    const storage::BufferStats b =
+        options_.database->storage()->buffer()->stats();
+    s.buffer_hits = b.hits;
+    s.buffer_misses = b.misses;
+    s.buffer_evictions = b.evictions;
+    s.buffer_writebacks = b.writebacks;
+    s.buffer_pinned_peak = b.pinned_peak;
+  }
   return s;
 }
 

@@ -146,6 +146,13 @@ struct ServiceStats {
   uint64_t inflight_requests = 0;
   uint64_t peak_inflight_requests = 0;
   uint64_t queue_depth = 0;
+  /// Buffer-pool counters, sampled at stats() time from the database's
+  /// StorageManager (all zero when the database is in-memory or absent).
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+  uint64_t buffer_evictions = 0;
+  uint64_t buffer_writebacks = 0;
+  uint64_t buffer_pinned_peak = 0;
 
   double CacheHitRate() const {
     return requests == 0 ? 0.0

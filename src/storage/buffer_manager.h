@@ -1,0 +1,218 @@
+// Buffer manager: pinned frames over page files, with pluggable eviction
+// (LRU and 2Q with a ghost queue) and replay-stable accounting.
+//
+// The design splits two concerns that are usually fused, because the batch
+// executor's metering-tape contract (executor/batch.h) demands it:
+//
+//   * The ACCOUNTING layer — Access() — is a deterministic eviction-policy
+//     simulation driven purely by the logical page-access sequence. It
+//     decides hit vs miss (what the cost meter charges: a buffer hit costs
+//     the CPU-discounted `buffer_hit_page_cost`, a miss a full page read)
+//     and maintains hit/miss/eviction statistics. It never consults pin
+//     state: pins at scalar access time and at batch replay time differ,
+//     and a pin-aware victim choice would make the two engines' charges
+//     diverge. The scalar engine calls Access() as it touches pages; the
+//     batch engine records page events on the tape and resolves them —
+//     through the same Access() — at replay, in the scalar engine's exact
+//     order, so hit/miss decisions are bit-identical across engines.
+//
+//   * The PHYSICAL layer — Pin()/Unpin() — owns the actual frames and the
+//     pread/pwrite traffic. Pin never fails and never waits for capacity:
+//     if the policy evicts a page that is still pinned, the frame becomes a
+//     "zombie" (non-resident but alive) reclaimed — with a writeback when
+//     dirty — at its last Unpin. Physical frame count can therefore
+//     overshoot the pool by at most the number of concurrent pins, which is
+//     how eviction starvation under all-pages-pinned stays observable
+//     (physical_frames() > pool) instead of deadlocking the thread pool.
+//
+// Frame invariant: a frame exists  ⟺  logically resident ∨ pinned. Pages
+// never Access()ed (index builds, spill temp pages) stay out of the policy
+// entirely: their frames exist only while pinned, so bulk maintenance work
+// cannot pollute the replacement state the executors' charges depend on.
+//
+// Thread-safety: one capability-annotated Mutex guards policy, frames, and
+// stats; disk I/O runs under it (coarse but TSan-clean — concurrent
+// executions serialize on faults, and accounting stays atomic with its
+// eviction side effects). Lock order: mu_ is acquired after any service/
+// driver-level lock and before PageFile::mu_ and the observability leaf
+// mutexes (tracer ring, histogram buckets).
+
+#ifndef BOUQUET_STORAGE_BUFFER_MANAGER_H_
+#define BOUQUET_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/synchronization.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace bouquet {
+namespace storage {
+
+enum class EvictionPolicyKind {
+  kNone,  ///< no caching: every access is a miss (the bench baseline)
+  kLru,
+  k2Q,
+};
+
+std::string EvictionPolicyName(EvictionPolicyKind kind);
+
+/// Cumulative counters (monotone except pinned_frames).
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;       ///< dirty frames written at evict/unpin
+  uint64_t physical_reads = 0;   ///< actual preads (faults)
+  uint64_t physical_writes = 0;  ///< actual pwrites
+  uint64_t ghost_hits = 0;       ///< 2Q A1out promotions (counted as misses)
+  uint64_t pinned_frames = 0;    ///< currently pinned (instantaneous)
+  uint64_t pinned_peak = 0;      ///< high-water mark of pinned_frames
+};
+
+class BufferManager;
+
+/// RAII pin handle. Movable; unpins (with the dirty flag) on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return bm_ != nullptr; }
+  PageId id() const { return id_; }
+  const uint8_t* data() const { return data_; }
+  /// Marks the frame dirty; bytes reach disk at eviction/last-unpin.
+  uint8_t* mutable_data() {
+    dirty_ = true;
+    return data_;
+  }
+
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageGuard(BufferManager* bm, PageId id, uint8_t* data)
+      : bm_(bm), id_(id), data_(data) {}
+
+  BufferManager* bm_ = nullptr;
+  PageId id_;
+  uint8_t* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+class BufferManager {
+ public:
+  BufferManager(size_t pool_pages, EvictionPolicyKind kind);
+  ~BufferManager();
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Registers a page file; the returned id names it in PageIds. The file
+  /// must outlive the manager or be dropped first.
+  uint16_t RegisterFile(PageFile* file) EXCLUDES(mu_);
+
+  /// Unregisters a file and discards its frames (dirty pages of a dropped
+  /// file are NOT written back — used for temp spill segments). Any
+  /// still-pinned frame of the file is a caller bug (asserted in debug).
+  void DropFile(uint16_t file_id) EXCLUDES(mu_);
+
+  /// ACCOUNTING: records one logical access and returns hit (true) or miss
+  /// (false). Drives the eviction policy; never performs I/O by itself.
+  bool Access(PageId id) EXCLUDES(mu_);
+
+  /// PHYSICAL: pins the page, faulting it from disk when no frame exists.
+  /// Never fails for capacity reasons (see header comment); I/O errors
+  /// return an invalid guard (callers treat the table as unreadable).
+  PageGuard Pin(PageId id) EXCLUDES(mu_);
+
+  /// PHYSICAL: pins a fresh all-zero frame for a page that will be written
+  /// (temp spill pages); no disk read, frame starts dirty.
+  PageGuard PinNew(PageId id) EXCLUDES(mu_);
+
+  BufferStats stats() const EXCLUDES(mu_);
+  size_t pool_pages() const { return pool_pages_; }
+  EvictionPolicyKind policy_kind() const { return kind_; }
+  /// Frames currently alive (resident + pinned-only); > pool_pages() means
+  /// eviction is starved by pins.
+  size_t physical_frames() const EXCLUDES(mu_);
+
+  /// Drops every unpinned frame, clears the policy state and statistics.
+  /// The differential harness calls this before every run so both engines
+  /// start from an identical (cold) replacement state.
+  void ResetForTest() EXCLUDES(mu_);
+
+  /// Optional sinks: buffer_* counters/gauges move at event time, and every
+  /// physical read emits a "storage.page_fault" span.
+  void SetObservability(obs::MetricsRegistry* metrics, obs::Tracer* tracer)
+      EXCLUDES(mu_);
+
+ private:
+  struct Frame {
+    std::unique_ptr<uint8_t[]> data;
+    int pins = 0;
+    bool dirty = false;
+    bool resident = false;  ///< mirrors policy residency
+  };
+
+  // Pure replacement-policy simulation state. Keys are PageId::key().
+  // Entries are resident pages; `where` locates a key's list node. The 2Q
+  // ghost queue (A1out) holds evicted ids only — never frames.
+  struct PolicyState {
+    std::list<uint64_t> lru;                  // kLru: MRU at front
+    std::list<uint64_t> a1in;                 // k2Q: FIFO, newest at front
+    std::list<uint64_t> a1out;                // k2Q: ghost ids, newest front
+    std::list<uint64_t> am;                   // k2Q: hot LRU, MRU at front
+    std::unordered_map<uint64_t, std::pair<int, std::list<uint64_t>::iterator>>
+        where;  // queue tag (0=lru/a1in, 1=am, 2=a1out) + node
+  };
+
+  bool AccessLocked(uint64_t key, std::vector<uint64_t>* evicted)
+      REQUIRES(mu_);
+  void ReclaimLocked(std::vector<uint64_t>* evicted) REQUIRES(mu_);
+  void EvictLocked(uint64_t key) REQUIRES(mu_);
+  void FreeFrameLocked(uint64_t key, Frame* f) REQUIRES(mu_);
+  void WritebackLocked(uint64_t key, Frame* f) REQUIRES(mu_);
+  void Unpin(PageId id, bool dirty) EXCLUDES(mu_);
+  bool PolicyContainsLocked(uint64_t key) const REQUIRES(mu_);
+
+  friend class PageGuard;
+
+  const size_t pool_pages_;
+  const EvictionPolicyKind kind_;
+  const size_t kin_;   // 2Q: A1in capacity  (max(1, pool/4))
+  const size_t kout_;  // 2Q: A1out capacity (max(1, pool/2))
+
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, Frame> frames_ GUARDED_BY(mu_);
+  std::unordered_map<uint16_t, PageFile*> files_ GUARDED_BY(mu_);
+  uint16_t next_file_id_ GUARDED_BY(mu_) = 1;
+  PolicyState policy_ GUARDED_BY(mu_);
+  BufferStats stats_ GUARDED_BY(mu_);
+
+  // Observability (set once, read under mu_ on the fault path).
+  obs::MetricsRegistry* metrics_ GUARDED_BY(mu_) = nullptr;
+  obs::Tracer* tracer_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* ctr_hits_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* ctr_misses_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* ctr_evictions_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* ctr_writebacks_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* ctr_reads_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* ctr_writes_ GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* g_pinned_ GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace storage
+}  // namespace bouquet
+
+#endif  // BOUQUET_STORAGE_BUFFER_MANAGER_H_

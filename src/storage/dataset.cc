@@ -1,0 +1,92 @@
+#include "storage/dataset.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "storage/datagen.h"
+#include "storage/paged_table.h"
+
+namespace bouquet {
+namespace storage {
+
+namespace {
+
+// Per-table Rng stream so generation order does not matter.
+uint64_t TableSeed(const DatasetSpec& spec, int table_index) {
+  return spec.seed ^ (0x9E3779B97F4A7C15ULL *
+                      static_cast<uint64_t>(table_index + 1));
+}
+
+}  // namespace
+
+std::vector<std::string> DatasetTableNames(const DatasetSpec& spec) {
+  std::vector<std::string> names;
+  names.push_back("fact");
+  for (int i = 1; i < spec.num_tables; ++i) {
+    names.push_back(StrPrintf("dim%d", i));
+  }
+  return names;
+}
+
+DataTable GenerateDatasetTable(const DatasetSpec& spec, int table_index) {
+  const std::vector<std::string> names = DatasetTableNames(spec);
+  const int64_t dim_n = spec.dim_rows > 0 ? spec.dim_rows
+                                          : spec.rows_per_table;
+  const int64_t n = table_index == 0 ? spec.rows_per_table : dim_n;
+  Rng rng(TableSeed(spec, table_index));
+
+  std::vector<std::string> cols;
+  cols.push_back("pk");
+  if (table_index == 0) {
+    for (int i = 1; i < spec.num_tables; ++i) {
+      cols.push_back(StrPrintf("fk%d", i));
+    }
+  }
+  for (int c = 0; c < spec.data_columns; ++c) {
+    cols.push_back(StrPrintf("c%d", c));
+  }
+
+  DataTable table(names[table_index], cols);
+  int col = 0;
+  table.mutable_column(col++) = datagen::Sequential(n, 1);
+  if (table_index == 0) {
+    // Every dimension uses sequential pks from 1, so fk generation does not
+    // need the dimension tables materialized.
+    const std::vector<int64_t> parent = datagen::Sequential(dim_n, 1);
+    for (int i = 1; i < spec.num_tables; ++i) {
+      table.mutable_column(col++) = datagen::ForeignKey(&rng, n, parent);
+    }
+  }
+  for (int c = 0; c < spec.data_columns; ++c) {
+    table.mutable_column(col++) =
+        datagen::Zipf(&rng, n, spec.value_domain, spec.zipf_theta);
+  }
+  table.FinalizeBulkLoad();
+  return table;
+}
+
+Status WriteOnDiskDataset(const std::string& data_dir,
+                          const DatasetSpec& spec) {
+  if (spec.num_tables < 1 || spec.rows_per_table < 1) {
+    return Status::InvalidArgument("dataset spec needs >=1 table and row");
+  }
+  if (::mkdir(data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal(StrPrintf("mkdir %s: %s", data_dir.c_str(),
+                                      std::strerror(errno)));
+  }
+  const std::vector<std::string> names = DatasetTableNames(spec);
+  for (int i = 0; i < spec.num_tables; ++i) {
+    const DataTable table = GenerateDatasetTable(spec, i);
+    Status s = WriteTableFile(data_dir + "/" + names[i] + ".btbl", table);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace bouquet

@@ -1,0 +1,57 @@
+// Seeded on-disk dataset writer for the paged-storage layer.
+//
+// Composes the datagen column primitives into a star-schema dataset (one
+// fact table with foreign keys into N-1 dimension tables, plus Zipf-skewed
+// data columns for range predicates) and writes it through the
+// deterministic .btbl writer (storage/paged_table.h). Generation is a pure
+// function of the spec, so bench_storage runs and the storage tests see
+// byte-identical files for the same seed — the on-disk twin of
+// testing/generators.h.
+
+#ifndef BOUQUET_STORAGE_DATASET_H_
+#define BOUQUET_STORAGE_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace bouquet {
+namespace storage {
+
+/// Knobs for one generated dataset. Table 0 is the fact table
+/// ("fact": pk, fk1..fk_{num_tables-1}, c0..); tables 1.. are dimensions
+/// ("dim<i>": pk, c0..). pk is sequential from 1, fk_i references dim<i>'s
+/// pk domain uniformly, data columns are Zipf-skewed over [1, value_domain].
+struct DatasetSpec {
+  uint64_t seed = 0xB0D1E5;
+  int num_tables = 2;            ///< fact + (num_tables - 1) dimensions
+  int64_t rows_per_table = 4096;
+  /// Dimension-table row count; 0 means rows_per_table. Lets benchmarks
+  /// size the one-shot-scan tables independently of the fact table.
+  int64_t dim_rows = 0;
+  int data_columns = 2;          ///< per table, beyond pk/fk
+  double zipf_theta = 0.6;       ///< skew of data columns (0 = uniform)
+  int64_t value_domain = 1000;   ///< data-column value range [1, domain]
+};
+
+/// Table names in generation order: {"fact", "dim1", ...}.
+std::vector<std::string> DatasetTableNames(const DatasetSpec& spec);
+
+/// Generates table `table_index` of the dataset in memory. Deterministic
+/// in (spec, table_index) — each table draws from its own derived Rng
+/// stream, so tables can be generated independently and in any order.
+DataTable GenerateDatasetTable(const DatasetSpec& spec, int table_index);
+
+/// Generates every table and writes <data_dir>/<name>.btbl, creating
+/// data_dir if needed. A StorageManager with the same data_dir then serves
+/// the dataset via OpenTable.
+Status WriteOnDiskDataset(const std::string& data_dir,
+                          const DatasetSpec& spec);
+
+}  // namespace storage
+}  // namespace bouquet
+
+#endif  // BOUQUET_STORAGE_DATASET_H_

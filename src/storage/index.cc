@@ -8,9 +8,8 @@ namespace bouquet {
 
 const std::vector<uint32_t> HashIndex::kEmpty;
 
-HashIndex HashIndex::Build(const DataTable& table, int col) {
+HashIndex HashIndex::BuildFromValues(const std::vector<int64_t>& values) {
   HashIndex idx;
-  const auto& values = table.column(col);
   idx.map_.reserve(values.size());
   for (size_t r = 0; r < values.size(); ++r) {
     idx.map_[values[r]].push_back(static_cast<uint32_t>(r));
@@ -18,14 +17,17 @@ HashIndex HashIndex::Build(const DataTable& table, int col) {
   return idx;
 }
 
+HashIndex HashIndex::Build(const DataTable& table, int col) {
+  return BuildFromValues(table.column(col));
+}
+
 const std::vector<uint32_t>& HashIndex::Lookup(int64_t key) const {
   auto it = map_.find(key);
   return it == map_.end() ? kEmpty : it->second;
 }
 
-SortedIndex SortedIndex::Build(const DataTable& table, int col) {
+SortedIndex SortedIndex::BuildFromValues(const std::vector<int64_t>& values) {
   SortedIndex idx;
-  const auto& values = table.column(col);
   std::vector<uint32_t> order(values.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
@@ -37,6 +39,10 @@ SortedIndex SortedIndex::Build(const DataTable& table, int col) {
     idx.values_[i] = values[order[i]];
   }
   return idx;
+}
+
+SortedIndex SortedIndex::Build(const DataTable& table, int col) {
+  return BuildFromValues(table.column(col));
 }
 
 std::vector<uint32_t> SortedIndex::Range(int64_t lo, int64_t hi) const {
@@ -59,6 +65,8 @@ Database::Database(Database&& other) noexcept {
   WriterMutexLock self(&index_mu_);
   WriterMutexLock theirs(&other.index_mu_);
   tables_ = std::move(other.tables_);
+  storage_ = other.storage_;
+  paged_ = std::move(other.paged_);
   hash_indexes_ = std::move(other.hash_indexes_);
   sorted_indexes_ = std::move(other.sorted_indexes_);
 }
@@ -70,6 +78,8 @@ Database& Database::operator=(Database&& other) noexcept {
   WriterMutexLock self(&index_mu_);
   WriterMutexLock theirs(&other.index_mu_);
   tables_ = std::move(other.tables_);
+  storage_ = other.storage_;
+  paged_ = std::move(other.paged_);
   hash_indexes_ = std::move(other.hash_indexes_);
   sorted_indexes_ = std::move(other.sorted_indexes_);
   return *this;
@@ -97,6 +107,27 @@ DataTable* Database::AddTable(DataTable table) {
   }
   tables_.push_back(std::make_unique<DataTable>(std::move(table)));
   return tables_.back().get();
+}
+
+void Database::AttachStorage(storage::StorageManager* sm) {
+  storage_ = sm;
+  for (const storage::PagedTable* pt : sm->tables()) {
+    paged_[pt->name()] = pt;
+    // Zero-row schema shell: every ColumnIndex-driven binding path in the
+    // planners and executors resolves names against tables_; row data and
+    // counts come from the paged view.
+    std::vector<std::string> cols;
+    cols.reserve(pt->num_columns());
+    for (int c = 0; c < pt->num_columns(); ++c) {
+      cols.push_back(pt->column_name(c));
+    }
+    AddTable(DataTable(pt->name(), std::move(cols)));
+  }
+}
+
+const storage::PagedTable* Database::paged(const std::string& name) const {
+  auto it = paged_.find(name);
+  return it == paged_.end() ? nullptr : it->second;
 }
 
 bool Database::HasTable(const std::string& name) const {
@@ -128,9 +159,11 @@ const HashIndex& Database::hash_index(const std::string& table_name,
   WriterMutexLock lock(&index_mu_);
   auto it = hash_indexes_.find(key);  // re-check: another writer may have won
   if (it == hash_indexes_.end()) {
+    const storage::PagedTable* pt = paged(table_name);
+    HashIndex built = pt ? HashIndex::BuildFromValues(pt->ReadColumn(col))
+                         : HashIndex::Build(table(table_name), col);
     it = hash_indexes_
-             .emplace(key, std::make_unique<HashIndex>(
-                               HashIndex::Build(table(table_name), col)))
+             .emplace(key, std::make_unique<HashIndex>(std::move(built)))
              .first;
   }
   return *it->second;
@@ -148,9 +181,11 @@ const SortedIndex& Database::sorted_index(const std::string& table_name,
   WriterMutexLock lock(&index_mu_);
   auto it = sorted_indexes_.find(key);
   if (it == sorted_indexes_.end()) {
+    const storage::PagedTable* pt = paged(table_name);
+    SortedIndex built = pt ? SortedIndex::BuildFromValues(pt->ReadColumn(col))
+                           : SortedIndex::Build(table(table_name), col);
     it = sorted_indexes_
-             .emplace(key, std::make_unique<SortedIndex>(
-                               SortedIndex::Build(table(table_name), col)))
+             .emplace(key, std::make_unique<SortedIndex>(std::move(built)))
              .first;
   }
   return *it->second;
@@ -159,8 +194,16 @@ const SortedIndex& Database::sorted_index(const std::string& table_name,
 void Database::SyncCatalog(Catalog* catalog, double default_width_bytes,
                            int histogram_buckets) const {
   for (const auto& t : tables_) {
-    t->SyncCatalog(catalog, default_width_bytes, /*indexed=*/true,
-                   histogram_buckets);
+    const storage::PagedTable* pt = paged(t->name());
+    if (pt != nullptr) {
+      // The shell is zero-row; real stats stream from disk through the
+      // buffer pool (transient unaccounted pins).
+      pt->SyncCatalog(catalog, default_width_bytes, /*indexed=*/true,
+                      histogram_buckets);
+    } else {
+      t->SyncCatalog(catalog, default_width_bytes, /*indexed=*/true,
+                     histogram_buckets);
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/synchronization.h"
+#include "storage/paged_table.h"
 #include "storage/table.h"
 
 namespace bouquet {
@@ -24,6 +25,9 @@ namespace bouquet {
 class HashIndex {
  public:
   static HashIndex Build(const DataTable& table, int col);
+  /// From a materialized column (paged tables stream columns through the
+  /// buffer pool with ReadColumn and build from the values).
+  static HashIndex BuildFromValues(const std::vector<int64_t>& values);
 
   /// Row ids with the given key (empty vector when absent).
   const std::vector<uint32_t>& Lookup(int64_t key) const;
@@ -37,6 +41,7 @@ class HashIndex {
 class SortedIndex {
  public:
   static SortedIndex Build(const DataTable& table, int col);
+  static SortedIndex BuildFromValues(const std::vector<int64_t>& values);
 
   /// Row ids of rows with lo <= value <= hi, in value order.
   std::vector<uint32_t> Range(int64_t lo, int64_t hi) const;
@@ -73,6 +78,19 @@ class Database {
   /// Adds (or replaces) a table; returns a stable pointer.
   DataTable* AddTable(DataTable table);
 
+  /// Attaches disk-backed storage (borrowed; must outlive the Database) and
+  /// registers every table it has open: data resolves through the buffer
+  /// pool via `paged()`, while a zero-row schema shell enters `tables_` so
+  /// every column-binding path works unchanged. Load-time only, like
+  /// AddTable. Index builds over paged tables stream their column through
+  /// transient unaccounted pins (buffer_manager.h), so maintenance work
+  /// never perturbs the replacement state the executors charge against.
+  void AttachStorage(storage::StorageManager* sm);
+  storage::StorageManager* storage() const { return storage_; }
+
+  /// The paged view of `name`, or nullptr when the table is in-memory.
+  const storage::PagedTable* paged(const std::string& name) const;
+
   bool HasTable(const std::string& name) const;
   const DataTable& table(const std::string& name) const;
 
@@ -94,6 +112,9 @@ class Database {
   mutable SharedMutex index_mu_;
   // Deque-like stability via unique_ptr.
   std::vector<std::unique_ptr<DataTable>> tables_;
+  // Disk-backed tables (read-only after AttachStorage, like tables_).
+  storage::StorageManager* storage_ = nullptr;
+  std::map<std::string, const storage::PagedTable*> paged_;
   std::map<std::pair<std::string, int>, std::unique_ptr<HashIndex>>
       hash_indexes_ GUARDED_BY(index_mu_);
   std::map<std::pair<std::string, int>, std::unique_ptr<SortedIndex>>

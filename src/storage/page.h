@@ -1,0 +1,156 @@
+// Slotted 8 KB pages: the on-disk unit every cost the bouquet machinery
+// reasons about is denominated in.
+//
+// Layout (little-endian, deterministic: pages are zero-filled before any
+// write, so the same insert sequence produces byte-identical pages):
+//
+//   [0..16)   PageHeader {magic, page_no, num_slots, free_start, free_end,
+//             flags}
+//   [16..)    slot directory, growing up: one Slot{offset, length} per
+//             record
+//   [..8192)  record heap, growing down from the page end
+//
+// Records are opaque byte strings; the table layer stores one fixed-width
+// row (num_columns * 8 bytes, values little-endian) per record, and the
+// spill path reuses the same format for temp pages. A SlottedPage is a
+// non-owning view over a frame buffer handed out by the buffer manager.
+
+#ifndef BOUQUET_STORAGE_PAGE_H_
+#define BOUQUET_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace bouquet {
+namespace storage {
+
+inline constexpr size_t kPageSize = 8192;
+inline constexpr uint32_t kPageMagic = 0x42515047;  // "BQPG"
+
+/// Identity of one page: which registered file, which page within it.
+struct PageId {
+  uint16_t file = 0;
+  uint32_t page = 0;
+
+  uint64_t key() const {
+    return (static_cast<uint64_t>(file) << 32) | page;
+  }
+  friend bool operator==(const PageId& a, const PageId& b) {
+    return a.file == b.file && a.page == b.page;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    // SplitMix64 finalizer over the packed key; good avalanche for the
+    // frame table's open hashing.
+    uint64_t x = id.key() + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+#pragma pack(push, 1)
+struct PageHeader {
+  uint32_t magic = kPageMagic;
+  uint32_t page_no = 0;
+  uint16_t num_slots = 0;
+  uint16_t free_start = 0;  ///< first free byte above the slot directory
+  uint16_t free_end = 0;    ///< one past the last free byte below the heap
+  uint16_t flags = 0;
+};
+
+struct PageSlot {
+  uint16_t offset = 0;
+  uint16_t length = 0;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(PageHeader) == 16, "page header must be 16 bytes");
+static_assert(sizeof(PageSlot) == 4, "slot entry must be 4 bytes");
+
+/// Non-owning slotted-page view over one kPageSize frame buffer.
+class SlottedPage {
+ public:
+  explicit SlottedPage(uint8_t* frame) : frame_(frame) {}
+
+  PageHeader* header() { return reinterpret_cast<PageHeader*>(frame_); }
+  const PageHeader* header() const {
+    return reinterpret_cast<const PageHeader*>(frame_);
+  }
+
+  /// Zero-fills the frame and writes a fresh header — the determinism
+  /// anchor: every byte of a page is defined before it reaches disk.
+  void Init(uint32_t page_no) {
+    std::memset(frame_, 0, kPageSize);
+    PageHeader* h = header();
+    h->magic = kPageMagic;
+    h->page_no = page_no;
+    h->num_slots = 0;
+    h->free_start = sizeof(PageHeader);
+    h->free_end = static_cast<uint16_t>(kPageSize);
+  }
+
+  bool valid() const { return header()->magic == kPageMagic; }
+  int num_records() const { return header()->num_slots; }
+
+  size_t free_bytes() const {
+    const PageHeader* h = header();
+    return h->free_end > h->free_start
+               ? static_cast<size_t>(h->free_end - h->free_start)
+               : 0;
+  }
+
+  /// True when a record of `length` bytes (plus its slot entry) fits.
+  bool Fits(size_t length) const {
+    return free_bytes() >= length + sizeof(PageSlot);
+  }
+
+  /// Appends a record; returns its slot id, or -1 when it does not fit.
+  int Insert(const uint8_t* data, size_t length) {
+    if (!Fits(length)) return -1;
+    PageHeader* h = header();
+    const int slot_id = h->num_slots;
+    h->free_end = static_cast<uint16_t>(h->free_end - length);
+    PageSlot* slot = SlotAt(slot_id);
+    slot->offset = h->free_end;
+    slot->length = static_cast<uint16_t>(length);
+    std::memcpy(frame_ + slot->offset, data, length);
+    h->num_slots++;
+    h->free_start = static_cast<uint16_t>(h->free_start + sizeof(PageSlot));
+    return slot_id;
+  }
+
+  /// Record bytes for a slot (no bounds check beyond the slot count; a
+  /// negative or past-the-end slot returns nullptr).
+  const uint8_t* Record(int slot_id, size_t* length) const {
+    if (slot_id < 0 || slot_id >= num_records()) return nullptr;
+    const PageSlot* slot = SlotAt(slot_id);
+    if (length != nullptr) *length = slot->length;
+    return frame_ + slot->offset;
+  }
+
+  /// Rows-per-page capacity for fixed-width records of `record_bytes`.
+  static int Capacity(size_t record_bytes) {
+    return static_cast<int>((kPageSize - sizeof(PageHeader)) /
+                            (record_bytes + sizeof(PageSlot)));
+  }
+
+ private:
+  PageSlot* SlotAt(int i) {
+    return reinterpret_cast<PageSlot*>(frame_ + sizeof(PageHeader)) + i;
+  }
+  const PageSlot* SlotAt(int i) const {
+    return reinterpret_cast<const PageSlot*>(frame_ + sizeof(PageHeader)) + i;
+  }
+
+  uint8_t* frame_;
+};
+
+}  // namespace storage
+}  // namespace bouquet
+
+#endif  // BOUQUET_STORAGE_PAGE_H_

@@ -1,0 +1,68 @@
+// Page-granular file I/O: the physical layer under the buffer manager.
+//
+// A PageFile is a flat array of kPageSize pages addressed by page number,
+// read and written with pread/pwrite so concurrent reactor threads never
+// share a file offset. Allocation is append-only (AllocatePage), matching
+// the deterministic table writer: a table file's bytes are a pure function
+// of the rows written into it.
+//
+// Thread-safety: ReadPage/WritePage are positional and lock-free;
+// AllocatePage and num_pages() serialize on a leaf Mutex.
+
+#ifndef BOUQUET_STORAGE_PAGE_FILE_H_
+#define BOUQUET_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "storage/page.h"
+
+namespace bouquet {
+namespace storage {
+
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens an existing page file; fails unless the size is a whole number
+  /// of pages.
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path);
+
+  /// Creates (truncating any previous content) an empty page file.
+  static Result<std::unique_ptr<PageFile>> Create(const std::string& path);
+
+  /// Reads page `page_no` into `frame` (kPageSize bytes).
+  Status ReadPage(uint32_t page_no, uint8_t* frame) const;
+
+  /// Writes `frame` to page `page_no`; the page must be allocated.
+  Status WritePage(uint32_t page_no, const uint8_t* frame);
+
+  /// Extends the file by one zero page; returns the new page number.
+  Result<uint32_t> AllocatePage() EXCLUDES(mu_);
+
+  uint32_t num_pages() const EXCLUDES(mu_);
+  const std::string& path() const { return path_; }
+
+  /// fsync; the benches skip it, the writer calls it once per table.
+  Status Sync();
+
+  /// Closes and deletes the file (temp spill segments).
+  Status CloseAndRemove();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  mutable Mutex mu_;
+  uint32_t num_pages_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace storage
+}  // namespace bouquet
+
+#endif  // BOUQUET_STORAGE_PAGE_FILE_H_

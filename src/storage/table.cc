@@ -38,10 +38,9 @@ void DataTable::FinalizeBulkLoad() {
   }
 }
 
-ColumnStats DataTable::ComputeColumnStats(int col,
-                                          int histogram_buckets) const {
+ColumnStats ComputeColumnStatsFromValues(const std::vector<int64_t>& values,
+                                         int histogram_buckets) {
   ColumnStats stats;
-  const auto& values = columns_[col];
   if (values.empty()) return stats;
   std::unordered_set<int64_t> distinct;
   distinct.reserve(values.size());
@@ -57,6 +56,11 @@ ColumnStats DataTable::ComputeColumnStats(int col,
   stats.max_value = mx;
   stats.histogram = Histogram::Build(values, histogram_buckets);
   return stats;
+}
+
+ColumnStats DataTable::ComputeColumnStats(int col,
+                                          int histogram_buckets) const {
+  return ComputeColumnStatsFromValues(columns_[col], histogram_buckets);
 }
 
 void DataTable::SyncCatalog(Catalog* catalog, double row_width_bytes,

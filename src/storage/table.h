@@ -18,6 +18,12 @@
 
 namespace bouquet {
 
+/// Statistics (ndv/min/max/histogram) over a materialized column — shared
+/// by DataTable::ComputeColumnStats and the paged tables' streamed
+/// catalog sync (storage/paged_table.h).
+ColumnStats ComputeColumnStatsFromValues(const std::vector<int64_t>& values,
+                                         int histogram_buckets = 64);
+
 /// A named, fixed-schema, append-only columnar table.
 class DataTable {
  public:

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -191,6 +192,11 @@ struct RunSnap {
   bool build_failed = false;
   int64_t rows_emitted = 0;
   double charged = 0.0;
+  int64_t page_reads = 0;
+  int64_t page_hits = 0;
+  /// Non-empty when the run's charged page counters diverged from the
+  /// buffer manager's miss/hit counters (paged runs only).
+  std::string accounting;
   std::vector<Row> rows;
   std::vector<NodeSnap> nodes;
 };
@@ -205,6 +211,12 @@ RunSnap RunOne(ExecEngine engine, const PlanNode& root, ExecDataset* ds,
   ctx.cost_model = cm;
   ctx.batch_size = batch_size;
 
+  // Paged runs: identical cold replacement state for every run, so the
+  // scalar oracle and the batch replay face the same hit/miss sequence.
+  storage::BufferManager* bm =
+      ds->db.storage() != nullptr ? ds->db.storage()->buffer() : nullptr;
+  if (bm != nullptr) bm->ResetForTest();
+
   RunSnap s;
   const ExecutionOutcome out =
       spill ? ExecuteSpilledWith(engine, root, &ctx, budget)
@@ -213,6 +225,24 @@ RunSnap RunOne(ExecEngine engine, const PlanNode& root, ExecDataset* ds,
   s.build_failed = out.build_failed;
   s.rows_emitted = out.rows_emitted;
   s.charged = out.cost_charged;
+  s.page_reads = out.page_reads;
+  s.page_hits = out.page_hits;
+  if (bm != nullptr) {
+    // Accounting oracle: what the meter charged as page I/O must be exactly
+    // what the replacement simulation decided. Index builds, spills, and
+    // maintenance reads never call Access(), so any drift here is a bug in
+    // the hot path's charge placement.
+    const storage::BufferStats bs = bm->stats();
+    if (bs.misses != static_cast<uint64_t>(out.page_reads) ||
+        bs.hits != static_cast<uint64_t>(out.page_hits)) {
+      s.accounting = StrPrintf(
+          "charged reads/hits %lld/%lld vs buffer misses/hits %llu/%llu",
+          static_cast<long long>(out.page_reads),
+          static_cast<long long>(out.page_hits),
+          static_cast<unsigned long long>(bs.misses),
+          static_cast<unsigned long long>(bs.hits));
+    }
+  }
   for (const PlanNode* n : CollectNodes(root)) {
     const NodeCounters* nc = ctx.instr.Find(n);
     NodeSnap ns;
@@ -230,6 +260,20 @@ RunSnap RunOne(ExecEngine engine, const PlanNode& root, ExecDataset* ds,
 // First divergence between a scalar-oracle snapshot and a batch snapshot,
 // or "" when they agree everywhere. `charged` is compared bit-exact.
 std::string CompareSnaps(const RunSnap& oracle, const RunSnap& batch) {
+  if (!oracle.accounting.empty()) {
+    return "scalar accounting: " + oracle.accounting;
+  }
+  if (!batch.accounting.empty()) {
+    return "batch accounting: " + batch.accounting;
+  }
+  if (oracle.page_reads != batch.page_reads ||
+      oracle.page_hits != batch.page_hits) {
+    return StrPrintf("page reads/hits %lld/%lld vs %lld/%lld",
+                     static_cast<long long>(oracle.page_reads),
+                     static_cast<long long>(oracle.page_hits),
+                     static_cast<long long>(batch.page_reads),
+                     static_cast<long long>(batch.page_hits));
+  }
   if (oracle.build_failed != batch.build_failed) {
     return StrPrintf("build_failed %d vs %d", static_cast<int>(oracle.build_failed),
                      static_cast<int>(batch.build_failed));
@@ -283,6 +327,31 @@ ExecDiffResult CheckExecDifferential(const FuzzInstance& instance,
                                      const ExecDifferentialOptions& options) {
   ExecDiffResult r;
   ExecDataset ds = MaterializeInstance(instance, options.max_rows_per_table);
+
+  // Paged mode: re-home the materialized tables onto disk-backed slotted
+  // pages behind a buffer pool. The catalog (already synced from identical
+  // data) and bound constants carry over unchanged.
+  std::unique_ptr<storage::StorageManager> sm;
+  if (!options.paged_data_dir.empty()) {
+    storage::StorageOptions so;
+    so.data_dir = options.paged_data_dir;
+    so.pool_pages = options.paged_pool_pages;
+    so.policy = options.paged_policy;
+    sm = std::make_unique<storage::StorageManager>(so);
+    for (const std::string& name : ds.query.tables) {
+      auto imported = sm->ImportTable(ds.db.table(name));
+      if (!imported.ok()) {
+        r.ok = false;
+        r.detail = StrPrintf("paged import of %s failed: %s", name.c_str(),
+                             imported.status().message().c_str());
+        return r;
+      }
+    }
+    Database paged_db;
+    paged_db.AttachStorage(sm.get());
+    ds.db = std::move(paged_db);
+  }
+
   const CostModel cm(instance.cost_params);
   QueryOptimizer opt(ds.query, ds.catalog, instance.cost_params);
 

@@ -66,6 +66,16 @@ struct ExecDifferentialOptions {
   /// Also differential-test spill-mode subtree executions for every error
   /// dimension whose predicate node exists in the plan.
   bool check_spill = true;
+  /// When non-empty, the materialized tables are imported into disk-backed
+  /// .btbl files under this directory and both engines execute over paged
+  /// storage (pool/policy below). Every run starts from
+  /// BufferManager::ResetForTest() so both engines replay against an
+  /// identical cold pool, and an accounting oracle asserts that the charged
+  /// page reads/hits of each run equal the buffer manager's miss/hit
+  /// counters exactly (the property the I/O-charged MSO costs rest on).
+  std::string paged_data_dir;
+  size_t paged_pool_pages = 16;
+  storage::EvictionPolicyKind paged_policy = storage::EvictionPolicyKind::k2Q;
 };
 
 /// Outcome of one differential check.
