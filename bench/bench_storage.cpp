@@ -207,15 +207,6 @@ Totals RunScanMix(Session* s, ExecEngine engine) {
   return t;
 }
 
-const char* PolicyName(storage::EvictionPolicyKind policy) {
-  switch (policy) {
-    case storage::EvictionPolicyKind::kNone: return "nocache";
-    case storage::EvictionPolicyKind::kLru: return "lru";
-    case storage::EvictionPolicyKind::k2Q: return "2q";
-  }
-  return "?";
-}
-
 struct BenchReport {
   // reexec, per policy.
   Totals re_none, re_lru, re_2q;

@@ -2,18 +2,29 @@
 # Static-analysis gate, runnable locally and in CI with the same config.
 #
 #   scripts/run_static_analysis.sh [--strict] [--build-dir DIR]
-#                                  [--skip clang-tidy|cppcheck|thread-safety]
+#                                  [--skip clang-tidy|cppcheck|thread-safety|lint]
 #
-# Three passes over src/:
+# Four passes:
 #   clang-tidy     — .clang-tidy config (bugprone/concurrency/performance/
-#                    misc-const-correctness), zero findings required.
-#   cppcheck       — warning+portability+performance, zero findings required.
+#                    misc-const-correctness) over src/, tests/, bench/, and
+#                    examples/, zero findings required.
+#   cppcheck       — warning+portability+performance over the same scope,
+#                    zero findings required.
 #   thread-safety  — full Clang build with BOUQUET_THREAD_SAFETY=ON
 #                    (-Werror=thread-safety); configuring it also runs the
 #                    tests/static/ negative-compilation probe gate.
+#   lint           — the bouquet-* domain checks (tools/lint/): fixture
+#                    self-test (every check fires on its negative fixture,
+#                    escapes hold on the control) then a zero-findings sweep
+#                    over src/. Runs the portable python engine always; when
+#                    the clang-tidy plugin was built (CI installs the Clang
+#                    dev headers), additionally loads it into clang-tidy and
+#                    re-runs the bouquet-* checks AST-accurately.
 #
 # Default mode skips a pass whose tool is not installed (local dev boxes);
 # --strict (used by CI) fails instead, so CI can never silently lose a pass.
+# python3 is required for the lint pass even without --strict: it is the
+# engine of record for the bouquet-* checks, not an optional extra.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,17 +54,24 @@ missing_tool() {
   fi
 }
 
-# Sources the gate covers: the library proper. Tests/benches/examples are
-# exercised by -Wall -Wextra and the sanitizer jobs instead.
-mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+# Sources the gate covers: the library proper plus the tests, benches, and
+# examples that ship with it. tests/static/ is excluded — its probes and
+# lint fixtures are DELIBERATE violations compiled outside the build graph
+# (they have no compile_commands entries, and linting them would demand
+# "fixing" code whose entire job is to be wrong).
+mapfile -t SOURCES < <(find src tests bench examples \
+                         \( -name '*.cc' -o -name '*.cpp' \) \
+                         -not -path 'tests/static/*' | sort)
+# The bouquet-* plugin sweep mirrors the portable engine's scope: src only.
+mapfile -t LINT_SOURCES < <(find src -name '*.cc' | sort)
 
 # --- compile database ------------------------------------------------------
 # CMAKE_EXPORT_COMPILE_COMMANDS is always ON (top-level CMakeLists), so any
 # configured build dir works; make a dedicated one to keep flags canonical.
+# Benchmarks/examples stay ON so their sources appear in the database.
 if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
   mkdir -p "$BUILD_DIR"
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DBOUQUET_BUILD_BENCHMARKS=OFF -DBOUQUET_BUILD_EXAMPLES=OFF \
         > "$BUILD_DIR/configure.log" 2>&1 \
     || { cat "$BUILD_DIR/configure.log" >&2; exit 1; }
 fi
@@ -105,6 +123,45 @@ if [[ -z ${SKIP[thread-safety]:-} ]]; then
     fi
   else
     missing_tool clang++ thread-safety
+  fi
+fi
+
+# --- pass 4: bouquet-* domain lint -----------------------------------------
+if [[ -z ${SKIP[lint]:-} ]]; then
+  if command -v python3 >/dev/null 2>&1; then
+    echo "== bouquet lint: fixture self-test (tools/lint) =="
+    if ! python3 scripts/check_lint_fixtures.py --root . \
+           --schema scripts/trace_schema.json \
+           tests/static/lint/fixtures/*.cc; then
+      FAILURES+=("lint fixture gate")
+    fi
+    echo "== bouquet lint: zero-findings sweep over src/ =="
+    if ! python3 tools/lint/run_lint.py --root .; then
+      FAILURES+=("lint src sweep")
+    fi
+    # AST-accurate second opinion when the plugin was built (CI's
+    # static-analysis job installs the Clang dev headers and caches the
+    # plugin build). Its absence is not a failure even under --strict: the
+    # python engine above is the engine of record, and the plugin is a
+    # stricter re-check where the toolchain allows it.
+    PLUGIN=""
+    for so in "$BUILD_DIR"/tools/lint/libbouquet_tidy.so \
+              build/tools/lint/libbouquet_tidy.so; do
+      if [[ -f $so ]]; then PLUGIN=$so; break; fi
+    done
+    if [[ -n $PLUGIN ]] && command -v clang-tidy >/dev/null 2>&1; then
+      echo "== bouquet lint: clang-tidy plugin ($PLUGIN) =="
+      if ! clang-tidy -load "$PLUGIN" -p "$BUILD_DIR" --quiet \
+             --checks='-*,bouquet-*' --warnings-as-errors='bouquet-*' \
+             "${LINT_SOURCES[@]}"; then
+        FAILURES+=("lint plugin sweep")
+      fi
+    else
+      echo "note: clang-tidy plugin not built; the python engine served as" \
+           "the lint backend" >&2
+    fi
+  else
+    missing_tool python3 lint
   fi
 fi
 

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/str_util.h"
+#include "common/lint.h"
 #include "optimizer/plan_signature.h"
 
 namespace bouquet {
@@ -17,6 +18,13 @@ constexpr double kRelEps = 1e-9;
 double Seconds(std::chrono::steady_clock::time_point a,
                std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+// Wall-clock telemetry only: feeds DriverStep/DriverResult seconds fields
+// and span attributes, never charged cost, contour decisions, q_run, or
+// replay state (those ride the CostMeter and the instrumentation counters).
+BOUQUET_NONDETERMINISM_OK std::chrono::steady_clock::time_point WallNow() {
+  return std::chrono::steady_clock::now();
 }
 
 // "0.001,0.04,1" — the q_run snapshot attribute attached to trace events.
@@ -123,7 +131,7 @@ void BouquetDriver::ObserveStep(const DriverStep& step, obs::Span* span) {
 
 DriverResult BouquetDriver::RunBasic() {
   DriverResult res;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallNow();
   obs::Span run = obs::Tracer::BeginUnder(tracer_, "driver.run_basic",
                                           trace_parent_, trace_id_);
 
@@ -144,10 +152,10 @@ DriverResult BouquetDriver::RunBasic() {
       ctx.trace_parent = step_span.id();
       ctx.trace_id = step_span.trace_id();
       std::vector<Row> rows;
-      const auto t1 = std::chrono::steady_clock::now();
+      const auto t1 = WallNow();
       const ExecutionOutcome out =
           ExecutePlanWith(engine_, *plan.root, &ctx, contour.budget, &rows);
-      const auto t2 = std::chrono::steady_clock::now();
+      const auto t2 = WallNow();
 
       DriverStep step;
       step.contour = static_cast<int>(k);
@@ -213,11 +221,11 @@ DriverResult BouquetDriver::RunBasic() {
   ctx.trace_parent = step_span.id();
   ctx.trace_id = step_span.trace_id();
   std::vector<Row> rows;
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = WallNow();
   const ExecutionOutcome out = ExecutePlanWith(
       engine_, *plan.root, &ctx, std::numeric_limits<double>::infinity(),
       &rows);
-  const auto t2 = std::chrono::steady_clock::now();
+  const auto t2 = WallNow();
   DriverStep step;
   step.contour = res.contours_crossed;
   step.plan_id = fallback;
@@ -357,7 +365,7 @@ DriverResult BouquetDriver::RunOptimized() {
   const QuerySpec& q = opt_->query();
   const EssGrid& grid = diagram_->grid();
   const int dims = q.NumDims();
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallNow();
   obs::Span run = obs::Tracer::BeginUnder(tracer_, "driver.run_optimized",
                                           trace_parent_, trace_id_);
 
@@ -403,11 +411,11 @@ DriverResult BouquetDriver::RunOptimized() {
     ctx.trace_parent = step_span.id();
     ctx.trace_id = step_span.trace_id();
     std::vector<Row> rows;
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = WallNow();
     const ExecutionOutcome out = ExecutePlanWith(
         engine_, *plan.root, &ctx, std::numeric_limits<double>::infinity(),
         &rows);
-    const auto t2 = std::chrono::steady_clock::now();
+    const auto t2 = WallNow();
     DriverStep step;
     step.contour = res.contours_crossed;
     // The plan optimal at the discovered q_run need not belong to the POSP,
@@ -566,14 +574,14 @@ DriverResult BouquetDriver::RunOptimized() {
       ctx.trace_parent = step_span.id();
       ctx.trace_id = step_span.trace_id();
       std::vector<Row> rows;
-      const auto t1 = std::chrono::steady_clock::now();
+      const auto t1 = WallNow();
       ExecutionOutcome out;
       if (spill_root != nullptr && !spill_is_full) {
         out = ExecuteSpilledWith(engine_, *spill_root, &ctx, budget);
       } else {
         out = ExecutePlanWith(engine_, *plan.root, &ctx, budget, &rows);
       }
-      const auto t2 = std::chrono::steady_clock::now();
+      const auto t2 = WallNow();
 
       DriverStep step;
       step.contour = static_cast<int>(k);
@@ -653,10 +661,10 @@ DriverResult BouquetDriver::RunSinglePlan(const PlanNode& root) {
   ctx.tracer = tracer_;
   ctx.trace_parent = step_span.id();
   ctx.trace_id = step_span.trace_id();
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = WallNow();
   const ExecutionOutcome out = ExecutePlanWith(
       engine_, root, &ctx, std::numeric_limits<double>::infinity(), &res.rows);
-  const auto t2 = std::chrono::steady_clock::now();
+  const auto t2 = WallNow();
   res.completed = out.status == ExecResult::kDone;
   res.total_cost_units = out.cost_charged;
   res.wall_seconds = Seconds(t1, t2);

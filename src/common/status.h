@@ -24,7 +24,13 @@ enum class StatusCode {
 };
 
 /// Error-or-success outcome of an operation that returns no value.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status swallows the only error signal
+/// a fallible call emits (the library is exception-free by policy). The
+/// compiler flags discarded values under -Wall/-Wunused-result, and the
+/// bouquet-discarded-status lint check (tools/lint/) enforces the same rule
+/// across every translation unit including casts-to-void escape attempts.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -62,8 +68,10 @@ class Status {
 };
 
 /// Value-or-error wrapper; holds T on success, Status otherwise.
+/// [[nodiscard]] for the same reason as Status: a dropped Result<T> hides
+/// both the error and the value the caller asked for.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
   Result(T value) : data_(std::move(value)) {}

@@ -1,5 +1,7 @@
 #include "ess/posp_generator.h"
 
+#include "common/lint.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -15,6 +17,12 @@
 namespace bouquet {
 
 namespace {
+
+// Wall-clock telemetry only: feeds PospStats::wall_seconds, never the plan
+// diagram, cost derivations, or the audit sampling (which is seeded).
+BOUQUET_NONDETERMINISM_OK std::chrono::steady_clock::time_point WallNow() {
+  return std::chrono::steady_clock::now();
+}
 
 // SplitMix64: deterministic, shard-independent audit sampling keyed only by
 // (seed, linear point index).
@@ -158,7 +166,7 @@ void MergeShards(const std::vector<ShardResult>& results, uint64_t chunk,
 PlanDiagram GeneratePosp(const QuerySpec& query, const Catalog& catalog,
                          CostParams params, const EssGrid& grid,
                          const PospOptions& options, PospStats* stats) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallNow();
   const uint64_t n = grid.num_points();
 
   PlanDiagram diagram(&grid);
@@ -218,7 +226,7 @@ PlanDiagram GeneratePosp(const QuerySpec& query, const Catalog& catalog,
     *stats = agg;
     stats->optimizer_calls = agg.dp_calls;
     stats->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        std::chrono::duration<double>(WallNow() - t0)
             .count();
   }
   return diagram;

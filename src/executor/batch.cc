@@ -1501,16 +1501,17 @@ class BatchHashAggregateOp : public BatchOp {
     }
     const int bsz = std::max(1, st_->ctx()->batch_size);
     const int gcols = static_cast<int>(group_positions_.size());
-    while (emit_ != groups_.end() && out->n < bsz) {
+    while (emit_ != emit_rows_.size() && out->n < bsz) {
+      const auto& row = emit_rows_[emit_];
       out->tape.ChargeEmit(slot_, p.cpu_tuple_cost);
       for (int c = 0; c < gcols; ++c) {
-        out->cols[c].push_back(emit_->first[c]);
+        out->cols[c].push_back(row.first[c]);
       }
-      out->cols[gcols].push_back(emit_->second);
+      out->cols[gcols].push_back(row.second);
       out->MarkRow();
       ++emit_;
     }
-    if (emit_ == groups_.end()) {
+    if (emit_ == emit_rows_.size()) {
       out->tape.Finish(slot_);
       return ExecResult::kDone;
     }
@@ -1565,7 +1566,16 @@ class BatchHashAggregateOp : public BatchOp {
         func_ == AggregateSpec::Func::kCount) {
       groups_.try_emplace(Row{}, 0);
     }
-    emit_ = groups_.begin();
+    // Deterministic emission order, identical to the scalar engine's sort:
+    // hash-map iteration order is unspecified (bouquet-determinism), and
+    // the abort-truncated result prefix must not depend on it.
+    // NOLINTNEXTLINE(bouquet-determinism): drained into the sort below
+    emit_rows_.assign(std::make_move_iterator(groups_.begin()),
+                      std::make_move_iterator(groups_.end()));
+    std::sort(emit_rows_.begin(), emit_rows_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    groups_.clear();
+    emit_ = 0;
     return ExecResult::kDone;
   }
 
@@ -1577,7 +1587,9 @@ class BatchHashAggregateOp : public BatchOp {
   bool built_ = false;
   Row key_buf_;
   std::unordered_map<Row, int64_t, AggRowHash> groups_;
-  std::unordered_map<Row, int64_t, AggRowHash>::iterator emit_;
+  /// Sorted (group key, aggregate) pairs; see the sort comment in Build().
+  std::vector<std::pair<Row, int64_t>> emit_rows_;
+  size_t emit_ = 0;
 };
 
 // ---------------------------------------------------------------------------

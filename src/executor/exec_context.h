@@ -12,6 +12,7 @@
 #include <limits>
 
 #include "catalog/catalog.h"
+#include "common/lint.h"
 #include "executor/instrument.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -40,7 +41,14 @@ class CostMeter {
   /// register across thousands of one-unit adds and writes it back here.
   /// `charged` must be the value a sequence of Charge() calls would have
   /// produced — this is a performance hatch, not a way to invent cost.
-  void RestoreCharged(double charged) { charged_ = charged; }
+  void RestoreCharged(double charged) {
+    // The one sanctioned non-add write: the tape replayer's register spill
+    // back into the accumulator. The replay loop performs the adds one
+    // event at a time (batch.cc Replay/ReplayNoAbort) so association is
+    // unchanged, and the differential harness pins the value bit-exactly
+    // against the scalar engine.
+    charged_ = charged;  // NOLINT(bouquet-charge-order): replay writeback
+  }
 
   void Reset() {
     charged_ = 0.0;
@@ -48,7 +56,10 @@ class CostMeter {
   }
 
  private:
-  double charged_ = 0.0;
+  /// BOUQUET_CHARGED: mutations restricted to one scalar add at a time so
+  /// the FP association (and thus the abort point) is identical in every
+  /// engine; see common/lint.h and tools/lint/.
+  BOUQUET_CHARGED double charged_ = 0.0;
   double budget_ = std::numeric_limits<double>::infinity();
 };
 
@@ -81,8 +92,8 @@ struct ExecContext {
   /// The property oracle cross-checks page_reads_charged against the buffer
   /// manager's miss-count delta — only executors call Access, so the two
   /// must agree exactly.
-  int64_t page_reads_charged = 0;
-  int64_t page_hits_charged = 0;
+  BOUQUET_CHARGED int64_t page_reads_charged = 0;
+  BOUQUET_CHARGED int64_t page_hits_charged = 0;
 };
 
 }  // namespace bouquet

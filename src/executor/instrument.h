@@ -20,6 +20,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/lint.h"
 #include "optimizer/plan.h"
 
 namespace bouquet {
@@ -55,10 +56,17 @@ class Instrumentation {
   using FinishHook =
       std::function<void(const PlanNode* node, const NodeCounters& counters)>;
 
+  /// Wall-clock telemetry only: per-node timing attribution for exec.node
+  /// spans. Never read by q_run learning, the meter, or tape replay.
+  BOUQUET_NONDETERMINISM_OK static std::chrono::steady_clock::time_point
+  WallNow() {
+    return std::chrono::steady_clock::now();
+  }
+
   NodeCounters& ForNode(const PlanNode* node) {
     auto [it, inserted] = counters_.try_emplace(node);
     if (inserted && timing_) {
-      it->second.first_touch = std::chrono::steady_clock::now();
+      it->second.first_touch = WallNow();
     }
     return it->second;
   }
@@ -79,8 +87,8 @@ class Instrumentation {
     if (nc.finished) return;
     nc.finished = true;
     if (timing_) {
-      nc.wall_seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - nc.first_touch)
+      nc.wall_seconds = std::chrono::duration<double>(WallNow() -
+                                                      nc.first_touch)
                             .count();
     }
     if (finish_hook_) finish_hook_(node, nc);

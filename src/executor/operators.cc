@@ -823,17 +823,30 @@ class HashAggregateOp : public Operator {
           func_ == AggregateSpec::Func::kCount) {
         groups_.try_emplace(Row{}, 0);
       }
-      emit_ = groups_.begin();
+      // Emit in ascending group-key order. Hash-map iteration order is
+      // unspecified (bouquet-determinism), and under a budget abort the set
+      // of rows emitted before the trip would depend on it; sorting makes
+      // the output — and therefore the abort-truncated prefix — identical
+      // across engines and standard libraries. The batch engine sorts the
+      // same way.
+      // NOLINTNEXTLINE(bouquet-determinism): drained into the sort below
+      emit_rows_.assign(std::make_move_iterator(groups_.begin()),
+                        std::make_move_iterator(groups_.end()));
+      std::sort(emit_rows_.begin(), emit_rows_.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      groups_.clear();
+      emit_ = 0;
       built_ = true;
     }
 
-    if (emit_ == groups_.end()) {
+    if (emit_ == emit_rows_.size()) {
       ctx_->instr.FinishNode(node_);  // counters + wall time + span hook
       return ExecResult::kDone;
     }
     if (!ctx_->meter.Charge(p.cpu_tuple_cost)) return ExecResult::kAborted;
-    out->assign(emit_->first.begin(), emit_->first.end());
-    out->push_back(emit_->second);
+    const auto& row = emit_rows_[emit_];
+    out->assign(row.first.begin(), row.first.end());
+    out->push_back(row.second);
     ++emit_;
     nc.tuples_out++;
     return ExecResult::kRow;
@@ -860,7 +873,10 @@ class HashAggregateOp : public Operator {
 
   bool built_ = false;
   std::unordered_map<Row, int64_t, RowHash> groups_;
-  std::unordered_map<Row, int64_t, RowHash>::iterator emit_;
+  /// Sorted (group key, aggregate) pairs; emission order must be
+  /// deterministic, see the comment at the sort.
+  std::vector<std::pair<Row, int64_t>> emit_rows_;
+  size_t emit_ = 0;
 };
 
 // ---------------------------------------------------------------------------

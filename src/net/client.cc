@@ -132,6 +132,10 @@ Result<std::string> BlockingClient::MetricsText() {
   const Frame& frame = frame_or.value();
   if (static_cast<FrameType>(frame.type) == FrameType::kError) {
     ErrorMsg err;
+    // Best-effort decode of the peer's error payload on an already-failing
+    // path: a malformed payload leaves err.message empty and the call still
+    // returns the Internal status below.
+    // NOLINTNEXTLINE(bouquet-discarded-status): best-effort diagnostics
     (void)DecodeError(frame, &err);
     return Status::Internal("METRICS failed: " + err.message);
   }
@@ -153,6 +157,7 @@ Result<std::string> BlockingClient::TraceJsonl() {
   const Frame& frame = frame_or.value();
   if (static_cast<FrameType>(frame.type) == FrameType::kError) {
     ErrorMsg err;
+    // NOLINTNEXTLINE(bouquet-discarded-status): best-effort diagnostics
     (void)DecodeError(frame, &err);
     return Status::Internal("TRACE_DUMP failed: " + err.message);
   }

@@ -104,6 +104,7 @@ class Tracer {
   /// Null-safe factory: a null tracer yields a disabled span.
   static Span Begin(Tracer* tracer, const char* name,
                     const Span* parent = nullptr) {
+    // NOLINTNEXTLINE(bouquet-trace-name): forwarder; call sites are checked
     return tracer == nullptr ? Span() : tracer->StartSpan(name, parent);
   }
   static Span BeginUnder(Tracer* tracer, const char* name,

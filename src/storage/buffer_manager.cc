@@ -124,9 +124,15 @@ void BufferManager::WritebackLocked(uint64_t key, Frame* f) {
   const uint32_t page_no = static_cast<uint32_t>(key);
   auto it = files_.find(file_id);
   if (it != files_.end()) {
-    // An I/O error here loses the page; surfaced through the write counter
-    // diverging from durable bytes. Acceptable for spill/bench data.
-    (void)it->second->WritePage(page_no, f->data.get());
+    // An I/O error here loses the page. There is no caller to surface the
+    // Status to (eviction happens under unrelated accesses), so the error
+    // is counted instead of dropped: write_errors diverging from zero tells
+    // operators durable bytes are behind write traffic.
+    const Status ws = it->second->WritePage(page_no, f->data.get());
+    if (!ws.ok()) {
+      stats_.write_errors++;
+      if (ctr_write_errors_ != nullptr) ctr_write_errors_->Inc();
+    }
   }
   f->dirty = false;
 }
@@ -332,7 +338,7 @@ void BufferManager::SetObservability(obs::MetricsRegistry* metrics,
   tracer_ = tracer;
   if (metrics == nullptr) {
     ctr_hits_ = ctr_misses_ = ctr_evictions_ = ctr_writebacks_ = ctr_reads_ =
-        ctr_writes_ = nullptr;
+        ctr_writes_ = ctr_write_errors_ = nullptr;
     g_pinned_ = nullptr;
     return;
   }
@@ -348,6 +354,8 @@ void BufferManager::SetObservability(obs::MetricsRegistry* metrics,
                                    "Page faults served by pread");
   ctr_writes_ = metrics->GetCounter("buffer_physical_writes_total",
                                     "Page writes issued by pwrite");
+  ctr_write_errors_ = metrics->GetCounter("buffer_write_errors_total",
+                                          "Failed writeback pwrites");
   g_pinned_ = metrics->GetGauge("buffer_pinned_frames",
                                 "Frames currently pinned");
 }

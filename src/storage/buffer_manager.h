@@ -72,6 +72,7 @@ struct BufferStats {
   uint64_t writebacks = 0;       ///< dirty frames written at evict/unpin
   uint64_t physical_reads = 0;   ///< actual preads (faults)
   uint64_t physical_writes = 0;  ///< actual pwrites
+  uint64_t write_errors = 0;     ///< failed writeback pwrites (lost pages)
   uint64_t ghost_hits = 0;       ///< 2Q A1out promotions (counted as misses)
   uint64_t pinned_frames = 0;    ///< currently pinned (instantaneous)
   uint64_t pinned_peak = 0;      ///< high-water mark of pinned_frames
@@ -80,7 +81,13 @@ struct BufferStats {
 class BufferManager;
 
 /// RAII pin handle. Movable; unpins (with the dirty flag) on destruction.
-class PageGuard {
+///
+/// [[nodiscard]]: a discarded PageGuard is a pin/unpin pulse — the page is
+/// released before any byte can be read, and the pointless churn perturbs
+/// pinned_frames/pinned_peak telemetry. The bouquet-page-guard lint check
+/// additionally requires that Pin()/PinNew() results are bound to a guard
+/// rather than consumed as temporaries.
+class [[nodiscard]] PageGuard {
  public:
   PageGuard() = default;
   PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
@@ -209,6 +216,7 @@ class BufferManager {
   obs::Counter* ctr_writebacks_ GUARDED_BY(mu_) = nullptr;
   obs::Counter* ctr_reads_ GUARDED_BY(mu_) = nullptr;
   obs::Counter* ctr_writes_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* ctr_write_errors_ GUARDED_BY(mu_) = nullptr;
   obs::Gauge* g_pinned_ GUARDED_BY(mu_) = nullptr;
 };
 

@@ -1,0 +1,84 @@
+// Positive control for the bouquet-* lint gate: exercises every escape
+// hatch and sanctioned pattern — annotated wall-clock helper, NOLINT'd
+// replay writeback, drain-into-sort hash-map emission, bound PageGuard,
+// handled Status, schema-known span name — and must produce ZERO findings.
+// If this fixture starts firing, an escape hatch rotted, and every
+// justified use in src/ would be a false positive.
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/lint.h"
+#include "common/status.h"
+#include "obs/trace.h"
+#include "storage/buffer_manager.h"
+
+namespace bouquet_lint_fixture {
+
+class CleanMeter {
+ public:
+  // Sanctioned accrual: one scalar add per statement.
+  void Charge(double unit) { charged_ += unit; }
+
+  // Sanctioned literal reset.
+  void Reset() { charged_ = 0.0; }
+
+  // The one sanctioned non-add write: a replay writeback, NOLINT'd with a
+  // reason exactly as CostMeter::RestoreCharged does.
+  void Restore(double snapshot) {
+    charged_ = snapshot;  // NOLINT(bouquet-charge-order): replay writeback
+  }
+
+  double charged() const { return charged_; }
+
+ private:
+  BOUQUET_CHARGED double charged_ = 0.0;
+};
+
+// Telemetry-only wall clock behind the annotation: the duration feeds a
+// stats struct, never charged cost or replay state.
+BOUQUET_NONDETERMINISM_OK double ElapsedSeconds(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+class SortedEmitter {
+ public:
+  void Add(const std::string& key, double v) { groups_[key] += v; }
+
+  // Sanctioned pattern for unordered state: drain into a vector and sort
+  // before any order-sensitive consumer (or abort point) can see it.
+  std::vector<std::pair<std::string, double>> Drain() {
+    // NOLINTNEXTLINE(bouquet-determinism): drained into the sort below
+    std::vector<std::pair<std::string, double>> rows(groups_.begin(),
+                                                     groups_.end());
+    std::sort(rows.begin(), rows.end());
+    groups_.clear();
+    return rows;
+  }
+
+ private:
+  std::unordered_map<std::string, double> groups_;
+};
+
+uint8_t BoundPageRead(bouquet::storage::BufferManager& bm,
+                      bouquet::storage::PageId id) {
+  bouquet::storage::PageGuard guard = bm.Pin(id);
+  return guard.valid() ? guard.data()[0] : 0;
+}
+
+bouquet::Status HandledStatus(bouquet::Status s) {
+  if (!s.ok()) return s;
+  return bouquet::Status::Ok();
+}
+
+void KnownSpanName(bouquet::obs::Tracer* tracer) {
+  auto span = bouquet::obs::Tracer::Begin(tracer, "exec.node");
+}
+
+}  // namespace bouquet_lint_fixture

@@ -1,0 +1,43 @@
+// Negative lint fixture: every mutation shape bouquet-charge-order bans on
+// a BOUQUET_CHARGED field, plus the bulk-reduction ban. The single-add and
+// literal-reset forms are included as in-file negatives (must NOT fire).
+// See fail_determinism.cc for the fixture conventions.
+
+#include <numeric>
+#include <vector>
+
+#include "common/lint.h"
+
+namespace bouquet_lint_fixture {
+
+class Meter {
+ public:
+  // The only sanctioned accrual: one scalar add per statement.
+  void Charge(double unit) { charged_ += unit; }
+
+  void ChargeBoth(double a, double b) {
+    charged_ += a + b;  // expect-lint: bouquet-charge-order
+  }
+
+  void Overwrite(double snapshot) {
+    charged_ = snapshot * 2.0;  // expect-lint: bouquet-charge-order
+  }
+
+  void Scale(double factor) {
+    charged_ *= factor;  // expect-lint: bouquet-charge-order
+  }
+
+  double BulkReplay(const std::vector<double>& units) {
+    return std::accumulate(units.begin(), units.end(), 0.0);  // expect-lint: bouquet-charge-order
+  }
+
+  // Literal reset is sanctioned (Reset()/zero-init).
+  void Reset() { charged_ = 0.0; }
+
+  double charged() const { return charged_; }
+
+ private:
+  BOUQUET_CHARGED double charged_ = 0.0;
+};
+
+}  // namespace bouquet_lint_fixture

@@ -1,0 +1,24 @@
+// Negative lint fixture: the (void)-cast loophole bouquet-discarded-status
+// closes. Plain discards of Status/Result are already -Wunused-result
+// warnings via [[nodiscard]]; the cast is the silent escape, so an
+// unjustified cast is a finding and a NOLINT-justified one is not.
+// See fail_determinism.cc for the fixture conventions.
+
+#include "common/status.h"
+
+namespace bouquet_lint_fixture {
+
+bouquet::Status MightFail();
+
+void IgnoreSilently() {
+  (void)MightFail();  // expect-lint: bouquet-discarded-status
+}
+
+void IgnoreWithReason() {
+  // NOLINTNEXTLINE(bouquet-discarded-status): fixture demonstrates the escape
+  (void)MightFail();
+}
+
+bouquet::Status Propagate() { return MightFail(); }
+
+}  // namespace bouquet_lint_fixture

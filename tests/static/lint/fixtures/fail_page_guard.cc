@@ -1,0 +1,44 @@
+// Negative lint fixture: the pin-discipline shapes bouquet-page-guard bans
+// outside src/storage/buffer_manager.* — temporary-consumed pins, unbound
+// pins, and direct Unpin() calls. A correctly bound PageGuard is included
+// as an in-file negative (must NOT fire).
+// See fail_determinism.cc for the fixture conventions.
+
+#include <cstdint>
+
+#include "storage/buffer_manager.h"
+#include "storage/page.h"
+
+namespace bouquet_lint_fixture {
+
+using bouquet::storage::BufferManager;
+using bouquet::storage::PageGuard;
+using bouquet::storage::PageId;
+
+// Stand-in with a public Unpin so the direct-call violation still compiles:
+// the real BufferManager keeps Unpin private, and the lint is the backstop
+// for friend classes and future refactors that would re-expose it.
+struct LegacyPool {
+  void Unpin(PageId, bool) {}
+};
+
+uint8_t PeekFirstByte(BufferManager& bm, PageId id) {
+  // The pin is released at the ';' — the pointer read races eviction.
+  return bm.Pin(id).data()[0];  // expect-lint: bouquet-page-guard
+}
+
+void WarmCache(BufferManager& bm, PageId id) {
+  // Discarded guard: a pin/unpin pulse that only perturbs pin telemetry.
+  bm.Pin(id);  // expect-lint: bouquet-page-guard
+}
+
+void LegacyRelease(LegacyPool& pool, PageId id) {
+  pool.Unpin(id, false);  // expect-lint: bouquet-page-guard
+}
+
+uint8_t BoundRead(BufferManager& bm, PageId id) {
+  PageGuard guard = bm.Pin(id);
+  return guard.valid() ? guard.data()[0] : 0;
+}
+
+}  // namespace bouquet_lint_fixture

@@ -1,0 +1,29 @@
+// Negative lint fixture: span/metric name literals that are missing from
+// scripts/trace_schema.json, and a non-literal span name that defeats the
+// schema check entirely. A known-name span is included as an in-file
+// negative (must NOT fire).
+// See fail_determinism.cc for the fixture conventions.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bouquet_lint_fixture {
+
+using bouquet::obs::MetricsRegistry;
+using bouquet::obs::Span;
+using bouquet::obs::Tracer;
+
+void UnknownNames(Tracer* tracer, MetricsRegistry* metrics) {
+  auto span = Tracer::Begin(tracer, "exec.mystery_phase");  // expect-lint: bouquet-trace-name
+  metrics->GetCounter("bouquet_typo_total", "help text")->Inc();  // expect-lint: bouquet-trace-name
+}
+
+void NonLiteralName(Tracer* tracer, const char* name) {
+  auto span = tracer->StartSpan(name);  // expect-lint: bouquet-trace-name
+}
+
+void KnownName(Tracer* tracer) {
+  auto span = Tracer::Begin(tracer, "exec.node");
+}
+
+}  // namespace bouquet_lint_fixture

@@ -1,0 +1,45 @@
+// NEGATIVE probe: mutates router-style inflight/outbox state without the
+// router mutex, modeled on src/net/router.h (inflight_batches_, the open
+// batch map, and the queued counter are all GUARDED_BY(mu_); the flush
+// path must claim the inflight slot and detach the batch under the lock,
+// then execute outside it).
+//
+// Under enforcement (Clang + -Werror=thread-safety) this file MUST NOT
+// compile — if it does, the thread-safety gate has silently rotted (see
+// tests/static/CMakeLists.txt and check_probes.cmake). Without enforcement
+// (GCC, or BOUQUET_THREAD_SAFETY=OFF) it must compile cleanly, proving the
+// annotations are true no-ops.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/synchronization.h"
+
+namespace {
+
+class MiniRouter {
+ public:
+  // BUG (deliberate): claims an inflight slot and detaches the batch with
+  // mu_ not held — the exact race the real router's FlushLocked prevents.
+  std::vector<int> UnlockedFlush(const std::string& key) {
+    ++inflight_batches_;
+    std::vector<int> batch = std::move(outbox_[key]);
+    outbox_.erase(key);
+    queued_ -= batch.size();
+    return batch;
+  }
+
+ private:
+  bouquet::Mutex mu_;
+  std::map<std::string, std::vector<int>> outbox_ GUARDED_BY(mu_);
+  int inflight_batches_ GUARDED_BY(mu_) = 0;
+  size_t queued_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int ProbeEntry() {
+  MiniRouter r;
+  return static_cast<int>(r.UnlockedFlush("t").size());
+}

@@ -113,6 +113,29 @@ TEST_F(AggregateTest, ExecutorMatchesReference) {
   }
 }
 
+TEST_F(AggregateTest, EmissionOrderIsSortedByGroupKey) {
+  // The hash aggregate drains its unordered table into a sort before
+  // emitting (the bouquet-determinism lint's sanctioned escape): output
+  // order must be ascending group key, never hash-bucket order. If this
+  // regresses, charged-cost replays stay bit-equal but row order becomes
+  // a function of the allocator, breaking the differential harnesses.
+  const Plan plan = opt_->OptimizeAt({0.4, 0.5});
+  ExecContext ctx;
+  ctx.query = &query_;
+  ctx.catalog = &catalog_;
+  ctx.db = &db_;
+  ctx.cost_model = &opt_->cost_model();
+  std::vector<Row> rows;
+  const ExecutionOutcome out = ExecutePlan(
+      *plan.root, &ctx, std::numeric_limits<double>::infinity(), &rows);
+  ASSERT_EQ(out.status, ExecResult::kDone);
+  ASSERT_GT(rows.size(), 1u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1][0], rows[i][0])
+        << "group keys out of order at row " << i;
+  }
+}
+
 TEST_F(AggregateTest, CountMinMaxFunctions) {
   ExecContext ctx;
   ctx.query = &query_;

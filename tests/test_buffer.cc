@@ -325,6 +325,33 @@ TEST_F(PinnedFixture, DirtyZombieWritesBackAtLastUnpin) {
   EXPECT_EQ(g2.data()[100], 0x5A);
 }
 
+TEST_F(PinnedFixture, FailedWritebackCountsWriteErrors) {
+  // Eviction has no caller to return a Status to, so a writeback whose
+  // pwrite fails must surface through stats().write_errors (and the
+  // buffer_write_errors_total counter) instead of vanishing. Force the
+  // failure by closing the file's fd under the manager: the dirty page's
+  // writeback hits EBADF.
+  BufferManager bm(1, EvictionPolicyKind::kLru);
+  obs::MetricsRegistry metrics;
+  bm.SetObservability(&metrics, nullptr);
+  const uint16_t fid = bm.RegisterFile(file_.get());
+  const PageId a{fid, 0};
+  bm.Access(a);
+  {
+    PageGuard g = bm.Pin(a);
+    ASSERT_TRUE(g.valid());
+    g.mutable_data()[7] = 0x42;
+  }
+  ASSERT_TRUE(file_->CloseAndRemove().ok());  // fd now invalid
+  // Evict the dirty resident frame: writeback runs and fails.
+  bm.Access(PageId{fid, 1});
+  EXPECT_EQ(bm.stats().evictions, 1u);
+  EXPECT_EQ(bm.stats().writebacks, 1u);  // attempted...
+  EXPECT_EQ(bm.stats().write_errors, 1u);  // ...and recorded as lost
+  EXPECT_EQ(
+      metrics.GetCounter("buffer_write_errors_total", "")->value(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Spill writer
 // ---------------------------------------------------------------------------

@@ -605,7 +605,9 @@ TEST_F(LoopbackServerTest, ServesQueriesMetricsAndTracesOverTheWire) {
     EXPECT_EQ(out->result.flags & kResultDegraded, 0);
     EXPECT_GT(out->result.total_cost, 0.0);
     EXPECT_GE(out->result.server_seconds, 0.0);
-    if (i > 0) EXPECT_NE(out->result.flags & kResultCacheHit, 0);
+    if (i > 0) {
+      EXPECT_NE(out->result.flags & kResultCacheHit, 0);
+    }
   }
 
   // Pipelined burst: all same-template, so batching must kick in.

@@ -1,0 +1,76 @@
+// Shared helpers for the bouquet-* clang-tidy checks: module scoping (which
+// files are accounting-critical), annotation lookup, and the annotation
+// vocabulary shared with src/common/lint.h and the portable engine
+// (../bouquet_lint.py). Keep the three in lockstep: a scope or tag that
+// exists in only one engine is a check that silently stopped running for
+// half the CI matrix.
+
+#ifndef BOUQUET_TOOLS_LINT_PLUGIN_BOUQUET_LINT_UTILS_H_
+#define BOUQUET_TOOLS_LINT_PLUGIN_BOUQUET_LINT_UTILS_H_
+
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+// Annotation tags produced by src/common/lint.h.
+inline constexpr llvm::StringRef kChargedTag = "bouquet::charged";
+inline constexpr llvm::StringRef kNondetOkTag = "bouquet::nondeterminism_ok";
+
+/// True when `File` (a path as spelled by the SourceManager) lies in a
+/// module whose code feeds charged cost, abort points, or replay state.
+/// Mirrors ACCOUNTING_DIRS in ../bouquet_lint.py.
+inline bool IsAccountingPath(llvm::StringRef File) {
+  for (llvm::StringRef Dir :
+       {"src/executor/", "src/storage/", "src/ess/", "src/bouquet/",
+        "tests/static/lint/"}) {
+    size_t Pos = File.find(Dir);
+    if (Pos != llvm::StringRef::npos &&
+        (Pos == 0 || File[Pos - 1] == '/')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True for src/storage/buffer_manager.{h,cc}, the only files allowed to
+/// touch the physical pin layer directly.
+inline bool IsBufferManagerFile(llvm::StringRef File) {
+  return File.ends_with("src/storage/buffer_manager.h") ||
+         File.ends_with("src/storage/buffer_manager.cc");
+}
+
+/// True when `D` (or any redeclaration) carries
+/// [[clang::annotate("<Tag>")]].
+inline bool HasAnnotation(const Decl *D, llvm::StringRef Tag) {
+  if (D == nullptr) return false;
+  for (const Decl *Redecl : D->redecls()) {
+    for (const auto *A : Redecl->specific_attrs<AnnotateAttr>()) {
+      if (A->getAnnotation() == Tag) return true;
+    }
+  }
+  return false;
+}
+
+/// Walks up the DeclContext chain from `D` looking for a function, method,
+/// or record annotated with `Tag` (the escape-hatch scope rule: annotating
+/// a function covers everything in its body).
+inline bool EnclosingScopeHasAnnotation(const Decl *D, llvm::StringRef Tag) {
+  for (const DeclContext *DC = D ? D->getDeclContext() : nullptr;
+       DC != nullptr; DC = DC->getParent()) {
+    if (const auto *Ctx = dyn_cast<Decl>(DC)) {
+      if (HasAnnotation(Ctx, Tag)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // BOUQUET_TOOLS_LINT_PLUGIN_BOUQUET_LINT_UTILS_H_

@@ -1,0 +1,45 @@
+// clang-tidy module registering the bouquet-* check family. Built as a
+// shared library and loaded with `clang-tidy -load libbouquet_tidy.so
+// -checks='bouquet-*'` (run_static_analysis.sh does this when the plugin
+// was built). The portable fallback engine ../bouquet_lint.py implements
+// the same five checks token-level; both are validated against the same
+// fixtures by scripts/check_lint_fixtures.py, which is what keeps the two
+// implementations honest relative to each other.
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "ChargeOrderCheck.h"
+#include "DeterminismCheck.h"
+#include "DiscardedStatusCheck.h"
+#include "PageGuardCheck.h"
+#include "TraceNameCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+class BouquetModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<DeterminismCheck>("bouquet-determinism");
+    Factories.registerCheck<ChargeOrderCheck>("bouquet-charge-order");
+    Factories.registerCheck<PageGuardCheck>("bouquet-page-guard");
+    Factories.registerCheck<DiscardedStatusCheck>("bouquet-discarded-status");
+    Factories.registerCheck<TraceNameCheck>("bouquet-trace-name");
+  }
+};
+
+static ClangTidyModuleRegistry::Add<BouquetModule> X(
+    "bouquet-module",
+    "Domain-invariant checks for the plan-bouquet MSO guarantee: "
+    "determinism, charge order, pin discipline, status handling, and "
+    "trace-schema conformance.");
+
+}  // namespace bouquet
+}  // namespace tidy
+
+// Anchor so -load keeps the registration object file.
+volatile int BouquetTidyModuleAnchorSource = 0;
+
+}  // namespace clang

@@ -1,0 +1,39 @@
+// bouquet-charge-order: fields tagged BOUQUET_CHARGED (the CostMeter
+// accumulator, context page counters) mutate only one scalar add at a time.
+//
+// The batch engine replays the scalar engine's per-unit charges from the
+// metering tape; floating-point addition is not associative, so a bulk sum
+// (std::accumulate) or a compound right-hand side (`f += a + b`) applied on
+// one side but not the other can differ in the last bit — enough to move a
+// budget-abort point across engines and void the MSO bound.
+//
+// Sanctioned forms: `f += unit`, `++f`/`f++`, and literal resets
+// (`f = 0.0`). The replay writeback (RestoreCharged) carries
+// NOLINT(bouquet-charge-order) with its reason. Fixture:
+// tests/static/lint/fixtures/fail_charge_order.cc.
+
+#ifndef BOUQUET_TOOLS_LINT_PLUGIN_CHARGE_ORDER_CHECK_H_
+#define BOUQUET_TOOLS_LINT_PLUGIN_CHARGE_ORDER_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+class ChargeOrderCheck : public ClangTidyCheck {
+ public:
+  ChargeOrderCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // BOUQUET_TOOLS_LINT_PLUGIN_CHARGE_ORDER_CHECK_H_

@@ -1,0 +1,124 @@
+#include "DeterminismCheck.h"
+
+#include "BouquetLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+namespace {
+
+/// The function containing a matched expression, found through the bound
+/// ancestor (clang-tidy's matchers bind it for us below).
+const FunctionDecl *EnclosingFunction(
+    const MatchFinder::MatchResult &Result) {
+  return Result.Nodes.getNodeAs<FunctionDecl>("func");
+}
+
+bool Escaped(const MatchFinder::MatchResult &Result) {
+  const FunctionDecl *FD = EnclosingFunction(Result);
+  return FD != nullptr && (HasAnnotation(FD, kNondetOkTag) ||
+                           EnclosingScopeHasAnnotation(FD, kNondetOkTag));
+}
+
+}  // namespace
+
+void DeterminismCheck::registerMatchers(MatchFinder *Finder) {
+  auto InFunction = hasAncestor(functionDecl().bind("func"));
+
+  // rand()/srand()/getenv(): free functions with global or environment
+  // state. `now()` on any *_clock (steady_clock, system_clock, custom
+  // clocks follow the naming convention).
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand",
+                                              "::std::rand", "::std::srand",
+                                              "::getenv", "::std::getenv"))),
+               InFunction)
+          .bind("libcall"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasName("now"),
+                   hasDeclContext(recordDecl(matchesName("_clock$"))))),
+               InFunction)
+          .bind("clock"),
+      this);
+
+  // std::random_device: flag its construction (every use starts there).
+  Finder->addMatcher(
+      cxxConstructExpr(hasType(cxxRecordDecl(hasName("::std::random_device"))),
+                       InFunction)
+          .bind("rng"),
+      this);
+
+  // Pointer-keyed ordered containers: iteration order is address order.
+  Finder->addMatcher(
+      valueDecl(hasType(classTemplateSpecializationDecl(
+                    hasAnyName("::std::map", "::std::multimap", "::std::set",
+                               "::std::multiset"),
+                    hasTemplateArgument(0, refersToType(pointerType())))))
+          .bind("ptrkey"),
+      this);
+
+  // Range-for over an unordered container: the emitted sequence (and any
+  // abort-truncated prefix) depends on the hash function and load factor.
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(cxxRecordDecl(hasAnyName(
+              "::std::unordered_map", "::std::unordered_multimap",
+              "::std::unordered_set", "::std::unordered_multiset"))))),
+          InFunction)
+          .bind("unordered_for"),
+      this);
+}
+
+void DeterminismCheck::check(const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  StringRef Message;
+  if (const auto *E = Result.Nodes.getNodeAs<CallExpr>("libcall")) {
+    Loc = E->getBeginLoc();
+    Message = "nondeterministic library call in an accounting-critical "
+              "module; values from it must never feed charge/replay state";
+  } else if (const auto *E = Result.Nodes.getNodeAs<CallExpr>("clock")) {
+    Loc = E->getBeginLoc();
+    Message = "wall-clock read in an accounting-critical module; annotate "
+              "the enclosing function BOUQUET_NONDETERMINISM_OK if this is "
+              "telemetry-only";
+  } else if (const auto *E = Result.Nodes.getNodeAs<CXXConstructExpr>("rng")) {
+    Loc = E->getBeginLoc();
+    Message = "std::random_device in an accounting-critical module";
+  } else if (const auto *D = Result.Nodes.getNodeAs<ValueDecl>("ptrkey")) {
+    Loc = D->getBeginLoc();
+    Message = "pointer-keyed ordered container: iteration order is "
+              "address-dependent and differs across runs";
+  } else if (const auto *S =
+                 Result.Nodes.getNodeAs<CXXForRangeStmt>("unordered_for")) {
+    Loc = S->getBeginLoc();
+    Message = "iteration over an unordered container has unspecified order; "
+              "sort keys first or annotate the enclosing function "
+              "BOUQUET_NONDETERMINISM_OK";
+  } else {
+    return;
+  }
+
+  if (!Loc.isValid()) return;
+  StringRef File = Result.SourceManager->getFilename(
+      Result.SourceManager->getSpellingLoc(Loc));
+  if (!IsAccountingPath(File)) return;
+  if (Escaped(Result)) return;
+  if (const auto *D = Result.Nodes.getNodeAs<ValueDecl>("ptrkey")) {
+    if (HasAnnotation(D, kNondetOkTag) ||
+        EnclosingScopeHasAnnotation(D, kNondetOkTag)) {
+      return;
+    }
+  }
+  diag(Loc, "%0") << Message;
+}
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,40 @@
+// bouquet-determinism: no nondeterministic sources inside accounting-
+// critical modules (src/executor, src/storage, src/ess, src/bouquet).
+//
+// The MSO guarantee needs the scalar engine, the batch metering tape, and
+// the buffer-manager accounting simulation to produce bit-identical charged
+// cost and abort points. Any value that differs between two runs of the
+// same logical input — clocks, rand(), the environment, pointer-keyed
+// ordering, unordered-container iteration order — can leak into that state
+// and break replay equality in ways no unit test reliably catches.
+//
+// Escape: [[clang::annotate("bouquet::nondeterminism_ok")]] (spelled
+// BOUQUET_NONDETERMINISM_OK, src/common/lint.h) on the enclosing function
+// or record, for telemetry-only uses. Fixture:
+// tests/static/lint/fixtures/fail_determinism.cc.
+
+#ifndef BOUQUET_TOOLS_LINT_PLUGIN_DETERMINISM_CHECK_H_
+#define BOUQUET_TOOLS_LINT_PLUGIN_DETERMINISM_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+class DeterminismCheck : public ClangTidyCheck {
+ public:
+  DeterminismCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // BOUQUET_TOOLS_LINT_PLUGIN_DETERMINISM_CHECK_H_

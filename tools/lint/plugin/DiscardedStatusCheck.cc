@@ -1,0 +1,35 @@
+#include "DiscardedStatusCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+void DiscardedStatusCheck::registerMatchers(MatchFinder *Finder) {
+  // (void)call(...) — C-style cast to void wrapping any call expression.
+  // Scoped to calls: `(void)variable;` marks an unused value, which is
+  // harmless; `(void)call();` throws away a result someone computed.
+  Finder->addMatcher(
+      cStyleCastExpr(hasDestinationType(voidType()),
+                     hasSourceExpression(ignoringParenImpCasts(callExpr())))
+          .bind("cast"),
+      this);
+}
+
+void DiscardedStatusCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cast = Result.Nodes.getNodeAs<CStyleCastExpr>("cast");
+  if (Cast == nullptr || !Cast->getBeginLoc().isValid()) return;
+  diag(Cast->getBeginLoc(),
+       "(void)-cast silently discards a call result; Status/Result are "
+       "[[nodiscard]] and the cast is the only loophole — handle the result "
+       "or add NOLINT(bouquet-discarded-status) with the reason it is safe "
+       "to drop");
+}
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,34 @@
+// bouquet-discarded-status: no silently dropped Status/Result.
+//
+// Status, Result<T>, and PageGuard are [[nodiscard]], so a plain discard is
+// already a -Wunused-result warning (-Werror in CI). The one loophole is a
+// (void) cast — and a loophole with no recorded reason is exactly how I/O
+// errors vanish. This check flags every (void)-cast call; sanctioned drops
+// carry NOLINT(bouquet-discarded-status) with the justification inline.
+// Fixture: tests/static/lint/fixtures/fail_discarded_status.cc.
+
+#ifndef BOUQUET_TOOLS_LINT_PLUGIN_DISCARDED_STATUS_CHECK_H_
+#define BOUQUET_TOOLS_LINT_PLUGIN_DISCARDED_STATUS_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+class DiscardedStatusCheck : public ClangTidyCheck {
+ public:
+  DiscardedStatusCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // BOUQUET_TOOLS_LINT_PLUGIN_DISCARDED_STATUS_CHECK_H_

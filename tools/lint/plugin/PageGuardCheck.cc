@@ -1,0 +1,97 @@
+#include "PageGuardCheck.h"
+
+#include "BouquetLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+void PageGuardCheck::registerMatchers(MatchFinder *Finder) {
+  // Any Unpin() member call: sites outside buffer_manager.* are filtered
+  // by path in check(). Matching by name (not class) intentionally also
+  // covers mocks/stand-ins — the discipline is repo-wide.
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasName("Unpin"))))
+          .bind("unpin"),
+      this);
+
+  // Pin/PinNew consumed as a temporary: a member access hangs directly off
+  // the call result.
+  Finder->addMatcher(
+      memberExpr(hasObjectExpression(ignoringParenImpCasts(
+                     cxxMemberCallExpr(
+                         callee(cxxMethodDecl(hasAnyName("Pin", "PinNew"))))
+                         .bind("pin_temp"))))
+          .bind("temp_use"),
+      this);
+
+  // Pin/PinNew as a discarded full expression (the result is destroyed at
+  // the ';'): the call's immediate non-cleanup parent is a CompoundStmt.
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("Pin", "PinNew"))))
+          .bind("pin"),
+      this);
+}
+
+void PageGuardCheck::check(const MatchFinder::MatchResult &Result) {
+  auto InScope = [&](SourceLocation Loc) {
+    if (!Loc.isValid()) return false;
+    StringRef File = Result.SourceManager->getFilename(
+        Result.SourceManager->getSpellingLoc(Loc));
+    return !File.empty() && !IsBufferManagerFile(File);
+  };
+
+  if (const auto *Unpin =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("unpin")) {
+    if (!InScope(Unpin->getBeginLoc())) return;
+    diag(Unpin->getBeginLoc(),
+         "direct Unpin() call; page pins are released only by their owning "
+         "PageGuard");
+    return;
+  }
+
+  if (const auto *Pin =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("pin_temp")) {
+    if (!InScope(Pin->getBeginLoc())) return;
+    diag(Pin->getBeginLoc(),
+         "%0() result consumed as a temporary; the pin is released at the "
+         "end of the statement — bind it to a PageGuard for the access "
+         "lifetime")
+        << Pin->getMethodDecl();
+    return;
+  }
+
+  const auto *Pin = Result.Nodes.getNodeAs<CXXMemberCallExpr>("pin");
+  if (Pin == nullptr || !InScope(Pin->getBeginLoc())) return;
+  // Walk past implicit nodes to the first semantic parent; a discarded call
+  // sits (via ExprWithCleanups) directly under a CompoundStmt.
+  DynTypedNode Node = DynTypedNode::create(*Pin);
+  ASTContext &Ctx = *Result.Context;
+  for (;;) {
+    auto Parents = Ctx.getParents(Node);
+    if (Parents.empty()) return;
+    Node = Parents[0];
+    if (Node.get<ExprWithCleanups>() != nullptr ||
+        Node.get<CXXBindTemporaryExpr>() != nullptr ||
+        Node.get<MaterializeTemporaryExpr>() != nullptr ||
+        Node.get<ImplicitCastExpr>() != nullptr) {
+      continue;
+    }
+    break;
+  }
+  if (Node.get<CompoundStmt>() != nullptr) {
+    diag(Pin->getBeginLoc(),
+         "%0() result is not bound to a PageGuard; a discarded pin is an "
+         "unpin pulse that distorts pin telemetry and can never be read")
+        << Pin->getMethodDecl();
+  }
+}
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang

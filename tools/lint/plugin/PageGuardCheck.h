@@ -1,0 +1,38 @@
+// bouquet-page-guard: outside src/storage/buffer_manager.*, results of
+// BufferManager::Pin/PinNew must be bound to a PageGuard, and Unpin is
+// never called directly.
+//
+// A temporary-consumed pin (`bm.Pin(id).data()[0]`) releases the frame at
+// the end of the full expression, so the pointer read races eviction; a
+// discarded pin is a pin/unpin pulse that perturbs pinned_frames/
+// pinned_peak telemetry; a direct Unpin bypasses the guard's dirty-flag
+// bookkeeping. [[nodiscard]] on PageGuard catches plain discards at
+// compile time — this check closes the temporary-consumption and direct-
+// Unpin gaps the attribute cannot see. Fixture:
+// tests/static/lint/fixtures/fail_page_guard.cc.
+
+#ifndef BOUQUET_TOOLS_LINT_PLUGIN_PAGE_GUARD_CHECK_H_
+#define BOUQUET_TOOLS_LINT_PLUGIN_PAGE_GUARD_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+class PageGuardCheck : public ClangTidyCheck {
+ public:
+  PageGuardCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // BOUQUET_TOOLS_LINT_PLUGIN_PAGE_GUARD_CHECK_H_

@@ -1,0 +1,100 @@
+#include "TraceNameCheck.h"
+
+#include "BouquetLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/JSON.h"
+#include "llvm/Support/MemoryBuffer.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+TraceNameCheck::TraceNameCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      SchemaPath(Options.get("TraceSchemaPath", "scripts/trace_schema.json")) {
+  auto Buf = llvm::MemoryBuffer::getFile(SchemaPath);
+  if (!Buf) return;
+  auto Parsed = llvm::json::parse((*Buf)->getBuffer());
+  if (!Parsed) {
+    llvm::consumeError(Parsed.takeError());
+    return;
+  }
+  const auto *Obj = Parsed->getAsObject();
+  if (Obj == nullptr) return;
+  auto Load = [Obj](StringRef Key, llvm::StringSet<> *Out) {
+    if (const auto *Arr = Obj->getArray(Key)) {
+      for (const auto &V : *Arr) {
+        if (auto S = V.getAsString()) Out->insert(*S);
+      }
+    }
+  };
+  Load("known_span_names", &SpanNames);
+  Load("known_metric_names", &MetricNames);
+  SchemaLoaded = true;
+}
+
+void TraceNameCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "TraceSchemaPath", SchemaPath);
+}
+
+void TraceNameCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("Begin", "BeginUnder", "StartSpan",
+                              "StartSpanUnder"),
+                   hasDeclContext(recordDecl(hasName("Tracer"))))))
+          .bind("span_call"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("GetCounter", "GetGauge", "GetHistogram"),
+                   hasDeclContext(recordDecl(hasName("MetricsRegistry"))))))
+          .bind("metric_call"),
+      this);
+}
+
+void TraceNameCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *SpanCall = Result.Nodes.getNodeAs<CallExpr>("span_call");
+  const auto *MetricCall = Result.Nodes.getNodeAs<CallExpr>("metric_call");
+  const CallExpr *Call = SpanCall != nullptr ? SpanCall : MetricCall;
+  if (Call == nullptr || !SchemaLoaded) return;
+
+  // Find the name argument: the first parameter of type const char*/
+  // StringRef by position — Tracer::Begin takes the tracer first, the
+  // member spellings take the name first.
+  const Expr *NameArg = nullptr;
+  for (unsigned I = 0; I < Call->getNumArgs(); ++I) {
+    const Expr *Arg = Call->getArg(I)->IgnoreParenImpCasts();
+    if (Arg->getType()->isPointerType() || isa<StringLiteral>(Arg)) {
+      NameArg = Arg;
+      break;
+    }
+  }
+  if (NameArg == nullptr) return;
+
+  StringRef What = SpanCall != nullptr ? "span" : "metric";
+  const llvm::StringSet<> &Names =
+      SpanCall != nullptr ? SpanNames : MetricNames;
+
+  const auto *Lit = dyn_cast<StringLiteral>(NameArg);
+  if (Lit == nullptr) {
+    diag(Call->getBeginLoc(),
+         "non-literal %0 name defeats schema checking; pass a literal from "
+         "scripts/trace_schema.json")
+        << What;
+    return;
+  }
+  if (!Names.contains(Lit->getString())) {
+    diag(Lit->getBeginLoc(),
+         "%0 name \"%1\" is not in scripts/trace_schema.json; add it to the "
+         "schema (and teach the trace-schema CI job) or fix the typo")
+        << What << Lit->getString();
+  }
+}
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,47 @@
+// bouquet-trace-name: span/metric name literals passed to
+// Tracer::Begin/BeginUnder/StartSpan/StartSpanUnder and
+// MetricsRegistry::Get{Counter,Gauge,Histogram} must appear in
+// scripts/trace_schema.json (known_span_names / known_metric_names).
+//
+// The trace-schema CI job validates emitted traces at run time; this check
+// moves the same contract to analysis time, so a typo'd or unregistered
+// name fails the build instead of the nightly. Non-literal names are
+// flagged too: a name the schema checker cannot see is a name nobody
+// audits. Option `TraceSchemaPath` points at the schema (set by
+// run_static_analysis.sh). Fixture:
+// tests/static/lint/fixtures/fail_trace_name.cc.
+
+#ifndef BOUQUET_TOOLS_LINT_PLUGIN_TRACE_NAME_CHECK_H_
+#define BOUQUET_TOOLS_LINT_PLUGIN_TRACE_NAME_CHECK_H_
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/StringSet.h"
+
+namespace clang {
+namespace tidy {
+namespace bouquet {
+
+class TraceNameCheck : public ClangTidyCheck {
+ public:
+  TraceNameCheck(StringRef Name, ClangTidyContext *Context);
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  const std::string SchemaPath;
+  bool SchemaLoaded = false;
+  llvm::StringSet<> SpanNames;
+  llvm::StringSet<> MetricNames;
+};
+
+}  // namespace bouquet
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // BOUQUET_TOOLS_LINT_PLUGIN_TRACE_NAME_CHECK_H_
