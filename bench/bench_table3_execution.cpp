@@ -65,7 +65,15 @@ void PrintContourBreakup(const char* label, const DriverResult& res) {
   }
   for (const auto& [contour, agg] : by_contour) {
     const auto& [execs, units, secs, spills] = agg;
-    std::printf("  %-8d %-7d %-12s %-12.3f %-9d %s\n", contour + 1, execs,
+    // kNoContour marks unbudgeted native runs; printing it as "contour 0"
+    // would alias the first real contour (1-based in the paper's tables).
+    char bucket[16];
+    if (contour == DriverStep::kNoContour) {
+      std::snprintf(bucket, sizeof(bucket), "%s", "native");
+    } else {
+      std::snprintf(bucket, sizeof(bucket), "%d", contour + 1);
+    }
+    std::printf("  %-8s %-7d %-12s %-12.3f %-9d %s\n", bucket, execs,
                 FormatSci(units).c_str(), secs, spills,
                 contour == res.steps.back().contour && res.completed
                     ? "completed"

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI perf gate for the cross-query feedback loop.
+
+Compares the BENCH_feedback.json emitted by `bench_feedback --smoke`
+against the recorded baseline (bench/baselines/feedback_smoke.json):
+
+  warm     — repeat traffic must trigger at least the baseline's warm runs
+             and skipped contours, and the warm real-data run must return
+             the cold run's result rows (canonicalized for plan-dependent
+             column order).
+  shrink   — the feedback-shrunken compile must cost strictly fewer
+             optimizer DP calls than the declared-range compile (its whole
+             point), with the full compile at the expected size.
+  oracle   — the warm-start MSO-bound property must hold over at least the
+             baseline's run count with zero violations.
+  shootout — all five policies present; the bouquet's MSO must stay under
+             the baseline ceiling and every reported metric finite.
+
+Every gated quantity is deterministic (counts, not wall clock), so any
+change is a real behavioral regression.
+
+Usage: check_feedback_smoke.py <BENCH_feedback.json> [baseline.json]
+Exit code 0 on pass, 1 on regression or malformed input.
+"""
+
+import json
+import math
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    os.pardir, "bench", "baselines", "feedback_smoke.json")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    bench_path = argv[1]
+    baseline_path = argv[2] if len(argv) > 2 else DEFAULT_BASELINE
+
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        base = json.load(f)
+
+    failures = []
+
+    warm = bench.get("warm", {})
+    wbase = base["warm"]
+    print(f"warm: {warm.get('warm_runs', 0)} warm runs, "
+          f"{warm.get('contours_skipped', 0)} contours skipped, "
+          f"rows_identical={warm.get('rows_identical')}")
+    if warm.get("warm_runs", 0) < wbase["min_warm_runs"]:
+        failures.append(
+            f"warm: warm_runs {warm.get('warm_runs', 0)} < "
+            f"{wbase['min_warm_runs']} — repeat traffic no longer "
+            f"warm-starts")
+    if warm.get("contours_skipped", 0) < wbase["min_contours_skipped"]:
+        failures.append(
+            f"warm: contours_skipped {warm.get('contours_skipped', 0)} < "
+            f"{wbase['min_contours_skipped']} — warm search stopped "
+            f"skipping the ladder prefix")
+    if warm.get("rows_identical") is not True:
+        failures.append(
+            "warm: rows_identical is not true — the warm run changed the "
+            "query result")
+    if warm.get("driver_contours_skipped", 0) < 1:
+        failures.append(
+            "warm: driver_contours_skipped < 1 — real-data warm start "
+            "executed the full ladder")
+
+    shrink = bench.get("shrink", {})
+    sbase = base["shrink"]
+    print(f"shrink: dp_calls {shrink.get('full_dp_calls', 0)} full -> "
+          f"{shrink.get('shrunken_dp_calls', 0)} shrunken")
+    if shrink.get("full_points", 0) != sbase["full_points"]:
+        failures.append(
+            f"shrink: full_points {shrink.get('full_points', 0)} != "
+            f"{sbase['full_points']} — smoke grid changed; re-record the "
+            f"baseline")
+    if not (0 < shrink.get("shrunken_dp_calls", 0)
+            < shrink.get("full_dp_calls", 0)):
+        failures.append(
+            f"shrink: shrunken_dp_calls {shrink.get('shrunken_dp_calls', 0)} "
+            f"not in (0, full_dp_calls {shrink.get('full_dp_calls', 0)}) — "
+            f"the shrunken box no longer saves compile work")
+
+    oracle = bench.get("oracle", {})
+    obase = base["oracle"]
+    runs = oracle.get("warm_runs", 0) + oracle.get("mispredicted_runs", 0)
+    print(f"oracle: {runs} seeded warm runs, "
+          f"{oracle.get('violations', -1)} violations")
+    if runs < obase["min_runs"]:
+        failures.append(
+            f"oracle: only {runs} seeded runs < {obase['min_runs']}")
+    if oracle.get("violations", -1) != 0:
+        failures.append(
+            f"oracle: {oracle.get('violations', -1)} violations — a warm "
+            f"start broke completion or the Theorem 3 bound")
+
+    shootout = {row.get("policy"): row for row in bench.get("shootout", [])}
+    missing = [p for p in base["shootout"]["policies"]
+               if p not in shootout]
+    if missing:
+        failures.append(f"shootout: missing policies {missing}")
+    for name, row in shootout.items():
+        for key in ("mso", "aso", "max_harm"):
+            v = row.get(key)
+            if not isinstance(v, (int, float)) or not math.isfinite(v):
+                failures.append(f"shootout: {name}.{key} = {v!r} not finite")
+    bq = shootout.get("bouquet")
+    if bq is not None:
+        print(f"shootout: bouquet MSO {bq['mso']:.3f} "
+              f"(ceiling {base['shootout']['max_bouquet_mso']})")
+        if bq["mso"] > base["shootout"]["max_bouquet_mso"]:
+            failures.append(
+                f"shootout: bouquet MSO {bq['mso']:.3f} > ceiling "
+                f"{base['shootout']['max_bouquet_mso']} — the bouquet lost "
+                f"its robustness edge")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print("feedback smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -465,6 +465,17 @@ DriverResult BouquetDriver::RunOptimized() {
   };
 
   size_t k = 0;
+  if (warm_start_ > 0) {
+    // Feedback warm start: skip the cheap contour prefix. Safe for any
+    // clamped value — see SetWarmStart's contract. Clamp to the LAST
+    // contour, not one past it: the Cmax contour must still execute.
+    k = bouquet_->contours.empty()
+            ? 0
+            : std::min(static_cast<size_t>(warm_start_),
+                       bouquet_->contours.size() - 1);
+    res.warm_contours_skipped = static_cast<int>(k);
+    run.Num("warm_start_contour", static_cast<double>(k));
+  }
   while (k < bouquet_->contours.size()) {
     const BouquetContour& contour = bouquet_->contours[k];
     const double budget = contour.budget;
@@ -679,7 +690,7 @@ DriverResult BouquetDriver::RunSinglePlan(const PlanNode& root) {
   if (res.completed) res.final_plan_signature = signature;
 
   DriverStep step;
-  step.contour = -1;  // no contour: unbudgeted native run
+  step.contour = DriverStep::kNoContour;  // unbudgeted native run
   step.plan_id = res.final_plan;
   step.plan_signature = signature;
   step.budget = std::numeric_limits<double>::infinity();
@@ -694,6 +705,23 @@ DriverResult BouquetDriver::RunSinglePlan(const PlanNode& root) {
       .Num("total_cost_units", res.total_cost_units)
       .Flag("completed", res.completed);
   return res;
+}
+
+ContourHistogram HistogramSteps(const std::vector<DriverStep>& steps) {
+  ContourHistogram h;
+  for (const DriverStep& step : steps) {
+    if (step.contour < 0) {
+      // kNoContour (and any other negative sentinel) buckets separately:
+      // a native run is not a ladder execution.
+      ++h.native;
+      continue;
+    }
+    if (static_cast<size_t>(step.contour) >= h.by_contour.size()) {
+      h.by_contour.resize(static_cast<size_t>(step.contour) + 1, 0);
+    }
+    ++h.by_contour[static_cast<size_t>(step.contour)];
+  }
+  return h;
 }
 
 }  // namespace bouquet

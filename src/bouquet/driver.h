@@ -24,6 +24,12 @@ namespace bouquet {
 
 /// Log entry for one partial/full execution.
 struct DriverStep {
+  /// Sentinel `contour` value for unbudgeted native runs (RunSinglePlan):
+  /// the step belongs to no ladder contour. Contour-indexed consumers must
+  /// bucket it explicitly — use HistogramSteps() instead of indexing
+  /// `by_contour[step.contour]` directly.
+  static constexpr int kNoContour = -1;
+
   int contour = 0;
   int plan_id = -1;
   std::string plan_signature;
@@ -46,6 +52,9 @@ struct DriverResult {
   double wall_seconds = 0.0;
   int num_executions = 0;
   int contours_crossed = 0;
+  /// Contours skipped up-front by a feedback warm start (SetWarmStart);
+  /// 0 for cold runs.
+  int warm_contours_skipped = 0;
   /// Page-access totals summed over all steps (zero on in-memory data).
   int64_t page_reads = 0;
   int64_t page_hits = 0;
@@ -63,6 +72,19 @@ struct DriverResult {
   /// SelectivityErrorLog to improve future dimension identification.
   DimVector discovered_selectivities;
 };
+
+/// Steps bucketed by contour with the DriverStep::kNoContour sentinel kept
+/// out of the indexed counts: `by_contour[k]` counts steps on contour k
+/// (sized to the deepest contour seen), `native` counts sentinel steps.
+/// Every contour-indexed reducer (bench tables, service aggregations) must
+/// go through this instead of using `step.contour` as a raw index, which
+/// would either crash or silently fold native runs into contour counts.
+struct ContourHistogram {
+  std::vector<int64_t> by_contour;
+  int64_t native = 0;
+};
+
+ContourHistogram HistogramSteps(const std::vector<DriverStep>& steps);
 
 /// Executes a query via its plan bouquet against real data.
 ///
@@ -97,6 +119,17 @@ class BouquetDriver {
   /// one DriverStep (contour -1 = "no contour, native run") so aggregations
   /// over `steps` count native runs like every other execution path.
   DriverResult RunSinglePlan(const PlanNode& root);
+
+  /// Feedback warm start: the next RunOptimized() begins its ladder at
+  /// `start_contour` (clamped into [0, contours)) instead of 0. q_run still
+  /// starts at the dimension lows, so discovery and plan pruning behave as
+  /// in a cold run — only the cheap contour prefix is skipped. Completion
+  /// is unconditional (contour-region domination, see contours.h); the
+  /// Theorem-3 MSO bound is preserved when the feedback seed that chose
+  /// the contour is dominated by q_a (feedback/warm_start.h).
+  void SetWarmStart(int start_contour) {
+    warm_start_ = start_contour > 0 ? start_contour : 0;
+  }
 
   /// Attaches observability sinks (either may be null). Spans nest under
   /// `parent` when given (e.g. the service's request span); pass nullptr
@@ -137,6 +170,7 @@ class BouquetDriver {
   QueryOptimizer* opt_;
   Database* db_;
   ExecEngine engine_ = ExecEngine::kBatch;
+  int warm_start_ = 0;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments ins_;

@@ -224,7 +224,14 @@ int BouquetSimulator::PickPlan(const BouquetContour& contour,
 }
 
 SimResult BouquetSimulator::RunOptimized(uint64_t qa) const {
-  return RunOptimizedFrom(qa, GridPoint(diagram_->grid().dims(), 0));
+  return RunOptimizedFrom(qa, GridPoint(diagram_->grid().dims(), 0), 0);
+}
+
+SimResult BouquetSimulator::RunOptimizedWarm(uint64_t qa,
+                                             int start_contour) const {
+  return RunOptimizedFrom(
+      qa, GridPoint(diagram_->grid().dims(), 0),
+      static_cast<size_t>(std::max(0, start_contour)));
 }
 
 SimResult BouquetSimulator::RunOptimizedSeeded(uint64_t qa,
@@ -238,11 +245,11 @@ SimResult BouquetSimulator::RunOptimizedSeeded(uint64_t qa,
   for (size_t d = 0; d < start.size(); ++d) {
     start[d] = std::min(start[d], qa_pt[d]);
   }
-  return RunOptimizedFrom(qa, std::move(start));
+  return RunOptimizedFrom(qa, std::move(start), 0);
 }
 
-SimResult BouquetSimulator::RunOptimizedFrom(uint64_t qa,
-                                             GridPoint qrun) const {
+SimResult BouquetSimulator::RunOptimizedFrom(uint64_t qa, GridPoint qrun,
+                                             size_t start_contour) const {
   SimResult res;
   const EssGrid& grid = diagram_->grid();
   const GridPoint qa_pt = grid.PointAt(qa);
@@ -254,7 +261,12 @@ SimResult BouquetSimulator::RunOptimizedFrom(uint64_t qa,
   int last_plan = -1;
   double last_progress = 0.0;
 
-  size_t k = 0;
+  // Clamp to the LAST contour, not one past it: a warm start beyond the
+  // ladder still has to execute the Cmax contour to complete.
+  size_t k = bouquet_->contours.empty()
+                 ? 0
+                 : std::min(start_contour, bouquet_->contours.size() - 1);
+  res.start_contour = static_cast<int>(k);
   while (k < bouquet_->contours.size()) {
     const BouquetContour& contour = bouquet_->contours[k];
     const double budget = contour.budget;

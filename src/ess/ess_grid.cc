@@ -23,6 +23,24 @@ EssGrid::EssGrid(const QuerySpec& query, std::vector<int> resolutions) {
   }
 }
 
+EssGrid::EssGrid(const QuerySpec& query, std::vector<int> resolutions,
+                 const DimVector& lo, const DimVector& hi) {
+  assert(resolutions.size() == query.error_dims.size());
+  assert(lo.size() == resolutions.size() && hi.size() == resolutions.size());
+  (void)query;
+  axes_.reserve(resolutions.size());
+  for (size_t d = 0; d < resolutions.size(); ++d) {
+    assert(lo[d] > 0.0 && hi[d] > lo[d]);
+    axes_.push_back(LogSpace(lo[d], hi[d], resolutions[d]));
+  }
+  strides_.resize(axes_.size());
+  num_points_ = 1;
+  for (int d = static_cast<int>(axes_.size()) - 1; d >= 0; --d) {
+    strides_[d] = num_points_;
+    num_points_ *= axes_[d].size();
+  }
+}
+
 int EssGrid::DefaultResolutionForDims(int dims) {
   switch (dims) {
     case 1:

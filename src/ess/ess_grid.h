@@ -27,6 +27,14 @@ class EssGrid {
   /// One resolution per error dimension of the query.
   EssGrid(const QuerySpec& query, std::vector<int> resolutions);
 
+  /// Explicit-box overload: axes span the given per-dimension [lo, hi]
+  /// instead of the query's declared ranges. Used by the feedback layer to
+  /// compile over a shrunken ESS box (observed selectivity support plus a
+  /// guard band); callers must keep lo/hi inside the declared ranges so
+  /// SnapToGrid clamping stays meaningful.
+  EssGrid(const QuerySpec& query, std::vector<int> resolutions,
+          const DimVector& lo, const DimVector& hi);
+
   /// Default resolutions chosen by dimensionality (1D:100, 2D:64, 3D:20,
   /// 4D:12, 5D:8, >=6D:6) so exhaustive POSP stays tractable.
   static EssGrid WithDefaultResolution(const QuerySpec& query);

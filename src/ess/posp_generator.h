@@ -34,6 +34,13 @@
 // owns a private QueryOptimizer (and DP bound); the diagram is assembled
 // single-threaded after the shards join. No shared mutable state is
 // reachable from workers.
+//
+// Shrunken ESS boxes: the generator is agnostic to where the grid's axes
+// came from — the feedback layer (src/feedback/warm_start.h) may hand it a
+// grid built over the observed selectivity support instead of the declared
+// ranges (EssGrid's explicit-box constructor). Fewer points and a tighter
+// cost range mean both fewer DP calls and better recost-skip locality;
+// bench_feedback --smoke measures the effect against the full-box compile.
 
 #ifndef BOUQUET_ESS_POSP_GENERATOR_H_
 #define BOUQUET_ESS_POSP_GENERATOR_H_

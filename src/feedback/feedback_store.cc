@@ -1,0 +1,380 @@
+#include "feedback/feedback_store.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace bouquet {
+namespace {
+
+constexpr char kHeader[] = "# bouquet-feedback v1";
+
+// FNV-1a 64 over the record body; the same construction template_key.cc
+// uses for template hashes. Local copy to keep feedback/ below service/ in
+// the layering.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Checksummed(const std::string& body) {
+  return body + StrPrintf(" %016llx\n",
+                          static_cast<unsigned long long>(Fnv1a(body)));
+}
+
+// Splits a whitespace-separated line into tokens.
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool ParseHex64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 16);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// Hex-float (%a) parse for exact selectivity round-trip.
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FeedbackStore::FeedbackStore() = default;
+
+FeedbackStore::FeedbackStore(std::string path) : path_(std::move(path)) {}
+
+Result<std::unique_ptr<FeedbackStore>> FeedbackStore::Open(
+    const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("feedback store path is empty");
+  }
+  std::unique_ptr<FeedbackStore> store(new FeedbackStore(path));
+  Status s = store->Recover();
+  if (!s.ok()) return s;
+  // A torn tail was dropped during replay: compact immediately so the
+  // garbage cannot shadow (or corrupt the parse of) future appends.
+  if (store->dropped_records_.load(std::memory_order_relaxed) > 0) {
+    s = store->Compact();
+    if (!s.ok()) return s;
+  }
+  MutexLock lock(&store->log_mu_);
+  store->log_ = std::fopen(path.c_str(), "a");
+  if (store->log_ == nullptr) {
+    return Status::Internal(
+        StrPrintf("feedback store: cannot open '%s' for append: %s",
+                  path.c_str(), std::strerror(errno)));
+  }
+  if (std::ftell(store->log_) == 0) {
+    std::fprintf(store->log_, "%s\n", kHeader);
+    std::fflush(store->log_);
+  }
+  return store;
+}
+
+FeedbackStore::~FeedbackStore() {
+  if (file_backed()) {
+    // Snapshot-compact on shutdown (ISSUE contract); best-effort.
+    Compact().ok();
+  }
+  MutexLock lock(&log_mu_);
+  if (log_ != nullptr) {
+    std::fclose(log_);
+    log_ = nullptr;
+  }
+}
+
+void FeedbackStore::Absorb(uint64_t hash, const DimVector& sels,
+                           int final_contour) {
+  Shard& shard = ShardFor(hash);
+  MutexLock lock(&shard.mu);
+  TemplateFeedback& fb = shard.templates[hash];
+  if (fb.support.empty()) {
+    fb.support.resize(sels.size());
+    for (size_t d = 0; d < sels.size(); ++d) {
+      fb.support[d] = {sels[d], sels[d]};
+    }
+  } else if (fb.support.size() == sels.size()) {
+    for (size_t d = 0; d < sels.size(); ++d) {
+      if (sels[d] < fb.support[d].lo) fb.support[d].lo = sels[d];
+      if (sels[d] > fb.support[d].hi) fb.support[d].hi = sels[d];
+    }
+  } else {
+    // Dimensionality changed under the same hash (should be impossible —
+    // the template key encodes the ESS shape); keep the first shape.
+    return;
+  }
+  ++fb.observations;
+  if (final_contour > fb.max_final_contour) {
+    fb.max_final_contour = final_contour;
+  }
+}
+
+Status FeedbackStore::Record(const FeedbackObservation& obs) {
+  if (obs.selectivities.empty()) {
+    return Status::InvalidArgument("feedback observation has no dimensions");
+  }
+  for (double s : obs.selectivities) {
+    if (!std::isfinite(s) || s <= 0.0) {
+      return Status::InvalidArgument(
+          "feedback observation has a non-finite or non-positive "
+          "selectivity");
+    }
+  }
+  Absorb(obs.template_hash, obs.selectivities, obs.final_contour);
+  records_.fetch_add(1, std::memory_order_relaxed);
+  if (!file_backed()) return Status::Ok();
+
+  std::string body =
+      StrPrintf("obs %016llx %d %d",
+                static_cast<unsigned long long>(obs.template_hash),
+                obs.final_contour,
+                static_cast<int>(obs.selectivities.size()));
+  for (double s : obs.selectivities) body += StrPrintf(" %a", s);
+  return AppendLine(body);
+}
+
+Status FeedbackStore::AppendLine(const std::string& body) {
+  const std::string line = Checksummed(body);
+  MutexLock lock(&log_mu_);
+  if (log_ == nullptr) return Status::Ok();  // recovery/compaction window
+  if (std::fwrite(line.data(), 1, line.size(), log_) != line.size()) {
+    return Status::Internal("feedback store: log append failed");
+  }
+  std::fflush(log_);
+  log_appends_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+bool FeedbackStore::Lookup(uint64_t template_hash,
+                           TemplateFeedback* out) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const Shard& shard = ShardFor(template_hash);
+  MutexLock lock(&shard.mu);
+  auto it = shard.templates.find(template_hash);
+  if (it == shard.templates.end() || it->second.support.empty()) {
+    return false;
+  }
+  if (out != nullptr) *out = it->second;
+  lookup_hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status FeedbackStore::Recover() {
+  std::FILE* f = std::fopen(path_.c_str(), "r");
+  if (f == nullptr) return Status::Ok();  // fresh store
+  std::string line;
+  bool corrupt = false;
+  uint64_t recovered = 0, dropped = 0;
+  int ch;
+  while (!corrupt) {
+    line.clear();
+    while ((ch = std::fgetc(f)) != EOF && ch != '\n') {
+      line.push_back(static_cast<char>(ch));
+    }
+    const bool at_eof = (ch == EOF);
+    if (line.empty() && at_eof) break;
+    // A final line without a terminating newline is a torn append.
+    if (at_eof) {
+      corrupt = true;
+      ++dropped;
+      break;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    // Strip and verify the trailing checksum field.
+    const size_t sp = line.find_last_of(' ');
+    uint64_t want = 0;
+    if (sp == std::string::npos || !ParseHex64(line.substr(sp + 1), &want) ||
+        Fnv1a(line.substr(0, sp)) != want) {
+      corrupt = true;
+      ++dropped;
+      break;
+    }
+    const std::vector<std::string> tok = Tokens(line.substr(0, sp));
+    bool ok = false;
+    if (tok.size() >= 4 && (tok[0] == "obs" || tok[0] == "tpl")) {
+      uint64_t hash = 0;
+      long contour = 0, dims = 0;
+      if (tok[0] == "obs" && ParseHex64(tok[1], &hash) &&
+          ParseInt(tok[2], &contour) && ParseInt(tok[3], &dims) &&
+          dims > 0 && tok.size() == static_cast<size_t>(4 + dims)) {
+        DimVector sels(static_cast<size_t>(dims));
+        ok = true;
+        for (long d = 0; d < dims && ok; ++d) {
+          ok = ParseDouble(tok[static_cast<size_t>(4 + d)], &sels[d]);
+        }
+        if (ok) Absorb(hash, sels, static_cast<int>(contour));
+      } else if (tok[0] == "tpl" && tok.size() >= 5) {
+        long obs_count = 0;
+        if (ParseHex64(tok[1], &hash) && ParseInt(tok[2], &obs_count) &&
+            ParseInt(tok[3], &contour) && ParseInt(tok[4], &dims) &&
+            dims > 0 && obs_count > 0 &&
+            tok.size() == static_cast<size_t>(5 + 2 * dims)) {
+          TemplateFeedback fb;
+          fb.observations = static_cast<uint64_t>(obs_count);
+          fb.max_final_contour = static_cast<int>(contour);
+          fb.support.resize(static_cast<size_t>(dims));
+          ok = true;
+          for (long d = 0; d < dims && ok; ++d) {
+            ok = ParseDouble(tok[static_cast<size_t>(5 + 2 * d)],
+                             &fb.support[static_cast<size_t>(d)].lo) &&
+                 ParseDouble(tok[static_cast<size_t>(6 + 2 * d)],
+                             &fb.support[static_cast<size_t>(d)].hi);
+          }
+          if (ok) {
+            Shard& shard = ShardFor(hash);
+            MutexLock lock(&shard.mu);
+            TemplateFeedback& dst = shard.templates[hash];
+            if (dst.support.empty()) {
+              dst = fb;
+            } else if (dst.support.size() == fb.support.size()) {
+              dst.observations += fb.observations;
+              if (fb.max_final_contour > dst.max_final_contour) {
+                dst.max_final_contour = fb.max_final_contour;
+              }
+              for (size_t d = 0; d < fb.support.size(); ++d) {
+                if (fb.support[d].lo < dst.support[d].lo) {
+                  dst.support[d].lo = fb.support[d].lo;
+                }
+                if (fb.support[d].hi > dst.support[d].hi) {
+                  dst.support[d].hi = fb.support[d].hi;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!ok) {
+      // Structurally valid checksum over an unparseable body: still a
+      // corrupt record; stop here like any torn tail.
+      corrupt = true;
+      ++dropped;
+      break;
+    }
+    ++recovered;
+  }
+  if (corrupt) {
+    // Count the unread remainder of the file as dropped too.
+    while ((ch = std::fgetc(f)) != EOF) {
+      if (ch == '\n') ++dropped;
+    }
+  }
+  std::fclose(f);
+  recovered_records_.store(recovered, std::memory_order_relaxed);
+  dropped_records_.store(dropped, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status FeedbackStore::Compact() {
+  if (!file_backed()) return Status::Ok();
+  const std::string tmp = path_ + ".tmp";
+  // Hold the log mutex across the whole snapshot+rename so concurrent
+  // Record() appends land either in the old log (rewritten away, but
+  // already folded into the in-memory aggregates we snapshot) or in the
+  // reopened one. Shard mutexes are only ever taken *under* log_mu_ here
+  // (Record takes them disjointly, never the other way), so the order is
+  // acyclic.
+  MutexLock lock(&log_mu_);
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) {
+    return Status::Internal(
+        StrPrintf("feedback store: cannot open '%s': %s", tmp.c_str(),
+                  std::strerror(errno)));
+  }
+  std::fprintf(out, "%s\n", kHeader);
+  for (Shard& shard : shards_) {
+    MutexLock shard_lock(&shard.mu);
+    for (const auto& [hash, fb] : shard.templates) {
+      if (fb.support.empty()) continue;
+      std::string body =
+          StrPrintf("tpl %016llx %llu %d %d",
+                    static_cast<unsigned long long>(hash),
+                    static_cast<unsigned long long>(fb.observations),
+                    fb.max_final_contour,
+                    static_cast<int>(fb.support.size()));
+      for (const DimSupport& s : fb.support) {
+        body += StrPrintf(" %a %a", s.lo, s.hi);
+      }
+      const std::string line = Checksummed(body);
+      std::fwrite(line.data(), 1, line.size(), out);
+    }
+  }
+  if (std::fflush(out) != 0) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    return Status::Internal("feedback store: compaction flush failed");
+  }
+  std::fclose(out);
+  if (log_ != nullptr) {
+    std::fclose(log_);
+    log_ = nullptr;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal(
+        StrPrintf("feedback store: rename '%s' -> '%s' failed: %s",
+                  tmp.c_str(), path_.c_str(), std::strerror(errno)));
+  }
+  log_ = std::fopen(path_.c_str(), "a");
+  if (log_ == nullptr) {
+    return Status::Internal("feedback store: reopen after compaction failed");
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+FeedbackStoreStats FeedbackStore::stats() const {
+  FeedbackStoreStats s;
+  s.records = records_.load(std::memory_order_relaxed);
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.lookup_hits = lookup_hits_.load(std::memory_order_relaxed);
+  s.log_appends = log_appends_.load(std::memory_order_relaxed);
+  s.recovered_records = recovered_records_.load(std::memory_order_relaxed);
+  s.dropped_records = dropped_records_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    s.templates += shard.templates.size();
+  }
+  return s;
+}
+
+}  // namespace bouquet

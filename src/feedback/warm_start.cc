@@ -1,0 +1,96 @@
+#include "feedback/warm_start.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bouquet {
+
+bool WarmStartSeed(const TemplateFeedback& fb, const WarmStartPolicy& policy,
+                   DimVector* seed) {
+  if (fb.observations < policy.min_observations) return false;
+  if (fb.support.empty()) return false;
+  if (fb.max_final_contour < 0) return false;  // nothing ever completed
+  DimVector s(fb.support.size());
+  for (size_t d = 0; d < fb.support.size(); ++d) {
+    const double lo = fb.support[d].lo;
+    if (!std::isfinite(lo) || lo <= 0.0) return false;
+    s[d] = lo;  // per-dim observed minimum: maximally likely dominated
+  }
+  if (seed != nullptr) *seed = std::move(s);
+  return true;
+}
+
+int WarmStartContour(const PlanBouquet& bouquet, double seed_cost,
+                     int safety_margin) {
+  if (!std::isfinite(seed_cost) || seed_cost <= 0.0) return 0;
+  if (bouquet.contours.empty()) return 0;
+  constexpr double kEps = 1e-12;  // same slack BandOf uses
+  int band = static_cast<int>(bouquet.contours.size()) - 1;
+  for (size_t k = 0; k < bouquet.contours.size(); ++k) {
+    if (seed_cost <= bouquet.contours[k].step_cost * (1.0 + kEps)) {
+      band = static_cast<int>(k);
+      break;
+    }
+  }
+  return std::max(0, band - std::max(0, safety_margin));
+}
+
+bool ShrunkenBox(const QuerySpec& query, const TemplateFeedback& fb,
+                 const WarmStartPolicy& policy, EssBox* box) {
+  if (box != nullptr) {
+    box->lo.clear();
+    box->hi.clear();
+  }
+  if (fb.observations < policy.min_observations) return false;
+  if (fb.support.size() != static_cast<size_t>(query.NumDims())) return false;
+  const double band = std::max(1.0, policy.guard_band);
+  EssBox out;
+  out.lo.resize(fb.support.size());
+  out.hi.resize(fb.support.size());
+  bool any_shrunk = false;
+  for (size_t d = 0; d < fb.support.size(); ++d) {
+    const ErrorDimension& dim = query.error_dims[d];
+    double lo = fb.support[d].lo / band;
+    double hi = fb.support[d].hi * band;
+    if (!std::isfinite(lo) || !std::isfinite(hi) || lo <= 0.0 || hi < lo) {
+      return false;
+    }
+    lo = std::max(lo, dim.lo);
+    hi = std::min(hi, dim.hi);
+    if (hi <= lo) {  // degenerate after clamping: keep the declared range
+      lo = dim.lo;
+      hi = dim.hi;
+    }
+    out.lo[d] = lo;
+    out.hi[d] = hi;
+    if (lo > dim.lo * (1.0 + 1e-12) || hi < dim.hi * (1.0 - 1e-12)) {
+      any_shrunk = true;
+    }
+  }
+  if (!any_shrunk) return false;
+  if (box != nullptr) *box = std::move(out);
+  return true;
+}
+
+std::vector<int> ShrunkenResolutions(const QuerySpec& query,
+                                     const EssBox& box,
+                                     const std::vector<int>& resolutions,
+                                     int min_resolution) {
+  std::vector<int> out = resolutions;
+  const int floor_res = std::max(2, min_resolution);
+  for (size_t d = 0; d < out.size() && d < box.lo.size(); ++d) {
+    const ErrorDimension& dim = query.error_dims[d];
+    const double full = std::log(dim.hi / dim.lo);
+    const double shrunk = std::log(box.hi[d] / box.lo[d]);
+    if (!(full > 0.0) || !(shrunk > 0.0)) {
+      out[d] = floor_res;
+      continue;
+    }
+    const double ratio = std::min(1.0, shrunk / full);
+    out[d] = std::max(
+        floor_res, static_cast<int>(std::ceil(resolutions[d] * ratio)));
+  }
+  return out;
+}
+
+}  // namespace bouquet

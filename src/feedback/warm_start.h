@@ -1,0 +1,95 @@
+// Warm-start and ESS-box-shrinking policy derived from feedback.
+//
+// Warm start is a pure contour skip. The ladder normally climbs from
+// contour 0; with feedback we seed it at the contour whose budget already
+// covers the optimal cost at a conservative "seed" location (the per-dim
+// observed *minimum* selectivity), minus a safety margin. q_run still
+// starts at the dimension lows, so plan pruning and selectivity discovery
+// are untouched — only the cheap prefix of the ladder is skipped.
+//
+// Safety (the clamp argument; see DESIGN.md §14):
+//   * Completion is unconditional. Every grid location inside the region of
+//     contour j is dominated by some contour-j frontier point p (the
+//     coverage property contours.h documents), and by plan cost monotonicity
+//     plus the anorexic swallow bound, cost_P(q_a) <= cost_P(p) <=
+//     (1+lambda)·IC_j — so even a mispredicted warm start completes at its
+//     starting contour.
+//   * The Theorem-3 MSO bound is preserved whenever the seed is dominated by
+//     the actual location q_a: then C(seed) <= PIC(q_a), so the start
+//     contour is at most band(q_a) and the warm run is exactly the cold
+//     run's tail — total cost can only shrink. The per-dim *minimum*
+//     observed selectivity makes the seed maximally likely to be dominated;
+//     the safety margin backs it off further. Both cases are enforced by the
+//     warm_start property-harness oracle (src/testing/oracles.h).
+//
+// Box shrinking reuses the same support: the compile-time ESS box tightens
+// to the observed [lo, hi] inflated by a multiplicative guard band and
+// clamped into the declared range, with resolutions scaled down
+// proportionally to the shrunken log-range. The template cache key stays
+// the ORIGINAL query's key (the signature encodes declared ranges), so a
+// shrunken compile is an internal optimization, invisible to lookups.
+
+#ifndef BOUQUET_FEEDBACK_WARM_START_H_
+#define BOUQUET_FEEDBACK_WARM_START_H_
+
+#include <vector>
+
+#include "bouquet/bouquet.h"
+#include "feedback/feedback_store.h"
+#include "optimizer/selectivity.h"
+#include "query/query_spec.h"
+
+namespace bouquet {
+
+struct WarmStartPolicy {
+  /// Observations required before feedback is acted on at all.
+  uint64_t min_observations = 3;
+  /// Contours to back off below the learned start (>= 0).
+  int safety_margin = 1;
+  /// Multiplicative inflation of the observed support before box
+  /// shrinking: [lo/guard_band, hi*guard_band], clamped into the declared
+  /// range. Must be >= 1.
+  double guard_band = 4.0;
+  /// Enables warm-started contour search.
+  bool warm_contours = true;
+  /// Enables compile-time ESS-box shrinking.
+  bool shrink_box = true;
+  /// Floor for shrunken per-dimension grid resolutions.
+  int min_resolution = 4;
+};
+
+/// Shrunken per-dimension selectivity bounds for an EssGrid compile.
+struct EssBox {
+  DimVector lo;
+  DimVector hi;
+};
+
+/// Derives the conservative warm-start seed (per-dim observed minimum
+/// selectivity). Returns false when the feedback is unusable: too few
+/// observations, empty/degenerate support, or no completed run on record.
+bool WarmStartSeed(const TemplateFeedback& fb, const WarmStartPolicy& policy,
+                   DimVector* seed);
+
+/// First contour whose budget covers `seed_cost`, minus `safety_margin`,
+/// clamped to [0, contours). Returns 0 when seed_cost is non-finite or no
+/// contour covers it (cold start).
+int WarmStartContour(const PlanBouquet& bouquet, double seed_cost,
+                     int safety_margin);
+
+/// Computes the shrunken ESS box: observed support inflated by the guard
+/// band and clamped into the declared [lo, hi]. Returns false (and leaves
+/// *box empty) when feedback is unusable or no dimension actually shrinks.
+bool ShrunkenBox(const QuerySpec& query, const TemplateFeedback& fb,
+                 const WarmStartPolicy& policy, EssBox* box);
+
+/// Scales per-dimension resolutions down proportionally to the shrunken
+/// log-range: res' = max(min_resolution, ceil(res * logratio)). Keeps the
+/// grid density (points per decade) roughly constant.
+std::vector<int> ShrunkenResolutions(const QuerySpec& query,
+                                     const EssBox& box,
+                                     const std::vector<int>& resolutions,
+                                     int min_resolution);
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_FEEDBACK_WARM_START_H_

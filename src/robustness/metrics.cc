@@ -75,30 +75,50 @@ BouquetProfile ComputeBouquetProfile(const BouquetSimulator& simulator,
   return prof;
 }
 
+namespace {
+bool HarmEntryValid(double subopt, double native_worst) {
+  return std::isfinite(subopt) && std::isfinite(native_worst) &&
+         native_worst > 0.0;
+}
+}  // namespace
+
 double MaxHarm(const std::vector<double>& subopt,
                const std::vector<double>& native_worst) {
   assert(subopt.size() == native_worst.size());
   // Empty input: no location can be harmed, so MaxHarm is 0 ("no harm"),
   // not the -1 lower bound of the harm expression (which only makes sense
-  // once at least one location exists).
+  // once at least one location exists). Degenerate entries — zero or
+  // non-finite native_worst (an uninitialized or failed profile slot), or
+  // non-finite subopt — are SKIPPED under the same convention: a location
+  // whose native baseline is meaningless cannot witness harm, and letting
+  // it through would poison the aggregate with inf/NaN. If every entry is
+  // degenerate the result is again 0.0.
   if (subopt.empty()) return 0.0;
   double mh = -1.0;
+  bool any = false;
   for (size_t i = 0; i < subopt.size(); ++i) {
-    assert(native_worst[i] > 0.0);
+    if (!HarmEntryValid(subopt[i], native_worst[i])) continue;
+    any = true;
     mh = std::max(mh, subopt[i] / native_worst[i] - 1.0);
   }
-  return mh;
+  return any ? mh : 0.0;
 }
 
 double HarmFraction(const std::vector<double>& subopt,
                     const std::vector<double>& native_worst) {
   assert(subopt.size() == native_worst.size());
   if (subopt.empty()) return 0.0;
-  size_t harmed = 0;
+  // Same skip convention as MaxHarm: degenerate entries leave both the
+  // numerator and the denominator, so a profile with failed slots reports
+  // the harm fraction of the locations that actually have a baseline.
+  size_t harmed = 0, valid = 0;
   for (size_t i = 0; i < subopt.size(); ++i) {
+    if (!HarmEntryValid(subopt[i], native_worst[i])) continue;
+    ++valid;
     if (subopt[i] > native_worst[i] * (1.0 + 1e-9)) ++harmed;
   }
-  return static_cast<double>(harmed) / static_cast<double>(subopt.size());
+  if (valid == 0) return 0.0;
+  return static_cast<double>(harmed) / static_cast<double>(valid);
 }
 
 std::vector<double> EnhancementDistribution(

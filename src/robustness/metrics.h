@@ -53,10 +53,18 @@ BouquetProfile ComputeBouquetProfile(const BouquetSimulator& simulator,
 /// `subopt` is the policy's per-q_a sub-optimality (worst-case for
 /// estimate-based policies, SubOpt(*,q_a) for the bouquet). Empty inputs
 /// yield 0.0 (no location, no harm).
+///
+/// Degenerate-entry convention (tested in test_metrics): entries with zero
+/// or non-finite `native_worst` (an uninitialized/failed profile slot) or
+/// non-finite `subopt` are skipped — a location without a meaningful native
+/// baseline cannot witness harm, and a single such slot must not poison the
+/// shootout aggregate with inf/NaN. All-degenerate input yields 0.0.
 double MaxHarm(const std::vector<double>& subopt,
                const std::vector<double>& native_worst);
 
 /// Fraction of locations where the policy is harmful (ratio > 1).
+/// Degenerate entries are skipped from both numerator and denominator
+/// (same convention as MaxHarm); all-degenerate input yields 0.0.
 double HarmFraction(const std::vector<double>& subopt,
                     const std::vector<double>& native_worst);
 

@@ -1,0 +1,77 @@
+#include "robustness/pao.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace bouquet {
+
+PaoResult PaoSelect(const PlanDiagram& diagram, QueryOptimizer* opt,
+                    const PaoOptions& options) {
+  const EssGrid& grid = diagram.grid();
+  const uint64_t n = grid.num_points();
+  const int dims = grid.dims();
+  const int samples = std::max(1, options.samples);
+  const double q = std::clamp(options.quantile, 0.0, 1.0);
+  const double spread = std::max(0.0, options.spread);
+
+  PaoResult res;
+  res.plan_at.assign(n, 0);
+  std::vector<bool> used(static_cast<size_t>(diagram.num_plans()), false);
+
+  std::vector<uint64_t> sample_pts(static_cast<size_t>(samples));
+  std::vector<int> candidates;
+  std::vector<double> ratios(static_cast<size_t>(samples));
+  GridPoint sp(dims);
+  for (uint64_t qe = 0; qe < n; ++qe) {
+    const DimVector center = grid.SelectivityAt(qe);
+    // Per-point deterministic stream: selection is independent of the
+    // order q_e values are evaluated in.
+    Rng rng(options.seed ^ (qe * 0x9e3779b97f4a7c15ull));
+
+    candidates.clear();
+    candidates.push_back(diagram.plan_at(qe));
+    for (int s = 0; s < samples; ++s) {
+      for (int d = 0; d < dims; ++d) {
+        const double u = (2.0 * rng.NextDouble() - 1.0) * spread;
+        const double sel = center[static_cast<size_t>(d)] * std::pow(10.0, u);
+        sp[d] = grid.AxisFloor(d, sel);
+      }
+      const uint64_t linear = grid.LinearIndex(sp);
+      sample_pts[static_cast<size_t>(s)] = linear;
+      const int pid = diagram.plan_at(linear);
+      if (std::find(candidates.begin(), candidates.end(), pid) ==
+          candidates.end()) {
+        candidates.push_back(pid);
+      }
+    }
+
+    int best = candidates[0];
+    double best_quantile = std::numeric_limits<double>::infinity();
+    for (int pid : candidates) {
+      const PlanNode& root = *diagram.plan(pid).root;
+      for (int s = 0; s < samples; ++s) {
+        const uint64_t linear = sample_pts[static_cast<size_t>(s)];
+        ratios[static_cast<size_t>(s)] =
+            opt->CostPlanAt(root, grid.SelectivityAt(linear)) /
+            diagram.cost_at(linear);
+      }
+      std::sort(ratios.begin(), ratios.end());
+      const int idx = std::min(
+          samples - 1, static_cast<int>(std::ceil(q * samples)) - 1);
+      const double qv = ratios[static_cast<size_t>(std::max(0, idx))];
+      if (qv < best_quantile) {
+        best_quantile = qv;
+        best = pid;
+      }
+    }
+    res.plan_at[qe] = best;
+    used[static_cast<size_t>(best)] = true;
+  }
+  for (bool u : used) res.distinct_plans += u ? 1 : 0;
+  return res;
+}
+
+}  // namespace bouquet

@@ -1,0 +1,51 @@
+// Sampling-based probably-approximately-optimal (PAO) plan selection
+// (after Trummer & Koch's probabilistic robust-optimization line of work).
+//
+// Instead of trusting the point estimate q_e, PAO treats the true
+// selectivities as a random variable centered (in log space) on q_e,
+// draws a deterministic sample of locations from that neighborhood, and
+// picks the plan whose (1-delta)-quantile of the sub-optimality ratio
+// cost_P(q)/PIC(q) over the sample is smallest: with probability 1-delta
+// (under the modeled distribution) the chosen plan's sub-optimality does
+// not exceed the reported quantile. Like PARQO — and unlike the bouquet —
+// this is an a-priori hedge with no runtime guarantee once q_a falls
+// outside the modeled distribution; the shootout quantifies exactly that.
+//
+// Sampling is fully deterministic: the per-point stream is seeded from
+// (options.seed, q_e), so results are independent of evaluation order.
+
+#ifndef BOUQUET_ROBUSTNESS_PAO_H_
+#define BOUQUET_ROBUSTNESS_PAO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ess/plan_diagram.h"
+#include "optimizer/optimizer.h"
+
+namespace bouquet {
+
+struct PaoOptions {
+  /// Locations sampled per estimate point.
+  int samples = 32;
+  /// Quantile of the cost ratio minimized (1 - delta).
+  double quantile = 0.9;
+  /// Log10 half-width of the sampling neighborhood around q_e: each
+  /// dimension's selectivity is scaled by 10^u, u uniform in
+  /// [-spread, spread], then clamped to the axis range.
+  double spread = 1.0;
+  /// Base seed of the deterministic sampling streams.
+  uint64_t seed = 0x9a0;
+};
+
+struct PaoResult {
+  std::vector<int> plan_at;  ///< per-q_e selected plan (diagram plan id)
+  int distinct_plans = 0;
+};
+
+PaoResult PaoSelect(const PlanDiagram& diagram, QueryOptimizer* opt,
+                    const PaoOptions& options = {});
+
+}  // namespace bouquet
+
+#endif  // BOUQUET_ROBUSTNESS_PAO_H_

@@ -1,0 +1,95 @@
+#include "robustness/parqo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bouquet {
+namespace {
+
+// Enumerates the Chebyshev window around `center`, invoking
+// fn(linear, chebyshev_distance) for each in-grid point.
+template <typename Fn>
+void ForWindow(const EssGrid& grid, const GridPoint& center, int radius,
+               Fn&& fn) {
+  const int dims = grid.dims();
+  GridPoint p(dims);
+  // Odometer over [-radius, radius]^dims offsets, clamped by the grid.
+  std::vector<int> off(dims, -radius);
+  for (;;) {
+    bool in_grid = true;
+    int dist = 0;
+    for (int d = 0; d < dims && in_grid; ++d) {
+      const int idx = center[d] + off[d];
+      if (idx < 0 || idx >= grid.resolution(d)) {
+        in_grid = false;
+        break;
+      }
+      p[d] = idx;
+      dist = std::max(dist, std::abs(off[d]));
+    }
+    if (in_grid) fn(grid.LinearIndex(p), dist);
+    int d = dims - 1;
+    while (d >= 0 && ++off[d] > radius) {
+      off[d] = -radius;
+      --d;
+    }
+    if (d < 0) break;
+  }
+}
+
+}  // namespace
+
+ParqoResult ParqoSelect(const PlanDiagram& diagram, QueryOptimizer* opt,
+                        const ParqoOptions& options) {
+  const EssGrid& grid = diagram.grid();
+  const uint64_t n = grid.num_points();
+  const int radius = std::max(0, options.neighborhood);
+  const double decay = std::clamp(options.decay, 0.0, 1.0);
+
+  ParqoResult res;
+  res.plan_at.assign(n, 0);
+  std::vector<bool> used(static_cast<size_t>(diagram.num_plans()), false);
+
+  std::vector<int> candidates;
+  std::vector<uint64_t> window;
+  std::vector<double> weights;
+  for (uint64_t qe = 0; qe < n; ++qe) {
+    const GridPoint center = grid.PointAt(qe);
+
+    window.clear();
+    weights.clear();
+    candidates.clear();
+    ForWindow(grid, center, radius, [&](uint64_t linear, int dist) {
+      window.push_back(linear);
+      weights.push_back(std::pow(decay, dist));
+      const int pid = diagram.plan_at(linear);
+      if (std::find(candidates.begin(), candidates.end(), pid) ==
+          candidates.end()) {
+        candidates.push_back(pid);
+      }
+    });
+
+    int best = diagram.plan_at(qe);
+    double best_penalty = std::numeric_limits<double>::infinity();
+    for (int pid : candidates) {
+      const PlanNode& root = *diagram.plan(pid).root;
+      double penalty = 0.0;
+      for (size_t i = 0; i < window.size(); ++i) {
+        const double cost = opt->CostPlanAt(root, grid.SelectivityAt(window[i]));
+        const double pic = diagram.cost_at(window[i]);
+        penalty += weights[i] * std::max(0.0, cost - pic);
+      }
+      if (penalty < best_penalty) {
+        best_penalty = penalty;
+        best = pid;
+      }
+    }
+    res.plan_at[qe] = best;
+    used[static_cast<size_t>(best)] = true;
+  }
+  for (bool u : used) res.distinct_plans += u ? 1 : 0;
+  return res;
+}
+
+}  // namespace bouquet

@@ -46,6 +46,13 @@ std::shared_ptr<const CompiledBouquet> BouquetCache::Get(
 
 void BouquetCache::EvictIfFullLocked(Shard& shard) {
   if (shard.lru.size() < per_shard_capacity_) return;
+  // Inspect the victim's warm flag before dropping it: an evicted
+  // warm-started bundle must stay distinguishable in the stats.
+  const auto& victim = shard.lru.back().second;
+  if (victim != nullptr && victim->warm_started) {
+    warm_evictions_.fetch_add(1, std::memory_order_relaxed);
+    warm_live_.fetch_sub(1, std::memory_order_relaxed);
+  }
   shard.index.erase(shard.lru.back().first);
   shard.lru.pop_back();
   evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -53,15 +60,23 @@ void BouquetCache::EvictIfFullLocked(Shard& shard) {
 
 void BouquetCache::Put(const std::string& key,
                        std::shared_ptr<const CompiledBouquet> value) {
+  const bool warm = value != nullptr && value->warm_started;
+  if (warm) warm_inserts_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
   MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
+    const auto& old = it->second->second;
+    const bool was_warm = old != nullptr && old->warm_started;
+    if (was_warm != warm) {
+      warm_live_.fetch_add(warm ? 1 : -1, std::memory_order_relaxed);
+    }
     it->second->second = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   EvictIfFullLocked(shard);
+  if (warm) warm_live_.fetch_add(1, std::memory_order_relaxed);
   shard.lru.emplace_front(key, std::move(value));
   shard.index.emplace(key, shard.lru.begin());
   inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -82,6 +97,10 @@ CacheStats BouquetCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.warm_inserts = warm_inserts_.load(std::memory_order_relaxed);
+  s.warm_evictions = warm_evictions_.load(std::memory_order_relaxed);
+  const int64_t live = warm_live_.load(std::memory_order_relaxed);
+  s.warm_entries = live > 0 ? static_cast<uint64_t>(live) : 0;
   s.entries = size();
   return s;
 }
@@ -89,6 +108,11 @@ CacheStats BouquetCache::stats() const {
 void BouquetCache::Clear() {
   for (auto& shard : shards_) {
     MutexLock lock(&shard->mu);
+    for (const auto& [key, value] : shard->lru) {
+      if (value != nullptr && value->warm_started) {
+        warm_live_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
     shard->lru.clear();
     shard->index.clear();
   }

@@ -54,6 +54,11 @@ struct CompiledBouquet {
   PospStats posp_stats;          ///< POSP-generation share of compile time
   double compile_seconds = 0.0;  ///< full pipeline wall time
   bool warm_started = false;     ///< loaded from disk, not compiled
+  /// Compiled over a feedback-shrunken ESS box (observed selectivity
+  /// support + guard band) instead of the query's declared ranges. The
+  /// cache key is unchanged — the signature encodes the declared ranges —
+  /// so this is invisible to lookups.
+  bool shrunken_box = false;
 };
 
 /// Builds the optimizer + simulator tail of a bundle whose grid/diagram/
@@ -61,13 +66,21 @@ struct CompiledBouquet {
 void FinishCompiledBouquet(CompiledBouquet* c, const Catalog& catalog,
                            CostParams cost_params, SimOptions sim_options);
 
-/// Counter snapshot (monotonic except `entries`).
+/// Counter snapshot (monotonic except `entries`/`warm_entries`).
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t inserts = 0;
   uint64_t entries = 0;
+  /// Warm-started bundles (CompiledBouquet::warm_started), tracked
+  /// separately so feedback/file-driven warm starts stay observable at
+  /// eviction time: `warm_entries` is the live count, `warm_evictions`
+  /// counts warm bundles evicted by LRU pressure (a high value means the
+  /// cache is churning away exactly the entries warm-starting paid for).
+  uint64_t warm_inserts = 0;
+  uint64_t warm_evictions = 0;
+  uint64_t warm_entries = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -116,6 +129,9 @@ class BouquetCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> warm_inserts_{0};
+  std::atomic<uint64_t> warm_evictions_{0};
+  std::atomic<int64_t> warm_live_{0};
 };
 
 }  // namespace bouquet

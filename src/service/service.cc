@@ -71,6 +71,30 @@ BouquetService::BouquetService(const Catalog& catalog, ServiceOptions options)
                                 "Requests currently executing");
     ins_.queue_depth = m->GetGauge("service_queue_depth",
                                    "Tasks waiting in the service pool");
+    if (options_.feedback != nullptr) {
+      ins_.feedback_lookups = m->GetCounter(
+          "feedback_lookups_total", "Feedback store lookups before runs");
+      ins_.feedback_hits = m->GetCounter(
+          "feedback_hits_total",
+          "Feedback lookups that produced a usable warm-start seed");
+      ins_.feedback_records = m->GetCounter(
+          "feedback_records_total", "Run outcomes recorded into feedback");
+      ins_.feedback_warm_runs = m->GetCounter(
+          "feedback_warm_runs_total",
+          "Runs that warm-started the ladder above contour 0");
+      ins_.feedback_contours_skipped = m->GetCounter(
+          "feedback_contours_skipped_total",
+          "Contours skipped up-front by warm starts, summed over runs");
+      ins_.feedback_box_shrinks = m->GetCounter(
+          "feedback_box_shrinks_total",
+          "Template compiles over a feedback-shrunken ESS box");
+    }
+    ins_.cache_warm_entries = m->GetGauge(
+        "service_cache_warm_entries",
+        "Warm-started bundles resident in the cache (sampled)");
+    ins_.cache_warm_evictions = m->GetGauge(
+        "service_cache_warm_evictions",
+        "Warm-started bundles evicted by LRU pressure (sampled)");
   }
   // Disk-backed databases: route buffer-pool counters and page-fault spans
   // to the same sinks as the service's own instruments.
@@ -121,7 +145,30 @@ std::shared_ptr<const CompiledBouquet> BouquetService::Compile(
   const auto t0 = std::chrono::steady_clock::now();
   auto c = std::make_shared<CompiledBouquet>();
   c->query = query;
-  c->grid = std::make_unique<EssGrid>(c->query, ResolutionsFor(query));
+  // Feedback-driven ESS-box shrinking: when the store has enough repeat
+  // observations for this template, compile over the observed selectivity
+  // support (plus guard band) instead of the declared ranges. The cache key
+  // — which encodes the declared ranges — is unchanged, and SnapToGrid
+  // clamps out-of-box actuals to the grid edge, so correctness (ladder
+  // completion) is unaffected; only the grid the POSP explores shrinks.
+  EssBox box;
+  bool shrunk = false;
+  if (options_.feedback != nullptr && options_.feedback_policy.shrink_box) {
+    TemplateFeedback tf;
+    if (options_.feedback->Lookup(TemplateHash(KeyFor(query)), &tf)) {
+      shrunk = ShrunkenBox(query, tf, options_.feedback_policy, &box);
+    }
+  }
+  if (shrunk) {
+    c->grid = std::make_unique<EssGrid>(
+        c->query,
+        ShrunkenResolutions(query, box, ResolutionsFor(query),
+                            options_.feedback_policy.min_resolution),
+        box.lo, box.hi);
+    c->shrunken_box = true;
+  } else {
+    c->grid = std::make_unique<EssGrid>(c->query, ResolutionsFor(query));
+  }
   PospOptions posp;
   posp.pool = &pool_;
   posp.min_shard_points = options_.min_shard_points;
@@ -141,6 +188,12 @@ std::shared_ptr<const CompiledBouquet> BouquetService::Compile(
 void BouquetService::RecordCompileStatsLocked(const CompiledBouquet& c) {
   ++stats_.cache_misses;
   ++stats_.compilations;
+  if (c.shrunken_box) {
+    ++stats_.feedback_box_shrinks;
+    if (ins_.feedback_box_shrinks != nullptr) {
+      ins_.feedback_box_shrinks->Inc();
+    }
+  }
   stats_.compile_seconds += c.compile_seconds;
   stats_.posp_dp_calls += c.posp_stats.dp_calls;
   stats_.posp_recost_hits += c.posp_stats.recost_hits;
@@ -302,15 +355,107 @@ Result<ServiceResult> BouquetService::Run(const ServiceRequest& request) {
   return r;
 }
 
+int BouquetService::FeedbackStartContour(const CompiledBouquet& c,
+                                         uint64_t template_hash,
+                                         const obs::Span* parent) {
+  FeedbackStore* fb = options_.feedback;
+  if (fb == nullptr || !options_.feedback_policy.warm_contours) return 0;
+  obs::Span span =
+      obs::Tracer::Begin(options_.tracer, "feedback.lookup", parent);
+  TemplateFeedback tf;
+  DimVector seed;
+  int start = 0;
+  bool hit = false;
+  if (fb->Lookup(template_hash, &tf) &&
+      tf.support.size() == static_cast<size_t>(c.grid->dims()) &&
+      WarmStartSeed(tf, options_.feedback_policy, &seed)) {
+    hit = true;
+    // Snap the seed DOWN per dimension: the seed cost must understate the
+    // cost at the seed, never overstate it, so that seed <= q_a implies
+    // C(seed) <= PIC(q_a) and the warm start stays inside the bound
+    // (feedback/warm_start.h).
+    GridPoint p(c.grid->dims());
+    for (int d = 0; d < c.grid->dims(); ++d) {
+      p[d] = c.grid->AxisFloor(d, seed[d]);
+    }
+    const double seed_cost = c.diagram->cost_at(c.grid->LinearIndex(p));
+    start = WarmStartContour(*c.bouquet, seed_cost,
+                             options_.feedback_policy.safety_margin);
+  }
+  if (ins_.feedback_lookups != nullptr) {
+    ins_.feedback_lookups->Inc();
+    if (hit) ins_.feedback_hits->Inc();
+    if (start > 0) {
+      ins_.feedback_warm_runs->Inc();
+      ins_.feedback_contours_skipped->Inc(static_cast<uint64_t>(start));
+    }
+  }
+  {
+    MutexLock lock(&stats_mu_);
+    ++stats_.feedback_lookups;
+    if (hit) ++stats_.feedback_hits;
+    if (start > 0) {
+      ++stats_.feedback_warm_runs;
+      stats_.feedback_contours_skipped += static_cast<uint64_t>(start);
+    }
+  }
+  if (span.enabled()) {
+    span.Flag("hit", hit).Num("start_contour", static_cast<double>(start));
+    span.End();
+  }
+  return start;
+}
+
+void BouquetService::RecordFeedback(const ServiceRequest& request,
+                                    const CompiledBouquet& c,
+                                    const ServiceResult& r,
+                                    const obs::Span* parent) {
+  FeedbackStore* fb = options_.feedback;
+  if (fb == nullptr) return;
+  FeedbackObservation observed;
+  observed.template_hash = r.template_hash;
+  const int num_contours = static_cast<int>(c.bouquet->contours.size());
+  if (request.mode == ExecutionMode::kSimulate) {
+    if (!r.sim.completed || r.sim.fallback_used) return;
+    // Simulation knows q_a exactly: record the snapped actual location.
+    observed.selectivities = c.grid->SelectivityAt(
+        SnapToGrid(*c.grid, request.actual_selectivities));
+    observed.final_contour =
+        std::min(r.sim.final_contour, num_contours - 1);
+  } else {
+    if (!r.real.completed || r.real.discovered_selectivities.empty()) return;
+    // Real data: record the discovered q_run lower bounds — conservative
+    // by construction, exactly what the min-support seed wants.
+    observed.selectivities = r.real.discovered_selectivities;
+    observed.final_contour =
+        std::min(r.real.contours_crossed, num_contours - 1);
+  }
+  obs::Span span =
+      obs::Tracer::Begin(options_.tracer, "feedback.record", parent);
+  const Status s = fb->Record(observed);
+  if (s.ok()) {
+    if (ins_.feedback_records != nullptr) ins_.feedback_records->Inc();
+    MutexLock lock(&stats_mu_);
+    ++stats_.feedback_records;
+  }
+  if (span.enabled()) {
+    span.Flag("ok", s.ok())
+        .Num("final_contour", static_cast<double>(observed.final_contour));
+    span.End();
+  }
+}
+
 void BouquetService::ExecuteWithBundle(
     const ServiceRequest& request,
     const std::shared_ptr<const CompiledBouquet>& c, obs::Span* req_span,
     std::chrono::steady_clock::time_point t0, ServiceResult* out) {
   ServiceResult& r = *out;
   const auto e0 = std::chrono::steady_clock::now();
+  const int warm_start = FeedbackStartContour(*c, r.template_hash, req_span);
   if (request.mode == ExecutionMode::kSimulate) {
     const uint64_t qa = SnapToGrid(*c->grid, request.actual_selectivities);
-    r.sim = c->simulator->RunOptimized(qa);
+    r.sim = warm_start > 0 ? c->simulator->RunOptimizedWarm(qa, warm_start)
+                           : c->simulator->RunOptimized(qa);
     c->simulator->EmitTrace(r.sim, qa, options_.tracer, req_span);
     if (ins_.suboptimality != nullptr) {
       ins_.suboptimality->Observe(c->simulator->SubOpt(r.sim, qa));
@@ -322,8 +467,10 @@ void BouquetService::ExecuteWithBundle(
     BouquetDriver driver(*c->bouquet, *c->diagram, &run_opt,
                          options_.database);
     driver.SetObservability(options_.tracer, options_.metrics, req_span);
+    driver.SetWarmStart(warm_start);
     r.real = driver.RunOptimized();
   }
+  RecordFeedback(request, *c, r, req_span);
   r.execute_seconds = SecondsSince(e0);
   r.latency_seconds = SecondsSince(t0);
   r.compiled_bundle = c;
@@ -568,6 +715,13 @@ ServiceStats BouquetService::stats() const {
   s.peak_inflight_requests = static_cast<uint64_t>(
       std::max<int64_t>(0, inflight_peak_.load(std::memory_order_relaxed)));
   s.queue_depth = pool_.queue_depth();
+  const CacheStats cs = cache_.stats();
+  s.cache_warm_entries = cs.warm_entries;
+  s.cache_warm_evictions = cs.warm_evictions;
+  if (ins_.cache_warm_entries != nullptr) {
+    ins_.cache_warm_entries->Set(static_cast<double>(cs.warm_entries));
+    ins_.cache_warm_evictions->Set(static_cast<double>(cs.warm_evictions));
+  }
   if (options_.database != nullptr &&
       options_.database->storage() != nullptr) {
     const storage::BufferStats b =

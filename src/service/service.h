@@ -47,6 +47,8 @@
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "common/thread_pool.h"
+#include "feedback/feedback_store.h"
+#include "feedback/warm_start.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/bouquet_cache.h"
@@ -73,6 +75,15 @@ struct ServiceOptions {
   /// registry gains service_* and bouquet_driver_* instruments.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional cross-query selectivity feedback store (borrowed; must
+  /// outlive the service; null = feedback off). When set, every finished
+  /// request records its observed selectivities + final contour
+  /// ("feedback.record" span), and every execution consults the store
+  /// first ("feedback.lookup"): repeat templates warm-start the contour
+  /// ladder at the learned neighborhood and compile over a shrunken ESS
+  /// box, per `feedback_policy`. The store may be shared across services.
+  FeedbackStore* feedback = nullptr;
+  WarmStartPolicy feedback_policy;
 };
 
 enum class ExecutionMode {
@@ -115,6 +126,12 @@ struct ServiceStats {
   uint64_t cache_misses = 0;      ///< led to a compilation by this request
   uint64_t shared_compiles = 0;   ///< deduplicated by single-flight
   uint64_t compilations = 0;
+  /// Bundles installed by WarmStart() (file loads). Disjoint from
+  /// `compilations`/`cache_misses` by construction: a warm-started bundle
+  /// is Put directly into the cache and never runs Compile, so
+  /// compilations == cache_misses always holds and warm_starts never
+  /// inflates either (regression-tested in test_service). Feedback-driven
+  /// contour warm starts are the separate `feedback_warm_runs` below.
   uint64_t warm_starts = 0;
   /// POSP compilation counters, summed over this service's compilations
   /// (see PospStats): full DP invocations, points served by the recost
@@ -146,6 +163,20 @@ struct ServiceStats {
   uint64_t inflight_requests = 0;
   uint64_t peak_inflight_requests = 0;
   uint64_t queue_depth = 0;
+  /// Feedback-store integration counters (all zero without
+  /// ServiceOptions::feedback). A "hit" is a lookup that produced a usable
+  /// warm-start seed; a "warm run" actually started above contour 0.
+  uint64_t feedback_lookups = 0;
+  uint64_t feedback_hits = 0;
+  uint64_t feedback_records = 0;
+  uint64_t feedback_warm_runs = 0;
+  uint64_t feedback_contours_skipped = 0;
+  uint64_t feedback_box_shrinks = 0;  ///< compiles over a shrunken ESS box
+  /// Warm-started cache entries (CompiledBouquet::warm_started), sampled
+  /// from the BouquetCache at stats() time: live now, and evicted by LRU
+  /// pressure over the cache's lifetime.
+  uint64_t cache_warm_entries = 0;
+  uint64_t cache_warm_evictions = 0;
   /// Buffer-pool counters, sampled at stats() time from the database's
   /// StorageManager (all zero when the database is in-memory or absent).
   uint64_t buffer_hits = 0;
@@ -216,6 +247,15 @@ class BouquetService {
   uint64_t SnapToGrid(const EssGrid& grid, const DimVector& actual) const;
 
   Status ValidateRequest(const ServiceRequest& request) const;
+  /// Consults the feedback store for a warm-start contour ("feedback.lookup"
+  /// span); returns 0 (cold) without a store, a usable seed, or coverage.
+  int FeedbackStartContour(const CompiledBouquet& c, uint64_t template_hash,
+                           const obs::Span* parent);
+  /// Records a finished request's outcome into the feedback store
+  /// ("feedback.record" span); no-op without a store or on failed runs.
+  void RecordFeedback(const ServiceRequest& request,
+                      const CompiledBouquet& c, const ServiceResult& r,
+                      const obs::Span* parent);
   /// Everything after the bundle is in hand: execution, span attributes,
   /// run-phase stat folding. Shared by Run and RunBatch.
   void ExecuteWithBundle(const ServiceRequest& request,
@@ -258,6 +298,15 @@ class BouquetService {
     obs::Counter* sheds = nullptr;
     obs::Gauge* inflight = nullptr;
     obs::Gauge* queue_depth = nullptr;
+    // Feedback-store integration.
+    obs::Counter* feedback_lookups = nullptr;
+    obs::Counter* feedback_hits = nullptr;
+    obs::Counter* feedback_records = nullptr;
+    obs::Counter* feedback_warm_runs = nullptr;
+    obs::Counter* feedback_contours_skipped = nullptr;
+    obs::Counter* feedback_box_shrinks = nullptr;
+    obs::Gauge* cache_warm_entries = nullptr;
+    obs::Gauge* cache_warm_evictions = nullptr;
   };
 
   const Catalog* catalog_;

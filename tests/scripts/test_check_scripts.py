@@ -9,7 +9,8 @@ on the exit code plus the specific failure text, so a checker that starts
 failing for the WRONG reason is also caught.
 
 Covered: check_compile_smoke.py, check_serve_smoke.py, check_exec_smoke.py,
-check_storage_smoke.py, check_trace_schema.py, check_lint_fixtures.py.
+check_storage_smoke.py, check_feedback_smoke.py, check_trace_schema.py,
+check_lint_fixtures.py.
 Stdlib only (unittest); registered in ctest as test_check_scripts.
 """
 
@@ -245,6 +246,86 @@ class StorageSmokeTest(CheckerTestCase):
         bench["parity"]["accounting_exact"] = False
         self.assert_fail(self.check(bench, self.baseline()),
                          "accounting_exact")
+
+
+class FeedbackSmokeTest(CheckerTestCase):
+    def bench(self):
+        return {
+            "warm": {"requests": 6, "feedback_records": 6,
+                     "feedback_hits": 3, "warm_runs": 3,
+                     "contours_skipped": 3, "rows_identical": True,
+                     "cold_steps": 9, "warm_steps": 6,
+                     "driver_contours_skipped": 1},
+            "shrink": {"full_points": 1600, "shrunken_points": 400,
+                       "full_dp_calls": 5000, "shrunken_dp_calls": 1200,
+                       "full_wall_seconds": 0.5,
+                       "shrunken_wall_seconds": 0.1},
+            "oracle": {"instances": 40, "warm_runs": 900,
+                       "mispredicted_runs": 150, "violations": 0},
+            "shootout": [
+                {"policy": p, "mso": 3.0, "aso": 1.5, "max_harm": 0.0,
+                 "plans": 4}
+                for p in ("native", "seer", "parqo", "pao", "bouquet")],
+        }
+
+    def baseline(self):
+        return {"warm": {"min_warm_runs": 1, "min_contours_skipped": 1},
+                "shrink": {"full_points": 1600},
+                "oracle": {"min_runs": 1000},
+                "shootout": {"policies": ["native", "seer", "parqo", "pao",
+                                          "bouquet"],
+                             "max_bouquet_mso": 12.0}}
+
+    def check(self, bench, baseline):
+        return run_checker("check_feedback_smoke.py",
+                           self.write_json("bench.json", bench),
+                           self.write_json("baseline.json", baseline))
+
+    def test_passes_healthy_feedback_loop(self):
+        self.assert_pass(self.check(self.bench(), self.baseline()))
+
+    def test_fails_when_warm_starts_vanish(self):
+        bench = self.bench()
+        bench["warm"]["warm_runs"] = 0
+        self.assert_fail(self.check(bench, self.baseline()),
+                         "no longer warm-starts")
+
+    def test_fails_on_result_divergence(self):
+        bench = self.bench()
+        bench["warm"]["rows_identical"] = False
+        self.assert_fail(self.check(bench, self.baseline()),
+                         "changed the query result")
+
+    def test_fails_when_shrink_saves_nothing(self):
+        bench = self.bench()
+        bench["shrink"]["shrunken_dp_calls"] = bench["shrink"]["full_dp_calls"]
+        self.assert_fail(self.check(bench, self.baseline()),
+                         "no longer saves compile work")
+
+    def test_fails_on_oracle_violation(self):
+        bench = self.bench()
+        bench["oracle"]["violations"] = 2
+        self.assert_fail(self.check(bench, self.baseline()),
+                         "Theorem 3 bound")
+
+    def test_fails_on_missing_policy(self):
+        bench = self.bench()
+        bench["shootout"] = [r for r in bench["shootout"]
+                             if r["policy"] != "pao"]
+        self.assert_fail(self.check(bench, self.baseline()),
+                         "missing policies")
+
+    def test_fails_on_nonfinite_metric(self):
+        bench = self.bench()
+        bench["shootout"][0]["mso"] = None
+        self.assert_fail(self.check(bench, self.baseline()),
+                         "not finite")
+
+    def test_fails_on_bouquet_mso_blowup(self):
+        bench = self.bench()
+        bench["shootout"][-1]["mso"] = 50.0
+        self.assert_fail(self.check(bench, self.baseline()),
+                         "robustness edge")
 
 
 class TraceSchemaTest(CheckerTestCase):

@@ -1,0 +1,434 @@
+// Tests for src/feedback: the cross-query selectivity feedback store —
+// aggregation, crash-safe log recovery (truncated/garbage tails), and
+// concurrent access — plus the warm-start / box-shrink policy helpers and
+// warm execution equivalence on real data (byte-identical results).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bouquet/driver.h"
+#include "bouquet/simulator.h"
+#include "ess/posp_generator.h"
+#include "feedback/feedback_store.h"
+#include "feedback/warm_start.h"
+#include "workloads/spaces.h"
+#include "workloads/tpch.h"
+
+namespace bouquet {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// Result rows echo join columns in plan-dependent order (the executor emits
+// the executing plan's schema), so cross-plan result equality is multiset
+// equality over per-row value multisets.
+std::vector<Row> CanonicalRows(std::vector<Row> rows) {
+  for (Row& row : rows) std::sort(row.begin(), row.end());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+FeedbackObservation Obs(uint64_t hash, std::vector<double> sels,
+                        int final_contour) {
+  FeedbackObservation o;
+  o.template_hash = hash;
+  o.selectivities = std::move(sels);
+  o.final_contour = final_contour;
+  return o;
+}
+
+TEST(FeedbackStoreTest, AggregatesSupportAndContours) {
+  FeedbackStore store;
+  ASSERT_TRUE(store.Record(Obs(7, {0.1, 0.5}, 2)).ok());
+  ASSERT_TRUE(store.Record(Obs(7, {0.02, 0.9}, 4)).ok());
+  ASSERT_TRUE(store.Record(Obs(7, {0.3, 0.7}, -1)).ok());
+
+  TemplateFeedback fb;
+  ASSERT_TRUE(store.Lookup(7, &fb));
+  EXPECT_EQ(fb.observations, 3u);
+  EXPECT_EQ(fb.max_final_contour, 4);
+  ASSERT_EQ(fb.support.size(), 2u);
+  EXPECT_DOUBLE_EQ(fb.support[0].lo, 0.02);
+  EXPECT_DOUBLE_EQ(fb.support[0].hi, 0.3);
+  EXPECT_DOUBLE_EQ(fb.support[1].lo, 0.5);
+  EXPECT_DOUBLE_EQ(fb.support[1].hi, 0.9);
+
+  EXPECT_FALSE(store.Lookup(8, &fb));
+  const FeedbackStoreStats s = store.stats();
+  EXPECT_EQ(s.records, 3u);
+  EXPECT_EQ(s.templates, 1u);
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.lookup_hits, 1u);
+  EXPECT_FALSE(store.file_backed());
+}
+
+TEST(FeedbackStoreTest, RejectsUnusableObservations) {
+  FeedbackStore store;
+  EXPECT_FALSE(store.Record(Obs(1, {}, 0)).ok());
+  EXPECT_FALSE(store.Record(Obs(1, {0.5, NAN}, 0)).ok());
+  EXPECT_FALSE(store.Record(Obs(1, {0.5, -0.1}, 0)).ok());
+  TemplateFeedback fb;
+  EXPECT_FALSE(store.Lookup(1, &fb));
+}
+
+TEST(FeedbackStoreTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("feedback_reopen.log");
+  std::remove(path.c_str());
+  {
+    auto opened = FeedbackStore::Open(path);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto& store = *opened.value();
+    EXPECT_TRUE(store.file_backed());
+    ASSERT_TRUE(store.Record(Obs(1, {0.1, 0.2}, 1)).ok());
+    ASSERT_TRUE(store.Record(Obs(1, {0.4, 0.05}, 3)).ok());
+    ASSERT_TRUE(store.Record(Obs(2, {0.9}, 0)).ok());
+  }  // destructor compacts + closes
+  auto reopened = FeedbackStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto& store = *reopened.value();
+  TemplateFeedback fb;
+  ASSERT_TRUE(store.Lookup(1, &fb));
+  EXPECT_EQ(fb.observations, 2u);
+  EXPECT_EQ(fb.max_final_contour, 3);
+  ASSERT_EQ(fb.support.size(), 2u);
+  EXPECT_DOUBLE_EQ(fb.support[0].lo, 0.1);
+  EXPECT_DOUBLE_EQ(fb.support[0].hi, 0.4);
+  EXPECT_DOUBLE_EQ(fb.support[1].lo, 0.05);
+  EXPECT_DOUBLE_EQ(fb.support[1].hi, 0.2);
+  ASSERT_TRUE(store.Lookup(2, &fb));
+  EXPECT_EQ(fb.observations, 1u);
+  const FeedbackStoreStats s = store.stats();
+  EXPECT_EQ(s.templates, 2u);
+  EXPECT_GE(s.recovered_records, 2u);
+  EXPECT_EQ(s.dropped_records, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FeedbackStoreTest, RecoversBeforeTruncatedTail) {
+  const std::string path = TempPath("feedback_torn.log");
+  std::remove(path.c_str());
+  {
+    auto opened = FeedbackStore::Open(path);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened.value()->Record(Obs(1, {0.25}, 2)).ok());
+  }
+  {
+    // Simulate a crash mid-append: a torn final line with no newline.
+    std::ofstream f(path, std::ios::app | std::ios::binary);
+    f << "obs 000000000000002a 1 1 0x1p-";
+  }
+  auto reopened = FeedbackStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto& store = *reopened.value();
+  TemplateFeedback fb;
+  ASSERT_TRUE(store.Lookup(1, &fb));
+  EXPECT_EQ(fb.observations, 1u);
+  EXPECT_FALSE(store.Lookup(0x2a, &fb));  // the torn record is gone
+  const FeedbackStoreStats s = store.stats();
+  EXPECT_GE(s.dropped_records, 1u);
+  EXPECT_GE(s.compactions, 1u);  // corrupt tail purged on open
+
+  // The compaction rewrote a clean log: a third open drops nothing.
+  reopened.value().reset();
+  auto clean = FeedbackStore::Open(path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value()->stats().dropped_records, 0u);
+  ASSERT_TRUE(clean.value()->Lookup(1, &fb));
+  EXPECT_EQ(fb.observations, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FeedbackStoreTest, ChecksumMismatchDropsTail) {
+  const std::string path = TempPath("feedback_garbage.log");
+  std::remove(path.c_str());
+  {
+    auto opened = FeedbackStore::Open(path);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened.value()->Record(Obs(1, {0.5}, 1)).ok());
+    ASSERT_TRUE(opened.value()->Record(Obs(2, {0.125}, 0)).ok());
+  }
+  // Flip one byte inside the final record's checksum.
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  ASSERT_EQ(bytes.back(), '\n');
+  const size_t target = bytes.size() - 2;  // last checksum hex digit
+  bytes[target] = bytes[target] == '0' ? '1' : '0';
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto reopened = FeedbackStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto& store = *reopened.value();
+  const FeedbackStoreStats s = store.stats();
+  EXPECT_GE(s.dropped_records, 1u);
+  // Everything before the corrupt line survives.
+  TemplateFeedback fb;
+  EXPECT_TRUE(store.Lookup(1, &fb) || store.Lookup(2, &fb));
+  std::remove(path.c_str());
+}
+
+TEST(FeedbackStoreTest, ConcurrentRecordLookupCompact) {
+  const std::string path = TempPath("feedback_concurrent.log");
+  std::remove(path.c_str());
+  auto opened = FeedbackStore::Open(path);
+  ASSERT_TRUE(opened.ok());
+  FeedbackStore& store = *opened.value();
+
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const uint64_t hash = static_cast<uint64_t>(i % 8);
+        const double sel = 0.01 * (w + 1) + 0.001 * i;
+        EXPECT_TRUE(store.Record(Obs(hash, {sel, sel / 2}, i % 4)).ok());
+      }
+    });
+  }
+  threads.emplace_back([&store] {
+    TemplateFeedback fb;
+    for (int i = 0; i < 200; ++i) {
+      store.Lookup(static_cast<uint64_t>(i % 8), &fb);
+    }
+  });
+  threads.emplace_back([&store] {
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(store.Compact().ok());
+  });
+  for (auto& t : threads) t.join();
+
+  uint64_t total = 0;
+  for (uint64_t h = 0; h < 8; ++h) {
+    TemplateFeedback fb;
+    ASSERT_TRUE(store.Lookup(h, &fb));
+    total += fb.observations;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kWriters) * kPerWriter);
+  std::remove(path.c_str());
+}
+
+TEST(WarmStartTest, SeedRequiresUsableFeedback) {
+  WarmStartPolicy policy;
+  policy.min_observations = 3;
+  TemplateFeedback fb;
+  DimVector seed;
+  fb.observations = 2;
+  fb.max_final_contour = 1;
+  fb.support = {{0.1, 0.2}};
+  EXPECT_FALSE(WarmStartSeed(fb, policy, &seed));  // too few observations
+  fb.observations = 3;
+  fb.max_final_contour = -1;
+  EXPECT_FALSE(WarmStartSeed(fb, policy, &seed));  // nothing completed
+  fb.max_final_contour = 1;
+  fb.support.clear();
+  EXPECT_FALSE(WarmStartSeed(fb, policy, &seed));  // no support
+  fb.support = {{0.0, 0.2}};
+  EXPECT_FALSE(WarmStartSeed(fb, policy, &seed));  // non-positive lo
+  fb.support = {{0.1, 0.2}, {0.05, 0.6}};
+  ASSERT_TRUE(WarmStartSeed(fb, policy, &seed));
+  ASSERT_EQ(seed.size(), 2u);
+  EXPECT_DOUBLE_EQ(seed[0], 0.1);   // per-dim observed minimum
+  EXPECT_DOUBLE_EQ(seed[1], 0.05);
+}
+
+TEST(WarmStartTest, ContourClampsAndBacksOff) {
+  PlanBouquet bouquet;
+  for (const double step : {10.0, 20.0, 40.0, 80.0}) {
+    BouquetContour c;
+    c.step_cost = step;
+    c.budget = step;
+    bouquet.contours.push_back(std::move(c));
+  }
+  EXPECT_EQ(WarmStartContour(bouquet, 25.0, 0), 2);
+  EXPECT_EQ(WarmStartContour(bouquet, 25.0, 1), 1);
+  EXPECT_EQ(WarmStartContour(bouquet, 25.0, 5), 0);   // margin clamps at 0
+  EXPECT_EQ(WarmStartContour(bouquet, 5.0, 0), 0);
+  EXPECT_EQ(WarmStartContour(bouquet, 20.0, 0), 1);   // boundary inclusive
+  EXPECT_EQ(WarmStartContour(bouquet, 1000.0, 0), 3);  // beyond Cmax: last
+  EXPECT_EQ(WarmStartContour(bouquet, 1000.0, 1), 2);
+  EXPECT_EQ(WarmStartContour(bouquet, NAN, 0), 0);
+  EXPECT_EQ(WarmStartContour(bouquet, -3.0, 0), 0);
+  EXPECT_EQ(WarmStartContour(PlanBouquet{}, 25.0, 0), 0);
+}
+
+class ShrunkenBoxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int d = 0; d < 2; ++d) {
+      ErrorDimension dim;
+      dim.lo = 1e-4;
+      dim.hi = 1.0;
+      query_.error_dims.push_back(dim);
+    }
+    fb_.observations = 5;
+    fb_.max_final_contour = 2;
+    fb_.support = {{0.01, 0.02}, {0.1, 0.2}};
+  }
+  QuerySpec query_;
+  TemplateFeedback fb_;
+  WarmStartPolicy policy_;
+};
+
+TEST_F(ShrunkenBoxTest, ShrinksWithGuardBandInsideDeclaredRange) {
+  policy_.guard_band = 4.0;
+  EssBox box;
+  ASSERT_TRUE(ShrunkenBox(query_, fb_, policy_, &box));
+  ASSERT_EQ(box.lo.size(), 2u);
+  EXPECT_DOUBLE_EQ(box.lo[0], 0.01 / 4.0);
+  EXPECT_DOUBLE_EQ(box.hi[0], 0.02 * 4.0);
+  EXPECT_DOUBLE_EQ(box.lo[1], 0.1 / 4.0);
+  EXPECT_DOUBLE_EQ(box.hi[1], 0.2 * 4.0);
+}
+
+TEST_F(ShrunkenBoxTest, ClampsIntoDeclaredRange) {
+  fb_.support = {{2e-4, 0.9}, {0.01, 0.02}};
+  policy_.guard_band = 10.0;
+  EssBox box;
+  // Dim 0 clamps to the full declared range; dim 1 still shrinks.
+  ASSERT_TRUE(ShrunkenBox(query_, fb_, policy_, &box));
+  EXPECT_DOUBLE_EQ(box.lo[0], 1e-4);
+  EXPECT_DOUBLE_EQ(box.hi[0], 1.0);
+  EXPECT_DOUBLE_EQ(box.lo[1], 0.01 / 10.0);
+  EXPECT_DOUBLE_EQ(box.hi[1], 0.02 * 10.0);
+}
+
+TEST_F(ShrunkenBoxTest, RefusesWhenNothingShrinks) {
+  fb_.support = {{1e-4, 1.0}, {1e-4, 1.0}};
+  EssBox box;
+  EXPECT_FALSE(ShrunkenBox(query_, fb_, policy_, &box));
+  fb_.observations = 0;
+  EXPECT_FALSE(ShrunkenBox(query_, fb_, policy_, &box));
+  fb_.observations = 5;
+  fb_.support = {{0.01, 0.02}};  // dimensionality mismatch
+  EXPECT_FALSE(ShrunkenBox(query_, fb_, policy_, &box));
+}
+
+TEST_F(ShrunkenBoxTest, ResolutionsScaleWithLogRange) {
+  EssBox box;
+  policy_.guard_band = 4.0;
+  ASSERT_TRUE(ShrunkenBox(query_, fb_, policy_, &box));
+  const std::vector<int> out =
+      ShrunkenResolutions(query_, box, {16, 16}, /*min_resolution=*/4);
+  ASSERT_EQ(out.size(), 2u);
+  for (int d = 0; d < 2; ++d) {
+    const double ratio = std::log(box.hi[d] / box.lo[d]) / std::log(1.0 / 1e-4);
+    const int expect =
+        std::max(4, static_cast<int>(std::ceil(16 * std::min(1.0, ratio))));
+    EXPECT_EQ(out[d], expect) << "dim " << d;
+    EXPECT_LT(out[d], 16);
+    EXPECT_GE(out[d], 4);
+  }
+}
+
+TEST(ContourHistogramTest, BucketsNativeSentinelSeparately) {
+  std::vector<DriverStep> steps(4);
+  steps[0].contour = DriverStep::kNoContour;
+  steps[1].contour = 0;
+  steps[2].contour = 0;
+  steps[3].contour = 2;
+  const ContourHistogram h = HistogramSteps(steps);
+  EXPECT_EQ(h.native, 1);
+  ASSERT_EQ(h.by_contour.size(), 3u);
+  EXPECT_EQ(h.by_contour[0], 2);
+  EXPECT_EQ(h.by_contour[1], 0);
+  EXPECT_EQ(h.by_contour[2], 1);
+  EXPECT_EQ(HistogramSteps({}).native, 0);
+  EXPECT_TRUE(HistogramSteps({}).by_contour.empty());
+}
+
+// Warm execution on real data: skipping a prefix of the ladder must leave
+// the final result byte-identical and only remove steps.
+class WarmDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchDataOptions opts;
+    opts.mini_scale = 0.1;
+    MakeTpchDatabase(&db_, opts);
+    SyncTpchCatalog(db_, &catalog_);
+    query_ = Make2DHQ8a(catalog_);
+    achieved_ = BindSelectionConstants(&query_, catalog_, {0.337, 0.456});
+    ASSERT_TRUE(query_.Validate(catalog_).ok());
+    opt_ = std::make_unique<QueryOptimizer>(query_, catalog_,
+                                            CostParams::Postgres());
+    grid_ = std::make_unique<EssGrid>(query_, std::vector<int>{10, 10});
+    diagram_ = std::make_unique<PlanDiagram>(
+        GeneratePosp(query_, catalog_, CostParams::Postgres(), *grid_));
+    bouquet_ = std::make_unique<PlanBouquet>(
+        BuildBouquet(*diagram_, opt_.get()));
+  }
+
+  Database db_;
+  Catalog catalog_;
+  QuerySpec query_;
+  std::vector<double> achieved_;
+  std::unique_ptr<QueryOptimizer> opt_;
+  std::unique_ptr<EssGrid> grid_;
+  std::unique_ptr<PlanDiagram> diagram_;
+  std::unique_ptr<PlanBouquet> bouquet_;
+};
+
+TEST_F(WarmDriverTest, WarmRunMatchesColdRunResult) {
+  BouquetDriver cold(*bouquet_, *diagram_, opt_.get(), &db_);
+  const DriverResult cold_res = cold.RunOptimized();
+  ASSERT_TRUE(cold_res.completed);
+  EXPECT_EQ(cold_res.warm_contours_skipped, 0);
+  const ContourHistogram cold_hist = HistogramSteps(cold_res.steps);
+  ASSERT_GT(cold_res.contours_crossed, 1);  // there is a prefix to skip
+
+  BouquetDriver warm(*bouquet_, *diagram_, opt_.get(), &db_);
+  warm.SetWarmStart(1);
+  const DriverResult warm_res = warm.RunOptimized();
+  ASSERT_TRUE(warm_res.completed);
+  EXPECT_EQ(warm_res.warm_contours_skipped, 1);
+  EXPECT_EQ(CanonicalRows(warm_res.rows), CanonicalRows(cold_res.rows));
+  EXPECT_LE(warm_res.steps.size(), cold_res.steps.size());
+  const ContourHistogram warm_hist = HistogramSteps(warm_res.steps);
+  EXPECT_EQ(warm_hist.by_contour.empty() ? 0 : warm_hist.by_contour[0], 0)
+      << "warm run must not execute the skipped contour";
+  EXPECT_EQ(warm_hist.native, cold_hist.native);
+}
+
+TEST_F(WarmDriverTest, NegativeWarmStartIsIgnored) {
+  BouquetDriver driver(*bouquet_, *diagram_, opt_.get(), &db_);
+  driver.SetWarmStart(-3);
+  const DriverResult res = driver.RunOptimized();
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.warm_contours_skipped, 0);
+}
+
+TEST_F(WarmDriverTest, SimulatorWarmZeroEqualsCold) {
+  const BouquetSimulator sim(*bouquet_, *diagram_, opt_.get());
+  const uint64_t qa = grid_->num_points() / 2;
+  const SimResult cold = sim.RunOptimized(qa);
+  const SimResult warm0 = sim.RunOptimizedWarm(qa, 0);
+  ASSERT_TRUE(cold.completed);
+  ASSERT_TRUE(warm0.completed);
+  EXPECT_EQ(warm0.start_contour, 0);
+  EXPECT_EQ(warm0.total_cost, cold.total_cost);
+  EXPECT_EQ(warm0.steps.size(), cold.steps.size());
+
+  // Even an absurdly deep warm start completes without the fallback.
+  const SimResult deep =
+      sim.RunOptimizedWarm(qa, static_cast<int>(bouquet_->contours.size()));
+  EXPECT_TRUE(deep.completed);
+  EXPECT_FALSE(deep.fallback_used);
+}
+
+}  // namespace
+}  // namespace bouquet

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "ess/posp_generator.h"
 #include "robustness/metrics.h"
 #include "robustness/native.h"
@@ -122,6 +124,24 @@ TEST_F(MetricsTest, MaxHarmEmptyInputIsZero) {
   // which reads as "the policy helps everywhere" in reports that never ran
   // a single location.
   EXPECT_DOUBLE_EQ(MaxHarm({}, {}), 0.0);
+}
+
+TEST_F(MetricsTest, MaxHarmSkipsDegenerateEntries) {
+  // Regression: a zero/non-finite native_worst entry used to trip an assert
+  // (debug) or divide to +-inf (release). The convention is to skip such
+  // entries from numerator AND denominator.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> native = {10.0, 0.0, -4.0, inf, nan, 10.0};
+  const std::vector<double> subopt = {15.0, 99.0, 99.0, 99.0, 99.0, nan};
+  // Only entry 0 is valid: 15/10 - 1 = 0.5.
+  EXPECT_DOUBLE_EQ(MaxHarm(subopt, native), 0.5);
+  EXPECT_DOUBLE_EQ(HarmFraction(subopt, native), 1.0);  // 1 harmed / 1 valid
+  // All-degenerate input reports "no harm observed", not a poisoned max.
+  const std::vector<double> all_bad_native = {0.0, -1.0, inf};
+  const std::vector<double> all_bad_subopt = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(MaxHarm(all_bad_subopt, all_bad_native), 0.0);
+  EXPECT_DOUBLE_EQ(HarmFraction(all_bad_subopt, all_bad_native), 0.0);
 }
 
 TEST_F(MetricsTest, EnhancementDistributionZeroSubOptGoesToTopBucket) {

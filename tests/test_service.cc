@@ -501,5 +501,120 @@ TEST(ServiceRealDataTest, ConcurrentDriverExecutions) {
   EXPECT_EQ(service.cache().size(), 1u);
 }
 
+// ----------------------------------------------------- Feedback integration
+
+TEST(BouquetCacheTest, WarmEntriesTrackedThroughEviction) {
+  BouquetCache cache(1, 1);
+  auto warm = std::make_shared<CompiledBouquet>();
+  warm->warm_started = true;
+  cache.Put("a", std::shared_ptr<const CompiledBouquet>(std::move(warm)));
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.warm_inserts, 1u);
+  EXPECT_EQ(s.warm_entries, 1u);
+  EXPECT_EQ(s.warm_evictions, 0u);
+
+  cache.Put("b", DummyBundle());  // LRU-evicts the warm entry
+  s = cache.stats();
+  EXPECT_EQ(s.warm_evictions, 1u);
+  EXPECT_EQ(s.warm_entries, 0u);
+
+  // Overwriting a cold entry with a warm one flips the live count; Clear
+  // drains it.
+  auto warm2 = std::make_shared<CompiledBouquet>();
+  warm2->warm_started = true;
+  cache.Put("b", std::shared_ptr<const CompiledBouquet>(std::move(warm2)));
+  EXPECT_EQ(cache.stats().warm_entries, 1u);
+  EXPECT_EQ(cache.stats().warm_inserts, 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().warm_entries, 0u);
+}
+
+TEST_F(ServiceTest, FeedbackWarmRunSkipsContours) {
+  FeedbackStore store;  // memory-only: durability is test_feedback's job
+  ServiceOptions opts = FastOptions();
+  opts.feedback = &store;
+  BouquetService service(catalog_, opts);
+  ServiceRequest req;
+  req.query = query_;
+  req.actual_selectivities = {0.9};
+
+  // The policy demands min_observations (3) before acting on feedback.
+  for (int i = 0; i < 3; ++i) {
+    auto res = service.Run(req);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ASSERT_TRUE(res->sim.completed);
+    EXPECT_EQ(res->sim.start_contour, 0);
+  }
+  auto warm = service.Run(req);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->sim.completed);
+  EXPECT_FALSE(warm->sim.fallback_used);
+  EXPECT_GT(warm->sim.start_contour, 0);  // ladder prefix skipped
+
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.feedback_lookups, 4u);
+  EXPECT_EQ(s.feedback_hits, 1u);
+  EXPECT_EQ(s.feedback_warm_runs, 1u);
+  EXPECT_GE(s.feedback_contours_skipped, 1u);
+  EXPECT_EQ(s.feedback_records, 4u);
+  // Regression: feedback warm runs must stay invisible to the compile
+  // accounting — one template, one compilation == one miss, and the
+  // file-warm-start counter untouched.
+  EXPECT_EQ(s.compilations, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.warm_starts, 0u);
+}
+
+TEST_F(ServiceTest, FeedbackShrinksEssBoxOnFreshCompile) {
+  FeedbackStore store;
+  ServiceOptions opts = FastOptions();
+  opts.feedback = &store;
+  ServiceRequest req;
+  req.query = query_;
+  req.actual_selectivities = {0.3};
+  {
+    BouquetService first(catalog_, opts);
+    for (int i = 0; i < 3; ++i) {
+      auto res = first.Run(req);
+      ASSERT_TRUE(res.ok());
+      EXPECT_FALSE(res->compiled_bundle->shrunken_box);  // no support yet
+    }
+    EXPECT_EQ(first.stats().feedback_box_shrinks, 0u);
+  }
+
+  // A fresh service sharing the store compiles the template over the
+  // observed support (+ guard band) instead of the declared range.
+  BouquetService second(catalog_, opts);
+  auto res = second.Run(req);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_NE(res->compiled_bundle, nullptr);
+  EXPECT_TRUE(res->compiled_bundle->shrunken_box);
+  EXPECT_TRUE(res->sim.completed);
+  const ServiceStats s = second.stats();
+  EXPECT_EQ(s.feedback_box_shrinks, 1u);
+  // The shrunken grid is strictly denser-per-decade but smaller overall.
+  EXPECT_LT(res->compiled_bundle->grid->num_points(),
+            static_cast<uint64_t>(opts.grid_resolution));
+}
+
+TEST_F(ServiceTest, StatsExposeWarmCacheGauges) {
+  const ServiceOptions opts = FastOptions();
+  const EssGrid grid(query_, {opts.grid_resolution});
+  const PlanDiagram diagram =
+      GeneratePosp(query_, catalog_, opts.cost_params, grid);
+  QueryOptimizer opt(query_, catalog_, opts.cost_params);
+  const PlanBouquet bouquet = BuildBouquet(diagram, &opt, opts.bouquet_params);
+  const std::string path =
+      ::testing::TempDir() + "/test_service_warm_gauge.bouquet";
+  ASSERT_TRUE(SaveBouquetToFile(diagram, bouquet, path).ok());
+
+  BouquetService service(catalog_, opts);
+  ASSERT_TRUE(service.WarmStart(query_, path).ok());
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.cache_warm_entries, 1u);
+  EXPECT_EQ(s.cache_warm_evictions, 0u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace bouquet
